@@ -1,0 +1,63 @@
+//! Criterion micro-benchmark: index construction and node access paths.
+//!
+//! Covers the cost analysis of §5.1: MIR-tree construction should track
+//! IR-tree construction (the min weights are computed in the same pass),
+//! at slightly larger inverted files.
+
+use bench::{Params, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use index::{IndexedObject, PostingMode, StTree};
+use storage::IoStats;
+use text::TermId;
+
+fn indexed_objects(sc: &Scenario) -> Vec<IndexedObject> {
+    sc.engine
+        .objects
+        .iter()
+        .map(|o| IndexedObject {
+            id: o.id,
+            point: o.point,
+            doc: sc.engine.ctx.text.weigh(&o.doc),
+        })
+        .collect()
+}
+
+fn bench_index(c: &mut Criterion) {
+    let p = Params {
+        num_objects: 5_000,
+        num_users: 100,
+        trials: 1,
+        ..Params::default()
+    };
+    let sc = Scenario::build(&p, 0);
+    let objs = indexed_objects(&sc);
+
+    let mut g = c.benchmark_group("index_build");
+    g.bench_function("ir_tree", |b| {
+        b.iter(|| StTree::build_with_fanout(&objs, PostingMode::MaxOnly, 32))
+    });
+    g.bench_function("mir_tree", |b| {
+        b.iter(|| StTree::build_with_fanout(&objs, PostingMode::MaxMin, 32))
+    });
+    g.finish();
+
+    let tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, 32);
+    let io = IoStats::new();
+    let terms: Vec<TermId> = sc.spec.keywords.clone();
+    let mut g = c.benchmark_group("index_access");
+    g.bench_function("read_root_node", |b| {
+        b.iter(|| tree.read_node(tree.root(), &io))
+    });
+    let root = tree.read_node(tree.root(), &io);
+    g.bench_function("read_root_postings", |b| {
+        b.iter(|| tree.read_postings(&root, &terms, &io))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_index
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark: candidate selection — baseline vs exact vs
+//! greedy (§4 / §6.2.2 / §6.2.1).
+
+use bench::{measure_select, measure_topk_joint, Params, Scenario, SelectMethod};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_select(c: &mut Criterion) {
+    let p = Params {
+        num_objects: 5_000,
+        num_users: 200,
+        num_locations: 20,
+        uw: 15,
+        ws: 3,
+        trials: 1,
+        ..Params::default()
+    };
+    let sc = Scenario::build(&p, 0);
+    let topk = measure_topk_joint(&sc, p.k);
+
+    let mut g = c.benchmark_group("select");
+    g.bench_function("baseline", |b| {
+        b.iter(|| measure_select(&sc, &sc.spec, &topk, SelectMethod::Baseline))
+    });
+    g.bench_function("exact", |b| {
+        b.iter(|| measure_select(&sc, &sc.spec, &topk, SelectMethod::Exact))
+    });
+    g.bench_function("greedy", |b| {
+        b.iter(|| measure_select(&sc, &sc.spec, &topk, SelectMethod::Approx))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_select
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: joint top-k (§5) vs per-user baseline (§4).
+//!
+//! Complements the `figures` harness with statistically rigorous timings
+//! at a fixed small scale.
+
+use bench::{measure_topk_baseline, measure_topk_joint, Params, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_topk(c: &mut Criterion) {
+    let p = Params {
+        num_objects: 5_000,
+        num_users: 200,
+        trials: 1,
+        ..Params::default()
+    };
+    let sc = Scenario::build(&p, 0);
+
+    let mut g = c.benchmark_group("topk");
+    for k in [1usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::new("baseline", k), &k, |b, &k| {
+            b.iter(|| measure_topk_baseline(&sc, k))
+        });
+        g.bench_with_input(BenchmarkId::new("joint", k), &k, |b, &k| {
+            b.iter(|| measure_topk_joint(&sc, k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_topk
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Experiment parameters (the paper's Table 5, with scaled defaults).
+
+use text::WeightModel;
+
+/// Which synthetic collection backs the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Flickr-like: short tag sets, large vocabulary (default).
+    FlickrLike,
+    /// Yelp-like: few objects, very long documents.
+    YelpLike,
+}
+
+/// One experiment configuration.
+///
+/// Defaults are Table 5's bold values; `num_objects` is scaled from the
+/// paper's 1M to 20K so a full sweep runs on one machine in minutes —
+/// relative costs, not absolute ones, are the reproduction target.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Collection flavour.
+    pub dataset: DatasetKind,
+    /// Text relevance measure.
+    pub model: WeightModel,
+    /// `|O|`.
+    pub num_objects: usize,
+    /// `|U|`.
+    pub num_users: usize,
+    /// Top-k depth.
+    pub k: usize,
+    /// Spatial/textual preference `α`.
+    pub alpha: f64,
+    /// Keywords per user `UL`.
+    pub ul: usize,
+    /// Unique user keywords `UW` (= `|W|`).
+    pub uw: usize,
+    /// User window side `Area`.
+    pub area: f64,
+    /// Candidate locations `|L|`.
+    pub num_locations: usize,
+    /// Keyword budget `ws`.
+    pub ws: usize,
+    /// Workload seed (each trial shifts it).
+    pub seed: u64,
+    /// Trials to average over (the paper averages 100 user sets).
+    pub trials: usize,
+    /// Index fanout.
+    pub fanout: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            dataset: DatasetKind::FlickrLike,
+            model: WeightModel::lm(),
+            num_objects: 20_000,
+            num_users: 500,
+            k: 10,
+            alpha: 0.5,
+            ul: 3,
+            uw: 20,
+            area: 5.0,
+            num_locations: 50,
+            ws: 3,
+            seed: 100,
+            trials: 3,
+            fanout: 32,
+        }
+    }
+}
+
+impl Params {
+    /// A fast configuration for smoke tests (`figures --quick`).
+    pub fn quick() -> Self {
+        Params {
+            num_objects: 4_000,
+            num_users: 120,
+            num_locations: 20,
+            trials: 1,
+            ..Params::default()
+        }
+    }
+
+    /// Switches to the Yelp-like collection with a proportionate size.
+    pub fn yelp(mut self) -> Self {
+        self.dataset = DatasetKind::YelpLike;
+        // Yelp is ~60× smaller than Flickr in the paper.
+        self.num_objects = (self.num_objects / 16).max(500);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table5_bold() {
+        let p = Params::default();
+        assert_eq!(p.k, 10);
+        assert_eq!(p.alpha, 0.5);
+        assert_eq!(p.ul, 3);
+        assert_eq!(p.uw, 20);
+        assert_eq!(p.area, 5.0);
+        assert_eq!(p.num_locations, 50);
+        assert_eq!(p.ws, 3);
+    }
+
+    #[test]
+    fn yelp_shrinks_collection() {
+        let p = Params::default().yelp();
+        assert_eq!(p.dataset, DatasetKind::YelpLike);
+        assert!(p.num_objects < Params::default().num_objects);
+    }
+}

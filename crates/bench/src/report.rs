@@ -1,0 +1,101 @@
+//! Plain-text table rendering for the figure harness.
+
+/// A column-aligned table printed to stdout, one per figure panel.
+#[derive(Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a panel title (e.g. "Fig 5a — MRPU (ms)").
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one data row (first cell is the swept parameter value).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n## {}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with sensible precision for table cells.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["k", "B", "J"]);
+        t.row(vec!["1".into(), "100.5".into(), "3.2".into()]);
+        t.row(vec!["50".into(), "9".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(0.5), "0.500");
+        assert_eq!(fmt(0.0001234), "0.00012");
+    }
+}

@@ -1,0 +1,40 @@
+//! MaxBRSTkNN query processing — the paper's primary contribution.
+//!
+//! Given a bichromatic dataset of users `U` and objects `O`, a
+//! `MaxBRSTkNN(ox, L, W, ws, k)` query finds the candidate location `ℓ ∈ L`
+//! and keyword set `W' ⊆ W` (|W'| ≤ ws) that maximize how many users would
+//! rank `ox` — placed at `ℓ` with text `ox.d ∪ W'` — among their top-k
+//! spatial-textual objects (Definition 1). The keyword-selection subproblem
+//! is NP-hard (Lemma 1, reduction from Maximum Coverage).
+//!
+//! The crate implements every method the paper evaluates:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §4 baseline per-user top-k on the IR-tree | [`topk::baseline`] |
+//! | §5 Algorithm 1 (joint top-k traversal of the MIR-tree) | [`topk::joint`] |
+//! | §5 Algorithm 2 (individual top-k from `LO`/`RO`) | [`topk::individual`] |
+//! | §6 Algorithm 3 (candidate location selection) | [`select::location`] |
+//! | §6.2.1 greedy (1−1/e) keyword selection | [`select::greedy`] |
+//! | §6.2.2 Algorithm 4 (exact keyword selection) | [`select::exact`] |
+//! | §4 exhaustive baseline candidate scan | [`select::baseline`] |
+//! | §7 MIUR-tree user-index pipeline | [`user_index`] |
+//!
+//! [`Engine`] ties everything together behind one convenient entry point;
+//! the individual modules stay public because the paper evaluates them
+//! separately (and the joint top-k is of independent interest).
+
+mod data;
+mod score;
+mod group;
+mod bounds;
+pub mod topk;
+pub mod select;
+pub mod user_index;
+mod query;
+
+pub use data::{ObjectData, QueryResult, QuerySpec, UserData};
+pub use group::UserGroup;
+pub use query::{Engine, Method};
+pub use score::ScoreContext;
+pub use topk::{ScoredObject, TopkOutcome, UserTopk};

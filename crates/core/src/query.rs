@@ -1,0 +1,408 @@
+//! [`Engine`]: a convenience facade over the full query pipeline.
+//!
+//! Builds the scorer, the spatial context and the disk-resident indexes
+//! from raw objects/users, then answers `MaxBRSTkNN` queries with any of
+//! the paper's methods. The lower-level modules remain public for callers
+//! (like the benchmark harness) that need to time pipeline stages
+//! separately.
+
+use geo::{Rect, SpatialContext};
+use index::{IndexedObject, IndexedUser, MiurTree, PostingMode, StTree};
+use storage::IoStats;
+use text::{CorpusStats, TextScorer, WeightModel};
+
+use crate::select::baseline::baseline_select;
+use crate::select::location::{select_candidate, KeywordSelector};
+use crate::select::CandidateContext;
+use crate::topk::baseline::all_users_topk_baseline;
+use crate::topk::individual::individual_topk;
+use crate::topk::joint::joint_topk;
+use crate::user_index::select_with_user_index;
+use crate::{ObjectData, QueryResult, QuerySpec, ScoreContext, UserData, UserGroup, UserTopk};
+
+/// Which end-to-end strategy answers the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// §4: per-user top-k on the IR-tree + exhaustive candidate scan.
+    Baseline,
+    /// §5+§6: joint top-k + Algorithm 3 with greedy keyword selection.
+    JointGreedy,
+    /// Extension: Algorithm 3 with realized-gain greedy keyword selection
+    /// (see [`crate::select::greedy::greedy_plus_keywords`]).
+    JointGreedyPlus,
+    /// §5+§6: joint top-k + Algorithm 3 with exact keyword selection.
+    JointExact,
+    /// §7: MIUR-tree pipeline with greedy keyword selection.
+    UserIndexGreedy,
+    /// §7: MIUR-tree pipeline with exact keyword selection.
+    UserIndexExact,
+}
+
+/// A ready-to-query MaxBRSTkNN system: scorer + indexes + data.
+#[derive(Debug)]
+pub struct Engine {
+    /// Combined scoring context (α, `SS`, `TS`).
+    pub ctx: ScoreContext,
+    /// The object table.
+    pub objects: Vec<ObjectData>,
+    /// The user table.
+    pub users: Vec<UserData>,
+    /// MIR-tree over the objects (max+min postings).
+    pub mir: StTree,
+    /// IR-tree over the objects (max-only postings, for the baseline).
+    pub ir: StTree,
+    /// Optional MIUR-tree over the users (§7).
+    pub miur: Option<MiurTree>,
+    /// Simulated I/O counter shared by every index access.
+    pub io: IoStats,
+}
+
+impl Engine {
+    /// Builds scorer, spatial context and both object indexes with the
+    /// default node fanout.
+    ///
+    /// # Panics
+    /// Panics when `objects` or `users` is empty, or every location
+    /// coincides (no dataspace extent).
+    pub fn build(
+        objects: Vec<ObjectData>,
+        users: Vec<UserData>,
+        model: WeightModel,
+        alpha: f64,
+    ) -> Self {
+        Self::build_with_fanout(objects, users, model, alpha, index::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// [`Engine::build`] with an explicit index fanout.
+    pub fn build_with_fanout(
+        objects: Vec<ObjectData>,
+        users: Vec<UserData>,
+        model: WeightModel,
+        alpha: f64,
+        fanout: usize,
+    ) -> Self {
+        assert!(!objects.is_empty(), "object set must not be empty");
+        assert!(!users.is_empty(), "user set must not be empty");
+
+        let space = Rect::bounding(
+            objects
+                .iter()
+                .map(|o| o.point)
+                .chain(users.iter().map(|u| u.point)),
+        )
+        .expect("non-empty dataset");
+        let spatial = SpatialContext::from_dataspace(&space);
+
+        let stats = CorpusStats::build(objects.iter().map(|o| &o.doc));
+        let text = TextScorer::build(model, stats, objects.iter().map(|o| &o.doc));
+
+        let indexed: Vec<IndexedObject> = objects
+            .iter()
+            .map(|o| IndexedObject {
+                id: o.id,
+                point: o.point,
+                doc: text.weigh(&o.doc),
+            })
+            .collect();
+        let mir = StTree::build_with_fanout(&indexed, PostingMode::MaxMin, fanout);
+        let ir = StTree::build_with_fanout(&indexed, PostingMode::MaxOnly, fanout);
+
+        Engine {
+            ctx: ScoreContext::new(alpha, spatial, text),
+            objects,
+            users,
+            mir,
+            ir,
+            miur: None,
+            io: IoStats::new(),
+        }
+    }
+
+    /// Additionally builds the MIUR-tree over the users, enabling the
+    /// [`Method::UserIndexGreedy`] / [`Method::UserIndexExact`] paths.
+    pub fn with_user_index(mut self) -> Self {
+        let iu: Vec<IndexedUser> = self
+            .users
+            .iter()
+            .map(|u| IndexedUser {
+                id: u.id,
+                point: u.point,
+                doc: u.doc.clone(),
+                norm: self.ctx.text.normalizer(&u.doc),
+            })
+            .collect();
+        self.miur = Some(MiurTree::build_with_fanout(&iu, self.mir.fanout()));
+        self
+    }
+
+    /// The super-user over the whole user table.
+    pub fn super_user(&self) -> UserGroup {
+        UserGroup::from_users(&self.users, &self.ctx.text)
+    }
+
+    /// Computes every user's top-k with the joint algorithm (§5),
+    /// returning the per-user results (including each `RSk(u)`).
+    pub fn joint_user_topk(&self, k: usize) -> (Vec<UserTopk>, f64) {
+        let su = self.super_user();
+        let out = joint_topk(&self.mir, &su, k, &self.ctx, &self.io);
+        let tks = individual_topk(&self.users, &out, k, &self.ctx);
+        (tks, out.rsk_us)
+    }
+
+    /// Computes every user's top-k with the §4 baseline.
+    pub fn baseline_user_topk(&self, k: usize) -> Vec<UserTopk> {
+        all_users_topk_baseline(&self.ir, &self.users, k, &self.ctx, &self.io)
+    }
+
+    /// ℓ-MaxBRSTkNN: the `l` best ⟨location, keyword-set⟩ tuples (see
+    /// [`crate::select::topl`]). Uses the joint top-k thresholds.
+    pub fn query_top_l(
+        &self,
+        spec: &QuerySpec,
+        selector: KeywordSelector,
+        l: usize,
+    ) -> Vec<QueryResult> {
+        let su = self.super_user();
+        let out = joint_topk(&self.mir, &su, spec.k, &self.ctx, &self.io);
+        let tks = individual_topk(&self.users, &out, spec.k, &self.ctx);
+        let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
+        let cc = CandidateContext::new(&self.ctx, spec, &self.users, &rsk);
+        crate::select::topl::select_top_l(&cc, &su, out.rsk_us, selector, l)
+    }
+
+    /// Answers a `MaxBRSTkNN` query with the chosen method.
+    ///
+    /// # Panics
+    /// Panics when a user-index method is requested without
+    /// [`Engine::with_user_index`].
+    pub fn query(&self, spec: &QuerySpec, method: Method) -> QueryResult {
+        match method {
+            Method::Baseline => {
+                let tks = self.baseline_user_topk(spec.k);
+                let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
+                let cc = CandidateContext::new(&self.ctx, spec, &self.users, &rsk);
+                baseline_select(&cc)
+            }
+            Method::JointGreedy | Method::JointGreedyPlus | Method::JointExact => {
+                let su = self.super_user();
+                let out = joint_topk(&self.mir, &su, spec.k, &self.ctx, &self.io);
+                let tks = individual_topk(&self.users, &out, spec.k, &self.ctx);
+                let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
+                let cc = CandidateContext::new(&self.ctx, spec, &self.users, &rsk);
+                let sel = match method {
+                    Method::JointGreedy => KeywordSelector::Greedy,
+                    Method::JointGreedyPlus => KeywordSelector::GreedyPlus,
+                    _ => KeywordSelector::Exact,
+                };
+                select_candidate(&cc, &su, out.rsk_us, sel)
+            }
+            Method::UserIndexGreedy | Method::UserIndexExact => {
+                let miur = self
+                    .miur
+                    .as_ref()
+                    .expect("call with_user_index() before querying with a user-index method");
+                let sel = if method == Method::UserIndexGreedy {
+                    KeywordSelector::Greedy
+                } else {
+                    KeywordSelector::Exact
+                };
+                select_with_user_index(miur, &self.mir, spec, &self.ctx, sel, &self.io).result
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::Point;
+    use text::{Document, TermId};
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    fn engine(model: WeightModel, alpha: f64) -> Engine {
+        let objects: Vec<ObjectData> = (0..60)
+            .map(|i| ObjectData {
+                id: i,
+                point: Point::new((i % 10) as f64, (i / 10) as f64),
+                doc: Document::from_pairs([(t(i % 6), 1 + i % 2), (t(6), 1)]),
+            })
+            .collect();
+        let users: Vec<UserData> = (0..15)
+            .map(|i| UserData {
+                id: i,
+                point: Point::new((i % 8) as f64 + 0.3, (i % 5) as f64 + 0.6),
+                doc: Document::from_terms([t(i % 6), t(6)]),
+            })
+            .collect();
+        Engine::build_with_fanout(objects, users, model, alpha, 4)
+    }
+
+    fn spec() -> QuerySpec {
+        QuerySpec {
+            ox_doc: Document::from_terms([t(6)]),
+            locations: vec![
+                Point::new(4.0, 2.0),
+                Point::new(0.5, 0.5),
+                Point::new(9.0, 5.0),
+            ],
+            keywords: vec![t(0), t(1), t(2), t(3), t(4), t(5)],
+            ws: 2,
+            k: 4,
+        }
+    }
+
+    /// All exact strategies must agree on the optimum cardinality.
+    #[test]
+    fn exact_methods_agree() {
+        for model in [
+            WeightModel::lm(),
+            WeightModel::TfIdf,
+            WeightModel::KeywordOverlap,
+        ] {
+            for alpha in [0.3, 0.7] {
+                let eng = engine(model, alpha).with_user_index();
+                let s = spec();
+                let b = eng.query(&s, Method::Baseline);
+                let e = eng.query(&s, Method::JointExact);
+                let u = eng.query(&s, Method::UserIndexExact);
+                assert_eq!(b.cardinality(), e.cardinality(), "{model:?} α={alpha}");
+                assert_eq!(e.cardinality(), u.cardinality(), "{model:?} α={alpha}");
+            }
+        }
+    }
+
+    /// Greedy results never exceed exact and respect the budget.
+    #[test]
+    fn greedy_methods_bounded() {
+        let eng = engine(WeightModel::lm(), 0.5).with_user_index();
+        let s = spec();
+        let e = eng.query(&s, Method::JointExact);
+        for m in [Method::JointGreedy, Method::UserIndexGreedy] {
+            let g = eng.query(&s, m);
+            assert!(g.cardinality() <= e.cardinality());
+            assert!(g.keywords.len() <= s.ws);
+        }
+    }
+
+    /// Joint and baseline top-k produce identical thresholds.
+    #[test]
+    fn joint_and_baseline_topk_agree() {
+        let eng = engine(WeightModel::lm(), 0.5);
+        let (joint, _) = eng.joint_user_topk(3);
+        let base = eng.baseline_user_topk(3);
+        for (j, b) in joint.iter().zip(&base) {
+            assert_eq!(j.user, b.user);
+            assert!((j.rsk - b.rsk).abs() < 1e-9, "user {}", j.user);
+        }
+    }
+
+    /// The realized-gain greedy sits between coverage greedy and exact.
+    #[test]
+    fn greedy_plus_is_sound_and_competitive() {
+        let eng = engine(WeightModel::lm(), 0.5);
+        let s = spec();
+        let e = eng.query(&s, Method::JointExact);
+        let gp = eng.query(&s, Method::JointGreedyPlus);
+        assert!(gp.cardinality() <= e.cardinality());
+        assert!(gp.keywords.len() <= s.ws);
+        // Its reported users genuinely qualify (same invariant as greedy).
+        let g = eng.query(&s, Method::JointGreedy);
+        assert!(gp.cardinality() >= g.cardinality().saturating_sub(1) || gp.cardinality() > 0);
+    }
+
+    #[test]
+    fn top_l_query_descends_and_heads_match_single() {
+        let eng = engine(WeightModel::lm(), 0.5);
+        let s = spec();
+        let single = eng.query(&s, Method::JointExact);
+        let top = eng.query_top_l(&s, KeywordSelector::Exact, 3);
+        assert!(!top.is_empty());
+        assert_eq!(top[0].cardinality(), single.cardinality());
+        assert!(top.windows(2).all(|w| w[0].cardinality() >= w[1].cardinality()));
+    }
+
+    #[test]
+    #[should_panic(expected = "with_user_index")]
+    fn user_index_method_requires_index() {
+        let eng = engine(WeightModel::lm(), 0.5);
+        eng.query(&spec(), Method::UserIndexExact);
+    }
+
+    /// α = 1 is the NP-hardness special case of Lemma 1: score is purely
+    /// spatial but the overlap precondition still gates membership.
+    #[test]
+    fn alpha_one_special_case() {
+        let eng = engine(WeightModel::lm(), 1.0).with_user_index();
+        let s = spec();
+        let b = eng.query(&s, Method::Baseline);
+        let e = eng.query(&s, Method::JointExact);
+        let u = eng.query(&s, Method::UserIndexExact);
+        assert_eq!(b.cardinality(), e.cardinality());
+        assert_eq!(e.cardinality(), u.cardinality());
+    }
+
+    /// α = 0: purely textual ranking.
+    #[test]
+    fn alpha_zero_pure_text() {
+        let eng = engine(WeightModel::KeywordOverlap, 0.0);
+        let s = spec();
+        let b = eng.query(&s, Method::Baseline);
+        let e = eng.query(&s, Method::JointExact);
+        assert_eq!(b.cardinality(), e.cardinality());
+    }
+
+    /// Users stacked on identical locations (the generator samples user
+    /// locations with replacement) must not break anything.
+    #[test]
+    fn duplicate_user_locations() {
+        let objects: Vec<ObjectData> = (0..30)
+            .map(|i| ObjectData {
+                id: i,
+                point: Point::new((i % 6) as f64, (i / 6) as f64),
+                doc: Document::from_terms([t(i % 3), t(3)]),
+            })
+            .collect();
+        let users: Vec<UserData> = (0..10)
+            .map(|i| UserData {
+                id: i,
+                point: Point::new(2.0, 2.0), // everyone in one spot
+                doc: Document::from_terms([t(i % 3), t(3)]),
+            })
+            .collect();
+        let eng = Engine::build_with_fanout(objects, users, WeightModel::lm(), 0.5, 4)
+            .with_user_index();
+        let s = QuerySpec {
+            ox_doc: Document::new(),
+            locations: vec![Point::new(2.0, 2.0), Point::new(5.0, 4.0)],
+            keywords: vec![t(0), t(1), t(2), t(3)],
+            ws: 2,
+            k: 3,
+        };
+        let b = eng.query(&s, Method::Baseline);
+        let e = eng.query(&s, Method::JointExact);
+        let u = eng.query(&s, Method::UserIndexExact);
+        assert_eq!(b.cardinality(), e.cardinality());
+        assert_eq!(e.cardinality(), u.cardinality());
+        assert!(e.cardinality() > 0);
+    }
+
+    /// The joint method costs (much) less I/O than the baseline for the
+    /// same top-k work — the paper's central claim.
+    #[test]
+    fn joint_topk_uses_less_io_than_baseline() {
+        let eng = engine(WeightModel::lm(), 0.5);
+        eng.io.reset();
+        let _ = eng.joint_user_topk(4);
+        let joint_io = eng.io.total();
+        eng.io.reset();
+        let _ = eng.baseline_user_topk(4);
+        let base_io = eng.io.total();
+        assert!(
+            joint_io < base_io,
+            "joint {joint_io} should be below baseline {base_io}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! §4 baseline candidate selection: exhaustive enumeration.
+//!
+//! Generates every combination of exactly `ws` keywords from `W`, and for
+//! every ⟨location, combination⟩ tuple scores *all* users — no bounds, no
+//! pruning, no best-first ordering. This is the comparison point for the
+//! candidate-selection runtimes in Figs. 5c–14c.
+
+use text::TermId;
+
+use crate::select::exact::Combinations;
+use crate::select::CandidateContext;
+use crate::QueryResult;
+
+/// Exhaustive ⟨ℓ, c⟩ scan. Returns the best tuple (exact result, like
+/// Algorithm 4, but at full enumeration cost).
+///
+/// # Panics
+/// Panics when the query has no candidate locations.
+pub fn baseline_select(cc: &CandidateContext<'_>) -> QueryResult {
+    assert!(
+        !cc.spec.locations.is_empty(),
+        "MaxBRSTkNN requires at least one candidate location"
+    );
+    let all_users: Vec<usize> = (0..cc.users.len()).collect();
+
+    // All combinations of exactly ws keywords (or all of W when smaller —
+    // the baseline returns exactly ws keywords per the paper).
+    let k = cc.spec.ws.min(cc.spec.keywords.len());
+    let combos: Vec<Vec<TermId>> = if k == 0 {
+        vec![Vec::new()]
+    } else {
+        Combinations::new(cc.spec.keywords.len(), k)
+            .map(|ix| ix.iter().map(|&i| cc.spec.keywords[i]).collect())
+            .collect()
+    };
+
+    let mut best = QueryResult {
+        location: 0,
+        keywords: Vec::new(),
+        brstknn: Vec::new(),
+    };
+    for (li, loc) in cc.spec.locations.iter().enumerate() {
+        for combo in &combos {
+            let cand = cc.with_keywords(combo);
+            let users = cc.brstknn(loc, &cand, &all_users);
+            if users.len() > best.cardinality() {
+                best = QueryResult {
+                    location: li,
+                    keywords: combo.clone(),
+                    brstknn: users,
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::location::{select_candidate, KeywordSelector};
+    use crate::select::test_fixture::fixture;
+    use crate::select::CandidateContext;
+    use crate::UserGroup;
+
+    #[test]
+    fn baseline_agrees_with_exact_algorithm() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let b = baseline_select(&cc);
+        let e = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact);
+        assert_eq!(b.cardinality(), e.cardinality());
+    }
+
+    #[test]
+    fn baseline_returns_exactly_ws_keywords() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let b = baseline_select(&cc);
+        assert_eq!(b.keywords.len(), f.spec.ws);
+    }
+
+    #[test]
+    fn baseline_with_empty_keyword_set() {
+        let f = fixture();
+        let mut spec = f.spec.clone();
+        spec.keywords.clear();
+        spec.ws = 0;
+        let cc = CandidateContext::new(&f.ctx, &spec, &f.users, &f.rsk);
+        let b = baseline_select(&cc);
+        // Only ox.d's own terms can attract users.
+        assert!(b.keywords.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! §6.2.2, Algorithm 4: exact keyword selection with pruning.
+//!
+//! Enumerates keyword combinations but applies the paper's four pruning
+//! rules first:
+//!
+//! 1. only users in `LU_maxℓ` can qualify (the caller passes that list);
+//! 2. only candidate keywords held by at least one of those users matter
+//!    (`W ∩ Wu`);
+//! 3. when `|W ∩ Wu| ≤ ws` there is just one sensible choice — return it;
+//! 4. users whose `LBL(ℓ, u)` already reaches `RSk(u)` are BRSTkNNs for
+//!    *every* combination and are counted once, outside the loop.
+
+use text::TermId;
+
+use crate::select::CandidateContext;
+
+/// Iterator over `k`-combinations of `0..n` (lexicographic index tuples).
+pub(crate) struct Combinations {
+    n: usize,
+    k: usize,
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    pub(crate) fn new(n: usize, k: usize) -> Self {
+        Combinations {
+            n,
+            k,
+            idx: (0..k).collect(),
+            done: k > n || k == 0,
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let current = self.idx.clone();
+        // Advance to the next combination.
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.idx[i] < self.n - (self.k - i) {
+                self.idx[i] += 1;
+                for j in (i + 1)..self.k {
+                    self.idx[j] = self.idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+/// Algorithm 4: the best keyword set for location `loc_idx` over the
+/// candidate users `lu`, found exactly.
+///
+/// Returns the chosen keywords (ascending). When several combinations tie,
+/// the lexicographically first is returned.
+pub fn exact_keywords(cc: &CandidateContext<'_>, loc_idx: usize, lu: &[usize]) -> Vec<TermId> {
+    let loc = &cc.spec.locations[loc_idx];
+
+    // Pruning 2: candidate keywords present in at least one LU user.
+    let mut wc: Vec<TermId> = cc
+        .spec
+        .keywords
+        .iter()
+        .copied()
+        .filter(|&w| lu.iter().any(|&u| cc.users[u].doc.contains(w)))
+        .collect();
+    wc.sort_unstable();
+    wc.dedup();
+
+    // Early termination (pruning 3): only one sensible choice.
+    if wc.len() <= cc.spec.ws {
+        return wc;
+    }
+
+    // Pruning 4: users certain regardless of the keyword choice. They need
+    // textual overlap with ox.d for the no-keyword score to mean
+    // qualification.
+    let certain: Vec<usize> = lu
+        .iter()
+        .copied()
+        .filter(|&u| {
+            cc.users[u].doc.overlaps(&cc.spec.ox_doc) && cc.lbl_user(loc, u) >= cc.rsk[u]
+        })
+        .collect();
+    let uncertain: Vec<usize> = lu.iter().copied().filter(|u| !certain.contains(u)).collect();
+
+    let mut best_count = 0usize;
+    let mut best: Vec<TermId> = Vec::new();
+    for combo in Combinations::new(wc.len(), cc.spec.ws) {
+        let chosen: Vec<TermId> = combo.iter().map(|&i| wc[i]).collect();
+        let cand = cc.with_keywords(&chosen);
+        let mut count = certain.len();
+        for &u in &uncertain {
+            // Only users sharing a term with the combination (or with
+            // ox.d) can have gained anything.
+            if cc.qualifies(loc, &cand, u) {
+                count += 1;
+            }
+        }
+        if count > best_count || best.is_empty() {
+            best_count = count;
+            best = chosen;
+        }
+    }
+    best
+}
+
+/// Exact BRSTkNN cardinality for a fixed tuple (used by tests and the
+/// approximation-ratio metric): counts qualifying users among `lu`.
+pub fn count_for(cc: &CandidateContext<'_>, loc_idx: usize, keywords: &[TermId], lu: &[usize]) -> usize {
+    let cand = cc.with_keywords(keywords);
+    cc.brstknn(&cc.spec.locations[loc_idx], &cand, lu).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::greedy::greedy_keywords;
+    use crate::select::test_fixture::{fixture, t};
+
+    #[test]
+    fn combinations_enumerate_all() {
+        let got: Vec<Vec<usize>> = Combinations::new(4, 2).collect();
+        assert_eq!(
+            got,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        assert_eq!(Combinations::new(3, 0).count(), 0);
+        assert_eq!(Combinations::new(2, 3).count(), 0);
+        assert_eq!(Combinations::new(3, 3).count(), 1);
+        assert_eq!(Combinations::new(30, 2).count(), 435);
+    }
+
+    #[test]
+    fn exact_matches_exhaustive_enumeration() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let lu: Vec<usize> = (0..f.users.len()).collect();
+        for loc_idx in 0..f.spec.locations.len() {
+            let got = exact_keywords(&cc, loc_idx, &lu);
+            let got_count = count_for(&cc, loc_idx, &got, &lu);
+
+            // Reference: enumerate every subset of size ≤ ws.
+            let kws = &f.spec.keywords;
+            let mut best = 0;
+            for i in 0..kws.len() {
+                best = best.max(count_for(&cc, loc_idx, &[kws[i]], &lu));
+                for j in (i + 1)..kws.len() {
+                    best = best.max(count_for(&cc, loc_idx, &[kws[i], kws[j]], &lu));
+                }
+            }
+            assert_eq!(got_count, best, "loc {loc_idx}");
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let lu: Vec<usize> = (0..f.users.len()).collect();
+        for loc_idx in 0..f.spec.locations.len() {
+            let e = count_for(&cc, loc_idx, &exact_keywords(&cc, loc_idx, &lu), &lu);
+            let g = count_for(&cc, loc_idx, &greedy_keywords(&cc, loc_idx, &lu), &lu);
+            assert!(g <= e);
+        }
+    }
+
+    #[test]
+    fn early_termination_returns_all_when_few_keywords() {
+        let f = fixture();
+        let mut spec = f.spec.clone();
+        spec.keywords = vec![t(0), t(1)];
+        spec.ws = 3;
+        let cc = CandidateContext::new(&f.ctx, &spec, &f.users, &f.rsk);
+        let lu: Vec<usize> = (0..f.users.len()).collect();
+        let got = exact_keywords(&cc, 0, &lu);
+        assert_eq!(got, vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn keywords_absent_from_all_users_are_pruned() {
+        let f = fixture();
+        let mut spec = f.spec.clone();
+        spec.keywords = vec![t(0), t(1), t(50), t(51), t(52)];
+        spec.ws = 2;
+        let cc = CandidateContext::new(&f.ctx, &spec, &f.users, &f.rsk);
+        let lu: Vec<usize> = (0..f.users.len()).collect();
+        // Only t0, t1 survive pruning → early termination path.
+        assert_eq!(exact_keywords(&cc, 0, &lu), vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn empty_lu_returns_empty() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let got = exact_keywords(&cc, 0, &[]);
+        assert!(got.is_empty());
+        assert_eq!(count_for(&cc, 0, &got, &[]), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Algorithm 3: SELECT-CANDIDATE — best-first processing of the candidate
+//! locations with spatial-first pruning (§6.1).
+//!
+//! Every location first gets an optimistic user list `LU_ℓ` (who *could*
+//! become a BRSTkNN there, by the `UBL` bounds). Locations are then
+//! processed in decreasing `|LU_ℓ|`; because `|LU_ℓ|` upper-bounds the
+//! achievable cardinality, the search terminates as soon as the best
+//! confirmed tuple matches the next location's potential. The `LBL`
+//! shortcut skips keyword selection entirely when the location already
+//! guarantees every listed user.
+
+use std::collections::BinaryHeap;
+
+use crate::select::{exact, greedy, CandidateContext};
+use crate::topk::ByKey;
+use crate::{QueryResult, UserGroup};
+
+/// Which keyword-selection strategy Algorithm 3 should call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeywordSelector {
+    /// §6.2.1 greedy maximum-coverage approximation.
+    Greedy,
+    /// Greedy on realized gains (extension; see
+    /// [`crate::select::greedy::greedy_plus_keywords`]).
+    GreedyPlus,
+    /// §6.2.2 exact enumeration (Algorithm 4).
+    Exact,
+}
+
+/// Runs Algorithm 3 and returns the best ⟨location, keyword-set⟩ tuple.
+///
+/// `su` is the super-user over all of `cc.users` and `rsk_us` the global
+/// threshold `RSk(us)` from the joint traversal (pass
+/// `f64::NEG_INFINITY` to disable the group-level prune, e.g. when
+/// thresholds were computed by the per-user baseline).
+///
+/// # Panics
+/// Panics when the query has no candidate locations.
+pub fn select_candidate(
+    cc: &CandidateContext<'_>,
+    su: &UserGroup,
+    rsk_us: f64,
+    selector: KeywordSelector,
+) -> QueryResult {
+    assert!(
+        !cc.spec.locations.is_empty(),
+        "MaxBRSTkNN requires at least one candidate location"
+    );
+
+    // Step 1: per-location candidate user lists from the UBL bounds.
+    let mut ql: BinaryHeap<ByKey<(usize, Vec<usize>)>> = BinaryHeap::new();
+    for (li, loc) in cc.spec.locations.iter().enumerate() {
+        if cc.ubl_group(loc, su) < rsk_us {
+            continue; // no user can be a BRSTkNN here (Lemma 2/3)
+        }
+        let lu: Vec<usize> = (0..cc.users.len())
+            .filter(|&u| cc.user_reachable(u) && cc.ubl_user(loc, u) >= cc.rsk[u])
+            .collect();
+        if !lu.is_empty() {
+            ql.push(ByKey {
+                key: lu.len() as f64,
+                item: (li, lu),
+            });
+        }
+    }
+
+    let mut best = QueryResult {
+        location: 0,
+        keywords: Vec::new(),
+        brstknn: Vec::new(),
+    };
+
+    // Step 2: best-first over locations with early termination.
+    while let Some(ByKey { item: (li, lu), .. }) = ql.pop() {
+        if lu.len() <= best.cardinality() && !best.brstknn.is_empty() {
+            break; // |LU| bounds the achievable count — nothing better left
+        }
+        let loc = &cc.spec.locations[li];
+
+        // LBL shortcut: every LU user qualifies with ox.d alone.
+        if cc.lbl_group(loc, su) >= rsk_us && !cc.spec.ox_doc.is_empty() {
+            let users = cc.brstknn(loc, &cc.spec.ox_doc, &lu);
+            // The shortcut is only complete when it captures the whole
+            // list; otherwise keyword selection could still add users.
+            if users.len() == lu.len() {
+                if users.len() > best.cardinality() {
+                    best = QueryResult {
+                        location: li,
+                        keywords: Vec::new(),
+                        brstknn: users,
+                    };
+                }
+                continue;
+            }
+        }
+
+        // Full keyword selection for this location.
+        let keywords = match selector {
+            KeywordSelector::Greedy => greedy::greedy_keywords(cc, li, &lu),
+            KeywordSelector::GreedyPlus => greedy::greedy_plus_keywords(cc, li, &lu),
+            KeywordSelector::Exact => exact::exact_keywords(cc, li, &lu),
+        };
+        let cand = cc.with_keywords(&keywords);
+        let users = cc.brstknn(loc, &cand, &lu);
+        if users.len() > best.cardinality() {
+            best = QueryResult {
+                location: li,
+                keywords,
+                brstknn: users,
+            };
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::test_fixture::{fixture, t};
+    use crate::select::CandidateContext;
+    use text::Document;
+
+    fn brute_force_best(cc: &CandidateContext<'_>) -> usize {
+        // All locations × all keyword subsets of size ≤ ws, all users.
+        let all: Vec<usize> = (0..cc.users.len()).collect();
+        let kws = &cc.spec.keywords;
+        let mut best = 0;
+        for li in 0..cc.spec.locations.len() {
+            let loc = &cc.spec.locations[li];
+            let score = |cand: &Document| cc.brstknn(loc, cand, &all).len();
+            best = best.max(score(&cc.spec.ox_doc.clone()));
+            for i in 0..kws.len() {
+                best = best.max(score(&cc.with_keywords(&[kws[i]])));
+                for j in (i + 1)..kws.len() {
+                    best = best.max(score(&cc.with_keywords(&[kws[i], kws[j]])));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn exact_select_matches_brute_force() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let got = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact);
+        assert_eq!(got.cardinality(), brute_force_best(&cc));
+        // Verify the returned set is genuine.
+        let cand = cc.with_keywords(&got.keywords);
+        let all: Vec<usize> = (0..f.users.len()).collect();
+        assert_eq!(
+            got.brstknn,
+            cc.brstknn(&f.spec.locations[got.location], &cand, &all)
+        );
+    }
+
+    #[test]
+    fn greedy_select_is_bounded_by_exact() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let e = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact);
+        let g = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Greedy);
+        assert!(g.cardinality() <= e.cardinality());
+        // And it satisfies the (1−1/e) guarantee on this instance.
+        assert!(g.cardinality() as f64 >= 0.632 * e.cardinality() as f64 - 1e-9);
+    }
+
+    #[test]
+    fn group_prune_never_changes_the_result() {
+        // Running with the real RSk(us) (group pruning active) must match
+        // running with pruning disabled.
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let rsk_us = 0.6; // = every user's RSk in the fixture
+        let with = select_candidate(&cc, &su, rsk_us, KeywordSelector::Exact);
+        let without = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact);
+        assert_eq!(with.cardinality(), without.cardinality());
+    }
+
+    #[test]
+    fn impossible_thresholds_give_empty_result() {
+        let f = fixture();
+        let rsk = vec![10.0; f.users.len()]; // unreachable (scores ≤ 1)
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let got = select_candidate(&cc, &su, 10.0, KeywordSelector::Exact);
+        assert_eq!(got.cardinality(), 0);
+    }
+
+    #[test]
+    fn single_location_still_selects_keywords() {
+        let f = fixture();
+        let mut spec = f.spec.clone();
+        spec.locations = vec![spec.locations[0]];
+        let cc = CandidateContext::new(&f.ctx, &spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let got = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact);
+        assert_eq!(got.location, 0);
+        assert!(!got.keywords.is_empty() || !got.brstknn.is_empty());
+    }
+
+    #[test]
+    fn near_location_beats_far_location() {
+        let f = fixture();
+        // Location 0 sits among the users; location 1 is far away. With
+        // α = 0.5 the near location must win.
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let got = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact);
+        assert_eq!(got.location, 0);
+    }
+
+    #[test]
+    fn returned_keywords_respect_ws() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        for sel in [KeywordSelector::Greedy, KeywordSelector::Exact] {
+            let got = select_candidate(&cc, &su, f64::NEG_INFINITY, sel);
+            assert!(got.keywords.len() <= f.spec.ws);
+            for w in &got.keywords {
+                assert!(f.spec.keywords.contains(w) || f.spec.ox_doc.contains(*w));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_users_are_ignored() {
+        let mut f = fixture();
+        // Add a user sharing nothing with ox.d ∪ W.
+        f.users.push(crate::UserData {
+            id: 6,
+            point: f.spec.locations[0],
+            doc: Document::from_terms([t(77)]),
+        });
+        let mut rsk = f.rsk.clone();
+        rsk.push(f64::NEG_INFINITY); // would qualify on score alone
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let got = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact);
+        assert!(!got.brstknn.contains(&6));
+    }
+}

@@ -1,0 +1,367 @@
+//! Candidate selection (§6): choosing the best ⟨location, keyword-set⟩.
+//!
+//! Once `RSk(u)` is known for every (relevant) user, the query reduces to
+//! picking `ℓ ∈ L` and `W' ⊆ W, |W'| ≤ ws` maximizing the number of users
+//! `u` with `STS(ox@ℓ, u) ≥ RSk(u)`. This module provides:
+//!
+//! * [`CandidateContext`] — shared query state: candidate term weights at
+//!   the reference length, per-user normalizers and thresholds,
+//! * the candidate bounds `UBL`/`LBL` of §6.1 (with Lemma 3's top-`ws`
+//!   keyword upper bound),
+//! * [`location`] — Algorithm 3 (best-first location processing),
+//! * [`greedy`] — the (1−1/e) maximum-coverage approximation of §6.2.1,
+//! * [`exact`] — Algorithm 4 with its pruning rules,
+//! * [`baseline`] — the §4 exhaustive scan over every ⟨ℓ, combination⟩.
+
+pub mod baseline;
+pub mod exact;
+pub mod greedy;
+pub mod location;
+pub mod topl;
+
+use std::collections::HashMap;
+
+use geo::Point;
+use text::{Document, TermId};
+
+use crate::{QuerySpec, ScoreContext, UserData, UserGroup};
+
+/// Shared state for one candidate-selection run.
+#[derive(Debug)]
+pub struct CandidateContext<'a> {
+    /// Scoring context.
+    pub ctx: &'a ScoreContext,
+    /// The query.
+    pub spec: &'a QuerySpec,
+    /// All users.
+    pub users: &'a [UserData],
+    /// `RSk(u)` per user (aligned with `users`; −∞ for users with fewer
+    /// than `k` relevant objects).
+    pub rsk: &'a [f64],
+    /// Per-user text normalizer `N(u)`.
+    pub n_u: Vec<f64>,
+    /// Candidate reference length (`|ox.d| + ws`).
+    pub ref_len: u64,
+    /// Candidate term weight `cw(t)` for every term of `W ∪ ox.d`.
+    cand_w: HashMap<TermId, f64>,
+}
+
+impl<'a> CandidateContext<'a> {
+    /// Precomputes candidate weights and user normalizers.
+    pub fn new(
+        ctx: &'a ScoreContext,
+        spec: &'a QuerySpec,
+        users: &'a [UserData],
+        rsk: &'a [f64],
+    ) -> Self {
+        assert_eq!(users.len(), rsk.len(), "users and thresholds must align");
+        let ref_len = spec.ref_len();
+        let mut cand_w = HashMap::new();
+        for &t in spec.keywords.iter() {
+            cand_w.insert(t, ctx.text.candidate_weight(t, ref_len));
+        }
+        for t in spec.ox_doc.terms() {
+            cand_w.insert(t, ctx.text.candidate_weight(t, ref_len));
+        }
+        let n_u = users.iter().map(|u| ctx.text.normalizer(&u.doc)).collect();
+        CandidateContext {
+            ctx,
+            spec,
+            users,
+            rsk,
+            n_u,
+            ref_len,
+            cand_w,
+        }
+    }
+
+    /// Candidate weight of `t` (0 for terms outside `W ∪ ox.d`).
+    #[inline]
+    pub fn cw(&self, t: TermId) -> f64 {
+        self.cand_w.get(&t).copied().unwrap_or(0.0)
+    }
+
+    /// True when user `u` could ever find `ox` relevant: `u.d` shares a
+    /// term with `ox.d ∪ W` (the paper's relevance precondition).
+    pub fn user_reachable(&self, u: usize) -> bool {
+        let doc = &self.users[u].doc;
+        doc.overlaps(&self.spec.ox_doc) || self.spec.keywords.iter().any(|&t| doc.contains(t))
+    }
+
+    /// Sum of the `ws` largest candidate weights among `terms` (Lemma 3's
+    /// `Wh` / `Wu` construction).
+    pub fn top_ws_weight_sum(&self, terms: impl Iterator<Item = TermId>) -> f64 {
+        let mut ws: Vec<f64> = terms.map(|t| self.cw(t)).filter(|&w| w > 0.0).collect();
+        ws.sort_by(|a, b| b.total_cmp(a));
+        ws.truncate(self.spec.ws);
+        ws.iter().sum()
+    }
+
+    /// `UBL(ℓ, g)` (§6.1): upper bound on `STS(ox@ℓ, u)` over every user in
+    /// `g` and every admissible keyword choice.
+    pub fn ubl_group(&self, loc: &Point, group: &UserGroup) -> f64 {
+        let ss = self.ctx.spatial.min_ss_point(loc, &group.mbr);
+        // Existing text: terms of ox.d visible to some user in the group.
+        let fixed: f64 = self
+            .spec
+            .ox_doc
+            .terms()
+            .filter(|&t| group.d_uni.contains(t))
+            .map(|t| self.cw(t))
+            .sum();
+        // Lemma 3: at best the ws highest-weight candidates from W∩dUni.
+        let added = self.top_ws_weight_sum(
+            self.spec
+                .keywords
+                .iter()
+                .copied()
+                .filter(|&t| group.d_uni.contains(t) && !self.spec.ox_doc.contains(t)),
+        );
+        self.ctx.combine(ss, group.ts_upper(fixed + added))
+    }
+
+    /// `UBL(ℓ, u)` (§6.1): per-user upper bound.
+    pub fn ubl_user(&self, loc: &Point, u: usize) -> f64 {
+        self.ubl_user_data(loc, &self.users[u], self.n_u[u])
+    }
+
+    /// [`CandidateContext::ubl_user`] for a user outside the context's
+    /// slice (the §7 pipeline discovers users dynamically from the
+    /// MIUR-tree).
+    pub fn ubl_user_data(&self, loc: &Point, user: &UserData, n_u: f64) -> f64 {
+        let ss = self.ctx.spatial.ss_points(loc, &user.point);
+        let fixed: f64 = self
+            .spec
+            .ox_doc
+            .terms()
+            .filter(|&t| user.doc.contains(t))
+            .map(|t| self.cw(t))
+            .sum();
+        let added = self.top_ws_weight_sum(
+            self.spec
+                .keywords
+                .iter()
+                .copied()
+                .filter(|&t| user.doc.contains(t) && !self.spec.ox_doc.contains(t)),
+        );
+        let ts = if n_u > 0.0 {
+            ((fixed + added) / n_u).min(1.0)
+        } else {
+            0.0
+        };
+        self.ctx.combine(ss, ts)
+    }
+
+    /// `LBL(ℓ, g)` (§6.1): guaranteed score for every user in `g` with the
+    /// *original* text `ox.d` only.
+    pub fn lbl_group(&self, loc: &Point, group: &UserGroup) -> f64 {
+        let ss = self.ctx.spatial.max_ss_point(loc, &group.mbr);
+        let fixed: f64 = self
+            .spec
+            .ox_doc
+            .terms()
+            .filter(|&t| group.d_int.contains(t))
+            .map(|t| self.cw(t))
+            .sum();
+        self.ctx.combine(ss, group.ts_lower(fixed))
+    }
+
+    /// `LBL(ℓ, u)`: the user's exact score with the original `ox.d` —
+    /// a lower bound for any keyword addition (monotone candidate weights).
+    pub fn lbl_user(&self, loc: &Point, u: usize) -> f64 {
+        self.sts_candidate(loc, &self.spec.ox_doc, u)
+    }
+
+    /// Exact `STS` of `ox` placed at `loc` with text `cand`, for user `u`,
+    /// at the candidate reference length.
+    pub fn sts_candidate(&self, loc: &Point, cand: &Document, u: usize) -> f64 {
+        self.sts_candidate_data(loc, cand, &self.users[u], self.n_u[u])
+    }
+
+    /// [`CandidateContext::sts_candidate`] for a user outside the slice.
+    pub fn sts_candidate_data(
+        &self,
+        loc: &Point,
+        cand: &Document,
+        user: &UserData,
+        n_u: f64,
+    ) -> f64 {
+        let ss = self.ctx.spatial.ss_points(loc, &user.point);
+        let ts = if n_u > 0.0 {
+            let sum: f64 = user
+                .doc
+                .terms()
+                .filter(|&t| cand.contains(t))
+                .map(|t| self.cw(t))
+                .sum();
+            (sum / n_u).min(1.0)
+        } else {
+            0.0
+        };
+        self.ctx.combine(ss, ts)
+    }
+
+    /// True when user `u` is a BRSTkNN of `⟨loc, cand⟩`: textual overlap
+    /// plus `STS ≥ RSk(u)`.
+    pub fn qualifies(&self, loc: &Point, cand: &Document, u: usize) -> bool {
+        self.users[u].doc.overlaps(cand) && self.sts_candidate(loc, cand, u) >= self.rsk[u]
+    }
+
+    /// The BRSTkNN user set of `⟨loc, cand⟩` restricted to `candidates`
+    /// (user indices).
+    pub fn brstknn(&self, loc: &Point, cand: &Document, candidates: &[usize]) -> Vec<u32> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&u| self.qualifies(loc, cand, u))
+            .map(|u| self.users[u].id)
+            .collect()
+    }
+
+    /// The query text with extra keywords: `ox.d ∪ extra`.
+    pub fn with_keywords(&self, extra: &[TermId]) -> Document {
+        self.spec.ox_doc.with_terms(extra.iter().copied())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixture {
+    use super::*;
+    use geo::{Rect, SpatialContext};
+    use text::{TextScorer, WeightModel};
+
+    pub(crate) fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    pub(crate) struct Fix {
+        pub ctx: ScoreContext,
+        pub users: Vec<UserData>,
+        pub spec: QuerySpec,
+        pub rsk: Vec<f64>,
+    }
+
+    /// A small, fully-deterministic selection scenario used across the
+    /// select tests: 6 users on a line, KO relevance, candidate keywords
+    /// t0..t3, ox.d = {t4} shared by everyone.
+    pub(crate) fn fixture() -> Fix {
+        let docs: Vec<Document> = (0..10)
+            .map(|i| Document::from_terms([t(i % 4), t(4)]))
+            .collect();
+        let text = TextScorer::from_docs(WeightModel::KeywordOverlap, &docs);
+        let users: Vec<UserData> = (0..6)
+            .map(|i| UserData {
+                id: i,
+                point: Point::new(i as f64, 1.0),
+                doc: Document::from_terms([t(i % 4), t(4)]),
+            })
+            .collect();
+        let space = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let ctx = ScoreContext::new(0.5, SpatialContext::from_dataspace(&space), text);
+        let spec = QuerySpec {
+            ox_doc: Document::from_terms([t(4)]),
+            locations: vec![Point::new(2.0, 1.0), Point::new(8.0, 8.0)],
+            keywords: vec![t(0), t(1), t(2), t(3)],
+            ws: 2,
+            k: 2,
+        };
+        let rsk = vec![0.6; 6];
+        Fix {
+            ctx,
+            users,
+            spec,
+            rsk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixture::{fixture, t};
+    use super::*;
+
+    #[test]
+    fn ubl_user_dominates_every_keyword_choice() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let loc = f.spec.locations[0];
+        let kws = &f.spec.keywords;
+        for u in 0..f.users.len() {
+            let ub = cc.ubl_user(&loc, u);
+            for i in 0..kws.len() {
+                for j in (i + 1)..kws.len() {
+                    let cand = cc.with_keywords(&[kws[i], kws[j]]);
+                    let s = cc.sts_candidate(&loc, &cand, u);
+                    assert!(s <= ub + 1e-9, "user {u}: {s} > UBL {ub}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ubl_group_dominates_ubl_user() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let group = UserGroup::from_users(&f.users, &f.ctx.text);
+        for loc in &f.spec.locations {
+            let g = cc.ubl_group(loc, &group);
+            for u in 0..f.users.len() {
+                assert!(cc.ubl_user(loc, u) <= g + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lbl_user_is_a_lower_bound() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let loc = f.spec.locations[0];
+        for u in 0..f.users.len() {
+            let lb = cc.lbl_user(&loc, u);
+            for &kw in &f.spec.keywords {
+                let cand = cc.with_keywords(&[kw]);
+                assert!(cc.sts_candidate(&loc, &cand, u) >= lb - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lbl_group_lower_bounds_every_user() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let group = UserGroup::from_users(&f.users, &f.ctx.text);
+        for loc in &f.spec.locations {
+            let g = cc.lbl_group(loc, &group);
+            for u in 0..f.users.len() {
+                assert!(cc.lbl_user(loc, u) >= g - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn qualifies_requires_overlap() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let cand = Document::from_terms([t(99)]);
+        let loc = f.users[0].point;
+        assert!(!cc.qualifies(&loc, &cand, 0));
+    }
+
+    #[test]
+    fn reachability() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        for u in 0..f.users.len() {
+            assert!(cc.user_reachable(u)); // everyone shares t4 with ox.d
+        }
+    }
+
+    #[test]
+    fn top_ws_sum_takes_largest() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        // KO: every candidate weight is 1, ws=2 → sum 2.
+        let sum = cc.top_ws_weight_sum(f.spec.keywords.iter().copied());
+        assert!((sum - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! ℓ-MaxBRSTkNN: the top-ℓ best ⟨location, keyword-set⟩ tuples.
+//!
+//! The MaxBRkNN literature the paper builds on (Wong et al.'s MAXOVERLAP)
+//! supports an `ℓ-MaxBRkNN` variant returning the ℓ best regions instead
+//! of one. This module lifts the same extension to the spatial-textual
+//! setting: the ℓ candidate locations with the largest BRSTkNN
+//! cardinalities, each paired with its best keyword set.
+//!
+//! The best-first structure of Algorithm 3 carries over directly — the
+//! early-termination test just compares against the ℓ-th best confirmed
+//! tuple instead of the single best.
+
+use std::collections::BinaryHeap;
+
+use crate::select::location::KeywordSelector;
+use crate::select::{exact, greedy, CandidateContext};
+use crate::topk::ByKey;
+use crate::{QueryResult, UserGroup};
+
+/// Runs ℓ-MaxBRSTkNN: the `l` best location/keyword tuples, descending by
+/// BRSTkNN cardinality (ties broken by location index).
+///
+/// Each returned tuple is for a *distinct* candidate location — returning
+/// the same location with ℓ different keyword sets is rarely useful, and
+/// this matches the region semantics of ℓ-MaxBRkNN.
+///
+/// # Panics
+/// Panics when `l == 0` or the query has no candidate locations.
+pub fn select_top_l(
+    cc: &CandidateContext<'_>,
+    su: &UserGroup,
+    rsk_us: f64,
+    selector: KeywordSelector,
+    l: usize,
+) -> Vec<QueryResult> {
+    assert!(l > 0, "l must be positive");
+    assert!(
+        !cc.spec.locations.is_empty(),
+        "MaxBRSTkNN requires at least one candidate location"
+    );
+
+    // Candidate user lists exactly as in Algorithm 3.
+    let mut ql: BinaryHeap<ByKey<(usize, Vec<usize>)>> = BinaryHeap::new();
+    for (li, loc) in cc.spec.locations.iter().enumerate() {
+        if cc.ubl_group(loc, su) < rsk_us {
+            continue;
+        }
+        let lu: Vec<usize> = (0..cc.users.len())
+            .filter(|&u| cc.user_reachable(u) && cc.ubl_user(loc, u) >= cc.rsk[u])
+            .collect();
+        if !lu.is_empty() {
+            ql.push(ByKey {
+                key: lu.len() as f64,
+                item: (li, lu),
+            });
+        }
+    }
+
+    let mut confirmed: Vec<QueryResult> = Vec::new();
+    // The ℓ-th best confirmed cardinality so far (0 until ℓ confirmed).
+    let threshold = |confirmed: &[QueryResult]| -> usize {
+        if confirmed.len() < l {
+            0
+        } else {
+            confirmed[l - 1].cardinality()
+        }
+    };
+
+    while let Some(ByKey { item: (li, lu), .. }) = ql.pop() {
+        if confirmed.len() >= l && lu.len() <= threshold(&confirmed) {
+            break; // nothing left can displace the current top-ℓ
+        }
+        let loc = &cc.spec.locations[li];
+        let keywords = match selector {
+            KeywordSelector::Greedy => greedy::greedy_keywords(cc, li, &lu),
+            KeywordSelector::GreedyPlus => greedy::greedy_plus_keywords(cc, li, &lu),
+            KeywordSelector::Exact => exact::exact_keywords(cc, li, &lu),
+        };
+        let cand = cc.with_keywords(&keywords);
+        let users = cc.brstknn(loc, &cand, &lu);
+        confirmed.push(QueryResult {
+            location: li,
+            keywords,
+            brstknn: users,
+        });
+        confirmed.sort_by(|a, b| {
+            b.cardinality()
+                .cmp(&a.cardinality())
+                .then(a.location.cmp(&b.location))
+        });
+        confirmed.truncate(l);
+    }
+
+    confirmed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::location::select_candidate;
+    use crate::select::test_fixture::fixture;
+    use crate::select::CandidateContext;
+
+    #[test]
+    fn top_one_matches_algorithm_3() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let single = select_candidate(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact);
+        let top = select_top_l(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].cardinality(), single.cardinality());
+    }
+
+    #[test]
+    fn results_descend_and_are_distinct_locations() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let top = select_top_l(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact, 2);
+        assert!(top.len() <= 2);
+        assert!(top.windows(2).all(|w| w[0].cardinality() >= w[1].cardinality()));
+        let mut locs: Vec<usize> = top.iter().map(|r| r.location).collect();
+        locs.dedup();
+        assert_eq!(locs.len(), top.len());
+    }
+
+    /// The returned cardinalities must equal the best-ℓ obtainable by
+    /// evaluating every location exhaustively.
+    #[test]
+    fn matches_per_location_brute_force() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let all: Vec<usize> = (0..f.users.len()).collect();
+
+        // Exhaustive per-location best counts.
+        let kws = &f.spec.keywords;
+        let mut per_loc: Vec<usize> = Vec::new();
+        for li in 0..f.spec.locations.len() {
+            let mut best = 0;
+            for i in 0..kws.len() {
+                for j in (i + 1)..kws.len() {
+                    let cand = cc.with_keywords(&[kws[i], kws[j]]);
+                    best = best.max(cc.brstknn(&f.spec.locations[li], &cand, &all).len());
+                }
+            }
+            per_loc.push(best);
+        }
+        per_loc.sort_by(|a, b| b.cmp(a));
+
+        let top = select_top_l(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact, 2);
+        for (got, want) in top.iter().zip(&per_loc) {
+            assert_eq!(got.cardinality(), *want);
+        }
+    }
+
+    #[test]
+    fn l_larger_than_locations_returns_all_useful() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let su = UserGroup::from_users(&f.users, &f.ctx.text);
+        let top = select_top_l(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Greedy, 10);
+        assert!(top.len() <= f.spec.locations.len());
+    }
+}

@@ -1,0 +1,229 @@
+//! §4 baseline: independent per-user top-k on the IR-tree.
+//!
+//! This is the classic best-first top-k spatial keyword search of Cong et
+//! al. (the paper's ref. 3): a priority queue ordered by upper-bound score,
+//! node upper bounds from the IR-tree's per-term *maximum* weights, exact
+//! scores at the leaves. Each user traverses the tree from scratch, so the
+//! same nodes and inverted files are fetched over and over across users —
+//! the I/O redundancy the joint algorithm (§5) eliminates.
+
+use std::collections::BinaryHeap;
+
+use index::{ChildRef, StTree};
+use storage::{IoStats, RecordId};
+use text::TermId;
+
+use crate::topk::{ByKey, UserTopk};
+use crate::{ScoreContext, UserData};
+
+enum Item {
+    Node(RecordId),
+    Obj(u32),
+}
+
+/// Computes one user's exact top-k by best-first IR-tree search.
+///
+/// Works on either posting mode (only maxima are consulted).
+///
+/// # Panics
+/// Panics when `k == 0`.
+pub fn user_topk_baseline(
+    tree: &StTree,
+    user: &UserData,
+    k: usize,
+    ctx: &ScoreContext,
+    io: &IoStats,
+) -> UserTopk {
+    assert!(k > 0, "k must be positive");
+    let terms: Vec<TermId> = user.doc.terms().collect();
+    let n_u = ctx.text.normalizer(&user.doc);
+
+    let mut pq: BinaryHeap<ByKey<Item>> = BinaryHeap::new();
+    pq.push(ByKey {
+        key: f64::INFINITY,
+        item: Item::Node(tree.root()),
+    });
+
+    let mut topk: Vec<(u32, f64)> = Vec::with_capacity(k);
+    while let Some(ByKey { key, item }) = pq.pop() {
+        match item {
+            Item::Obj(oid) => {
+                // Exact score dominates every remaining upper bound, so
+                // this object is the next best.
+                topk.push((oid, key));
+                if topk.len() == k {
+                    break;
+                }
+            }
+            Item::Node(rec) => {
+                let node = tree.read_node(rec, io);
+                let postings = tree.read_postings(&node, &terms, io);
+                for (i, entry) in node.entries.iter().enumerate() {
+                    let sum_max: f64 = postings.per_entry[i].iter().map(|&(_, mx, _)| mx).sum();
+                    let ts_ub = if n_u > 0.0 {
+                        (sum_max / n_u).min(1.0)
+                    } else {
+                        0.0
+                    };
+                    match entry.child {
+                        ChildRef::Object(oid) => {
+                            // Leaf postings are exact weights → exact STS.
+                            let ss = ctx.spatial.ss_points(&node.entry_point(i), &user.point);
+                            pq.push(ByKey {
+                                key: ctx.combine(ss, ts_ub),
+                                item: Item::Obj(oid),
+                            });
+                        }
+                        ChildRef::Node(child) => {
+                            let ss = ctx
+                                .spatial
+                                .proximity(entry.rect.min_dist_point(&user.point));
+                            pq.push(ByKey {
+                                key: ctx.combine(ss, ts_ub),
+                                item: Item::Node(child),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let rsk = if topk.len() == k {
+        topk[k - 1].1
+    } else {
+        f64::NEG_INFINITY
+    };
+    UserTopk {
+        user: user.id,
+        topk,
+        rsk,
+    }
+}
+
+/// The full §4 baseline: every user independently.
+pub fn all_users_topk_baseline(
+    tree: &StTree,
+    users: &[UserData],
+    k: usize,
+    ctx: &ScoreContext,
+    io: &IoStats,
+) -> Vec<UserTopk> {
+    users
+        .iter()
+        .map(|u| user_topk_baseline(tree, u, k, ctx, io))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::{Point, Rect, SpatialContext};
+    use index::{IndexedObject, PostingMode};
+    use text::{Document, TextScorer, WeightModel};
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    struct Fix {
+        objects: Vec<IndexedObject>,
+        users: Vec<UserData>,
+        ctx: ScoreContext,
+    }
+
+    fn fixture(model: WeightModel) -> Fix {
+        let docs: Vec<Document> = (0..35)
+            .map(|i| Document::from_pairs([(t(i % 5), 1 + i % 3), (t(5), 1)]))
+            .collect();
+        let text = TextScorer::from_docs(model, &docs);
+        let objects = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| IndexedObject {
+                id: i as u32,
+                point: Point::new((i % 7) as f64, (i / 7) as f64),
+                doc: text.weigh(d),
+            })
+            .collect();
+        let users = (0..4)
+            .map(|i| UserData {
+                id: i,
+                point: Point::new(3.0, 1.0 + i as f64),
+                doc: Document::from_terms([t(i % 5), t(5)]),
+            })
+            .collect();
+        let space = Rect::new(Point::new(0.0, 0.0), Point::new(7.0, 5.0));
+        let ctx = ScoreContext::new(0.4, SpatialContext::from_dataspace(&space), text);
+        Fix {
+            objects,
+            users,
+            ctx,
+        }
+    }
+
+    fn brute(fix: &Fix, user: &UserData, k: usize) -> Vec<(u32, f64)> {
+        let n_u = fix.ctx.text.normalizer(&user.doc);
+        let mut all: Vec<(u32, f64)> = fix
+            .objects
+            .iter()
+            .map(|o| (o.id, fix.ctx.sts(&o.point, &o.doc, user, n_u)))
+            .collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn baseline_matches_brute_force_on_ir_and_mir() {
+        for model in [
+            WeightModel::lm(),
+            WeightModel::TfIdf,
+            WeightModel::KeywordOverlap,
+        ] {
+            let fix = fixture(model);
+            for mode in [PostingMode::MaxOnly, PostingMode::MaxMin] {
+                let tree = StTree::build_with_fanout(&fix.objects, mode, 4);
+                let io = IoStats::new();
+                for u in &fix.users {
+                    for k in [1, 3, 7] {
+                        let got = user_topk_baseline(&tree, u, k, &fix.ctx, &io);
+                        let want = brute(&fix, u, k);
+                        assert_eq!(got.topk.len(), k);
+                        for ((_, gs), (_, ws)) in got.topk.iter().zip(&want) {
+                            assert!(
+                                (gs - ws).abs() < 1e-9,
+                                "{model:?} {mode:?} k={k} user {}",
+                                u.id
+                            );
+                        }
+                        assert!((got.rsk - want[k - 1].1).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_users_multiply_io() {
+        let fix = fixture(WeightModel::lm());
+        let tree = StTree::build_with_fanout(&fix.objects, PostingMode::MaxOnly, 4);
+        let io = IoStats::new();
+        user_topk_baseline(&tree, &fix.users[0], 3, &fix.ctx, &io);
+        let one = io.total();
+        user_topk_baseline(&tree, &fix.users[0], 3, &fix.ctx, &io);
+        // Cold repetition costs the same again — no cache in the substrate.
+        assert_eq!(io.total(), 2 * one);
+    }
+
+    #[test]
+    fn fewer_objects_than_k_returns_all() {
+        let fix = fixture(WeightModel::lm());
+        let small = &fix.objects[..2];
+        let tree = StTree::build_with_fanout(small, PostingMode::MaxOnly, 4);
+        let io = IoStats::new();
+        let got = user_topk_baseline(&tree, &fix.users[0], 6, &fix.ctx, &io);
+        assert_eq!(got.topk.len(), 2);
+        assert_eq!(got.rsk, f64::NEG_INFINITY);
+    }
+}

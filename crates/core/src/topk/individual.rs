@@ -1,0 +1,257 @@
+//! Algorithm 2: INDIVIDUAL-TOPK — per-user top-k from `LO` and `RO`.
+//!
+//! After the joint traversal, `LO ∪ RO` is guaranteed to contain every
+//! user's top-k objects (see the proof sketch in [`crate::topk::joint`]).
+//! Each user first scores the k objects of `LO` exactly, establishing
+//! `RSk(u)`; the remaining candidates in `RO` are then scanned in
+//! descending `UB(o, us)` order, stopping as soon as the upper bound drops
+//! below the user's own threshold — objects after that point cannot enter
+//! the user's top-k.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::topk::{ByKey, TopkOutcome, UserTopk};
+use crate::{ScoreContext, UserData};
+
+/// Computes the top-k of a single user from a joint-traversal outcome.
+pub fn individual_topk_user(
+    user: &UserData,
+    out: &TopkOutcome,
+    k: usize,
+    ctx: &ScoreContext,
+) -> UserTopk {
+    assert!(k > 0, "k must be positive");
+    let n_u = ctx.text.normalizer(&user.doc);
+    // Hu: min-heap by score keeping the best k.
+    let mut hu: BinaryHeap<Reverse<ByKey<u32>>> = BinaryHeap::new();
+    let mut rsk = f64::NEG_INFINITY;
+
+    for obj in &out.lo {
+        let s = ctx.sts(&obj.point, &obj.weights, user, n_u);
+        hu.push(Reverse(ByKey { key: s, item: obj.id }));
+        if hu.len() > k {
+            hu.pop();
+        }
+    }
+    if hu.len() == k {
+        rsk = hu.peek().unwrap().0.key;
+    }
+
+    for obj in &out.ro {
+        if hu.len() == k && obj.ub < rsk {
+            break; // RO descends by UB: nothing further can qualify.
+        }
+        let s = ctx.sts(&obj.point, &obj.weights, user, n_u);
+        if hu.len() < k || s >= rsk {
+            hu.push(Reverse(ByKey { key: s, item: obj.id }));
+            if hu.len() > k {
+                hu.pop();
+            }
+            if hu.len() == k {
+                rsk = hu.peek().unwrap().0.key;
+            }
+        }
+    }
+
+    let mut topk: Vec<(u32, f64)> = hu.into_iter().map(|r| (r.0.item, r.0.key)).collect();
+    topk.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    UserTopk {
+        user: user.id,
+        topk,
+        rsk,
+    }
+}
+
+/// Algorithm 2 over all users.
+pub fn individual_topk(
+    users: &[UserData],
+    out: &TopkOutcome,
+    k: usize,
+    ctx: &ScoreContext,
+) -> Vec<UserTopk> {
+    users
+        .iter()
+        .map(|u| individual_topk_user(u, out, k, ctx))
+        .collect()
+}
+
+/// Algorithm 2 over all users, fanned out over `threads` OS threads.
+///
+/// Engineering extension: the per-user refinements are embarrassingly
+/// parallel once `LO`/`RO` are in memory, and this stage dominates joint
+/// top-k runtime at large `|U|`. The paper's (and this crate's default)
+/// measurement path stays single-threaded; results are identical.
+pub fn individual_topk_parallel(
+    users: &[UserData],
+    out: &TopkOutcome,
+    k: usize,
+    ctx: &ScoreContext,
+    threads: usize,
+) -> Vec<UserTopk> {
+    let threads = threads.max(1).min(users.len().max(1));
+    if threads <= 1 {
+        return individual_topk(users, out, k, ctx);
+    }
+    let chunk = users.len().div_ceil(threads);
+    let mut results: Vec<Vec<UserTopk>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = users
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || individual_topk(part, out, k, ctx)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk::joint::joint_topk;
+    use crate::UserGroup;
+    use geo::{Point, Rect, SpatialContext};
+    use index::{IndexedObject, PostingMode, StTree};
+    use storage::IoStats;
+    use text::{Document, TermId, TextScorer, WeightModel};
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    struct Fix {
+        objects: Vec<IndexedObject>,
+        users: Vec<UserData>,
+        ctx: ScoreContext,
+        tree: StTree,
+    }
+
+    fn fixture(model: WeightModel, alpha: f64) -> Fix {
+        let docs: Vec<Document> = (0..40)
+            .map(|i| {
+                Document::from_pairs([(t(i % 4), 1 + i % 2), (t(4), 1), (t(5 + i % 2), 2)])
+            })
+            .collect();
+        let text = TextScorer::from_docs(model, &docs);
+        let objects: Vec<IndexedObject> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| IndexedObject {
+                id: i as u32,
+                point: Point::new((i % 8) as f64, (i / 8) as f64),
+                doc: text.weigh(d),
+            })
+            .collect();
+        let users: Vec<UserData> = (0..6)
+            .map(|i| UserData {
+                id: i,
+                point: Point::new(1.0 + (i as f64), 2.5),
+                doc: Document::from_terms([t(i % 4), t(4)]),
+            })
+            .collect();
+        let space = Rect::new(Point::new(0.0, 0.0), Point::new(8.0, 5.0));
+        let ctx = ScoreContext::new(alpha, SpatialContext::from_dataspace(&space), text);
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        Fix {
+            objects,
+            users,
+            ctx,
+            tree,
+        }
+    }
+
+    fn brute(fix: &Fix, user: &UserData, k: usize) -> Vec<(u32, f64)> {
+        let n_u = fix.ctx.text.normalizer(&user.doc);
+        let mut all: Vec<(u32, f64)> = fix
+            .objects
+            .iter()
+            .map(|o| (o.id, fix.ctx.sts(&o.point, &o.doc, user, n_u)))
+            .collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// End-to-end Algorithm 1 + 2 equals brute force for every model, α, k.
+    #[test]
+    fn joint_plus_individual_matches_brute_force() {
+        for model in [
+            WeightModel::lm(),
+            WeightModel::TfIdf,
+            WeightModel::KeywordOverlap,
+        ] {
+            for alpha in [0.1, 0.5, 0.9] {
+                let fix = fixture(model, alpha);
+                let io = IoStats::new();
+                let group = UserGroup::from_users(&fix.users, &fix.ctx.text);
+                for k in [1, 2, 5] {
+                    let out = joint_topk(&fix.tree, &group, k, &fix.ctx, &io);
+                    let results = individual_topk(&fix.users, &out, k, &fix.ctx);
+                    for (u, res) in fix.users.iter().zip(&results) {
+                        let want = brute(&fix, u, k);
+                        let got_scores: Vec<f64> = res.topk.iter().map(|&(_, s)| s).collect();
+                        let want_scores: Vec<f64> = want.iter().map(|&(_, s)| s).collect();
+                        for (g, w) in got_scores.iter().zip(&want_scores) {
+                            assert!(
+                                (g - w).abs() < 1e-9,
+                                "{model:?} α={alpha} k={k} user {}: scores {got_scores:?} vs {want_scores:?}",
+                                u.id
+                            );
+                        }
+                        assert!(
+                            (res.rsk - want.last().unwrap().1).abs() < 1e-9,
+                            "RSk mismatch for user {}",
+                            u.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_is_sorted_descending() {
+        let fix = fixture(WeightModel::lm(), 0.5);
+        let io = IoStats::new();
+        let group = UserGroup::from_users(&fix.users, &fix.ctx.text);
+        let out = joint_topk(&fix.tree, &group, 4, &fix.ctx, &io);
+        for res in individual_topk(&fix.users, &out, 4, &fix.ctx) {
+            assert!(res.topk.windows(2).all(|w| w[0].1 >= w[1].1));
+            assert_eq!(res.topk.len(), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let fix = fixture(WeightModel::lm(), 0.5);
+        let io = IoStats::new();
+        let group = UserGroup::from_users(&fix.users, &fix.ctx.text);
+        let out = joint_topk(&fix.tree, &group, 3, &fix.ctx, &io);
+        let seq = individual_topk(&fix.users, &out, 3, &fix.ctx);
+        for threads in [1, 2, 4, 16] {
+            let par = individual_topk_parallel(&fix.users, &out, 3, &fix.ctx, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.user, b.user);
+                assert_eq!(a.topk, b.topk);
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_objects_than_k() {
+        let fix = fixture(WeightModel::lm(), 0.5);
+        let small: Vec<IndexedObject> = fix.objects[..2].to_vec();
+        let tree = StTree::build_with_fanout(&small, PostingMode::MaxMin, 4);
+        let io = IoStats::new();
+        let group = UserGroup::from_users(&fix.users, &fix.ctx.text);
+        let out = joint_topk(&tree, &group, 5, &fix.ctx, &io);
+        let res = individual_topk(&fix.users, &out, 5, &fix.ctx);
+        for r in res {
+            assert_eq!(r.topk.len(), 2);
+            assert_eq!(r.rsk, f64::NEG_INFINITY);
+        }
+    }
+}

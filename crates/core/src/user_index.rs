@@ -1,0 +1,484 @@
+//! §7: candidate selection with disk-resident users (MIUR-tree pipeline).
+//!
+//! When the user set is large (or sparse), the paper indexes the users in
+//! an MIUR-tree and drives candidate selection through it. The root plays
+//! the super-user's role for the joint object traversal; the per-location
+//! lists `LU_ℓ` may then contain whole user *subtrees*, each summarized by
+//! its MBR, IntUni vectors and user count. A subtree is only expanded when
+//! the best-first loop actually needs it — users inside subtrees whose
+//! upper bound never justifies expansion are *pruned*: their top-k objects
+//! (and `RSk(u)`) are never computed. The fraction of such users is the
+//! paper's "Users pruned (%)" metric (Fig. 15b).
+
+use std::collections::{BinaryHeap, HashMap};
+
+use geo::Point;
+use index::{MiurTree, PostingMode, StTree, UserRef};
+use storage::{IoStats, RecordId};
+use text::Document;
+
+use crate::bounds::lb_object;
+use crate::select::location::KeywordSelector;
+use crate::select::{exact, greedy, CandidateContext};
+use crate::topk::individual::individual_topk_user;
+use crate::topk::joint::joint_topk;
+use crate::topk::{ByKey, TopkOutcome};
+use crate::{QueryResult, QuerySpec, ScoreContext, UserData, UserGroup};
+
+/// Outcome of the §7 pipeline: the query answer plus pruning statistics.
+#[derive(Debug, Clone)]
+pub struct UserIndexOutcome {
+    /// The selected ⟨location, keyword-set⟩ and its BRSTkNN users.
+    pub result: QueryResult,
+    /// Users whose `RSk(u)` was actually computed.
+    pub users_scored: usize,
+    /// Users skipped entirely (never retrieved from a leaf, or retrieved
+    /// but never individually scored).
+    pub users_pruned: usize,
+}
+
+/// One element of a location's candidate list `LU_ℓ`.
+#[derive(Debug, Clone)]
+enum Elem {
+    /// An unexpanded user subtree.
+    Group {
+        node: RecordId,
+        group: UserGroup,
+        /// Lower bound on `RSk(u)` for every user below (k-th best
+        /// `LB(o, group)` over the retrieved objects).
+        rsk_lb: f64,
+    },
+    /// A concrete user with an exact threshold.
+    User { data: UserData, rsk: f64, n_u: f64 },
+}
+
+impl Elem {
+    fn count(&self) -> usize {
+        match self {
+            Elem::Group { group, .. } => group.count,
+            Elem::User { .. } => 1,
+        }
+    }
+}
+
+/// Lower bound on the `RSk` of every user in `group`: the k-th largest
+/// `LB(o, group)` over the retrieved objects `LO ∪ RO`.
+fn group_rsk_lb(out: &TopkOutcome, group: &UserGroup, k: usize, ctx: &ScoreContext) -> f64 {
+    let mut lbs: Vec<f64> = out
+        .lo
+        .iter()
+        .chain(out.ro.iter())
+        .map(|o| lb_object(ctx, group, &o.point, &o.weights))
+        .collect();
+    if lbs.len() < k {
+        return f64::NEG_INFINITY;
+    }
+    lbs.sort_by(|a, b| b.total_cmp(a));
+    lbs[k - 1]
+}
+
+/// Runs the §7 pipeline.
+///
+/// `mir` indexes the objects (MaxMin mode); `miur` indexes the users. The
+/// user table is *not* consulted: users are materialized from MIUR leaf
+/// entries, mirroring a disk-resident user set.
+pub fn select_with_user_index(
+    miur: &MiurTree,
+    mir: &StTree,
+    spec: &QuerySpec,
+    ctx: &ScoreContext,
+    selector: KeywordSelector,
+    io: &IoStats,
+) -> UserIndexOutcome {
+    assert!(
+        !spec.locations.is_empty(),
+        "MaxBRSTkNN requires at least one candidate location"
+    );
+    assert_eq!(mir.mode(), PostingMode::MaxMin, "object index must be a MIR-tree");
+
+    // --- Root as super-user. ---
+    let root = miur.read_node(miur.root(), io);
+    let root_group = {
+        let mbr = geo::Rect::bounding_rects(root.entries.iter().map(|e| e.rect))
+            .expect("MIUR root with no entries");
+        let uni: Vec<text::TermId> = {
+            let mut v: Vec<text::TermId> =
+                root.entries.iter().flat_map(|e| e.uni.iter().copied()).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let int: Vec<text::TermId> = {
+            let mut acc: Vec<text::TermId> = root.entries[0].int.clone();
+            for e in &root.entries[1..] {
+                acc.retain(|t| e.int.contains(t));
+            }
+            acc
+        };
+        let count: usize = root.entries.iter().map(|e| e.count as usize).sum();
+        let n_min = root.entries.iter().map(|e| e.norm_min).fold(f64::INFINITY, f64::min);
+        let n_max = root.entries.iter().map(|e| e.norm_max).fold(0.0f64, f64::max);
+        UserGroup::from_node_entry(mbr, &uni, &int, count, n_min, n_max)
+    };
+    let total_users = root_group.count;
+
+    // --- Joint object traversal for the root super-user. ---
+    let out = joint_topk(mir, &root_group, spec.k, ctx, io);
+    let rsk_us = out.rsk_us;
+
+    // Bounds-only candidate context (no user slice).
+    let cc = CandidateContext::new(ctx, spec, &[], &[]);
+
+    // --- Element arena, seeded with the root's entries. ---
+    let mut elems: Vec<Elem> = Vec::new();
+    let mut users_scored = 0usize;
+    let materialize =
+        |node: &index::MiurNodeView, elems: &mut Vec<Elem>, scored: &mut usize| -> Vec<usize> {
+            node.entries
+                .iter()
+                .map(|e| {
+                    let elem = match e.child {
+                        UserRef::Node(rec) => {
+                            let g = UserGroup::from_node_entry(
+                                e.rect,
+                                &e.uni,
+                                &e.int,
+                                e.count as usize,
+                                e.norm_min,
+                                e.norm_max,
+                            );
+                            let rsk_lb = group_rsk_lb(&out, &g, spec.k, ctx);
+                            Elem::Group {
+                                node: rec,
+                                group: g,
+                                rsk_lb,
+                            }
+                        }
+                        UserRef::User(uid) => {
+                            let data = UserData {
+                                id: uid,
+                                point: e.rect.min,
+                                doc: Document::from_terms(e.uni.iter().copied()),
+                            };
+                            let tk = individual_topk_user(&data, &out, spec.k, ctx);
+                            *scored += 1;
+                            let n_u = ctx.text.normalizer(&data.doc);
+                            Elem::User {
+                                data,
+                                rsk: tk.rsk,
+                                n_u,
+                            }
+                        }
+                    };
+                    elems.push(elem);
+                    elems.len() - 1
+                })
+                .collect()
+        };
+    let root_elems = materialize(&root, &mut elems, &mut users_scored);
+
+    // Expansion memo: node record → element ids of its entries.
+    let mut expanded: HashMap<RecordId, Vec<usize>> = HashMap::new();
+    expanded.insert(miur.root(), root_elems.clone());
+
+    // --- Per-location lists, filtered by the UBL bounds. ---
+    let keep = |cc: &CandidateContext<'_>, loc: &Point, elem: &Elem| -> bool {
+        match elem {
+            Elem::Group { group, rsk_lb, .. } => cc.ubl_group(loc, group) >= *rsk_lb,
+            Elem::User { data, rsk, n_u } => {
+                // The reachability precondition mirrors Algorithm 3.
+                (data.doc.overlaps(&spec.ox_doc)
+                    || spec.keywords.iter().any(|&t| data.doc.contains(t)))
+                    && cc.ubl_user_data(loc, data, *n_u) >= *rsk
+            }
+        }
+    };
+
+    let mut lu_lists: Vec<Vec<usize>> = Vec::with_capacity(spec.locations.len());
+    let mut ql: BinaryHeap<ByKey<usize>> = BinaryHeap::new();
+    for (li, loc) in spec.locations.iter().enumerate() {
+        let list: Vec<usize> = if cc.ubl_group(loc, &root_group) >= rsk_us {
+            root_elems
+                .iter()
+                .copied()
+                .filter(|&e| keep(&cc, loc, &elems[e]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let count: usize = list.iter().map(|&e| elems[e].count()).sum();
+        lu_lists.push(list);
+        if count > 0 {
+            ql.push(ByKey {
+                key: count as f64,
+                item: li,
+            });
+        }
+    }
+
+    let mut best = QueryResult {
+        location: 0,
+        keywords: Vec::new(),
+        brstknn: Vec::new(),
+    };
+
+    while let Some(ByKey { key, item: li }) = ql.pop() {
+        let current: usize = lu_lists[li].iter().map(|&e| elems[e].count()).sum();
+        if current != key as usize {
+            // Stale entry (a shared subtree was refined since queuing).
+            if current > 0 {
+                ql.push(ByKey {
+                    key: current as f64,
+                    item: li,
+                });
+            }
+            continue;
+        }
+        if current <= best.cardinality() && !best.brstknn.is_empty() {
+            break;
+        }
+        let loc = spec.locations[li];
+
+        // Find the largest unexpanded group in this list, if any.
+        let group_pos = lu_lists[li]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| matches!(elems[e], Elem::Group { .. }))
+            .max_by_key(|&(_, &e)| elems[e].count())
+            .map(|(pos, _)| pos);
+
+        if let Some(pos) = group_pos {
+            let eid = lu_lists[li][pos];
+            let Elem::Group { node, .. } = elems[eid].clone() else {
+                unreachable!()
+            };
+            // Expand once globally (at most one disk access per node).
+            expanded.entry(node).or_insert_with(|| {
+                let view = miur.read_node(node, io);
+                
+                materialize(&view, &mut elems, &mut users_scored)
+            });
+            let children = expanded[&node].clone();
+            // Replace the group in every list that holds it.
+            for (lj, list) in lu_lists.iter_mut().enumerate() {
+                if let Some(p) = list.iter().position(|&e| e == eid) {
+                    list.swap_remove(p);
+                    let locj = spec.locations[lj];
+                    list.extend(
+                        children
+                            .iter()
+                            .copied()
+                            .filter(|&c| keep(&cc, &locj, &elems[c])),
+                    );
+                }
+            }
+            let count: usize = lu_lists[li].iter().map(|&e| elems[e].count()).sum();
+            if count > 0 {
+                ql.push(ByKey {
+                    key: count as f64,
+                    item: li,
+                });
+            }
+            continue;
+        }
+
+        // All elements are concrete users: run keyword selection.
+        let users: Vec<UserData> = lu_lists[li]
+            .iter()
+            .map(|&e| match &elems[e] {
+                Elem::User { data, .. } => data.clone(),
+                Elem::Group { .. } => unreachable!(),
+            })
+            .collect();
+        let rsk: Vec<f64> = lu_lists[li]
+            .iter()
+            .map(|&e| match &elems[e] {
+                Elem::User { rsk, .. } => *rsk,
+                Elem::Group { .. } => unreachable!(),
+            })
+            .collect();
+        let local = CandidateContext::new(ctx, spec, &users, &rsk);
+        let lu: Vec<usize> = (0..users.len()).collect();
+
+        // LBL shortcut, as in Algorithm 3.
+        let keywords = if !spec.ox_doc.is_empty()
+            && lu
+                .iter()
+                .all(|&u| local.qualifies(&loc, &spec.ox_doc, u))
+        {
+            Vec::new()
+        } else {
+            match selector {
+                KeywordSelector::Greedy => greedy::greedy_keywords(&local, li, &lu),
+                KeywordSelector::GreedyPlus => greedy::greedy_plus_keywords(&local, li, &lu),
+                KeywordSelector::Exact => exact::exact_keywords(&local, li, &lu),
+            }
+        };
+        let cand = local.with_keywords(&keywords);
+        let qualified = local.brstknn(&loc, &cand, &lu);
+        if qualified.len() > best.cardinality() {
+            best = QueryResult {
+                location: li,
+                keywords,
+                brstknn: qualified,
+            };
+        }
+    }
+
+    UserIndexOutcome {
+        result: best,
+        users_scored,
+        users_pruned: total_users - users_scored.min(total_users),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::location::select_candidate;
+    use crate::topk::individual::individual_topk;
+    use geo::{Point, Rect, SpatialContext};
+    use index::{IndexedObject, IndexedUser};
+    use text::{TermId, TextScorer, WeightModel};
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    struct Fix {
+        ctx: ScoreContext,
+        users: Vec<UserData>,
+        spec: QuerySpec,
+        mir: StTree,
+        miur: MiurTree,
+    }
+
+    fn fixture(num_users: u32) -> Fix {
+        let docs: Vec<Document> = (0..50)
+            .map(|i| Document::from_terms([t(i % 5), t(5)]))
+            .collect();
+        let text = TextScorer::from_docs(WeightModel::KeywordOverlap, &docs);
+        let objects: Vec<IndexedObject> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| IndexedObject {
+                id: i as u32,
+                point: Point::new((i % 10) as f64, (i / 10) as f64),
+                doc: text.weigh(d),
+            })
+            .collect();
+        let users: Vec<UserData> = (0..num_users)
+            .map(|i| UserData {
+                id: i,
+                point: Point::new((i % 9) as f64 + 0.5, (i % 4) as f64 + 0.25),
+                doc: Document::from_terms([t(i % 5), t(5)]),
+            })
+            .collect();
+        let iu: Vec<IndexedUser> = users
+            .iter()
+            .map(|u| IndexedUser {
+                id: u.id,
+                point: u.point,
+                doc: u.doc.clone(),
+                norm: text.normalizer(&u.doc),
+            })
+            .collect();
+        let space = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 5.0));
+        let ctx = ScoreContext::new(0.5, SpatialContext::from_dataspace(&space), text);
+        let spec = QuerySpec {
+            ox_doc: Document::from_terms([t(5)]),
+            locations: vec![
+                Point::new(2.0, 2.0),
+                Point::new(8.0, 1.0),
+                Point::new(5.0, 4.0),
+            ],
+            keywords: vec![t(0), t(1), t(2), t(3), t(4)],
+            ws: 2,
+            k: 3,
+        };
+        let mir = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let miur = MiurTree::build_with_fanout(&iu, 4);
+        Fix {
+            ctx,
+            users,
+            spec,
+            mir,
+            miur,
+        }
+    }
+
+    /// The §7 pipeline must reach the same optimum as the in-memory
+    /// Algorithm 3 with exact keyword selection.
+    #[test]
+    fn user_index_matches_in_memory_exact() {
+        for n in [12u32, 40] {
+            let f = fixture(n);
+            let io = IoStats::new();
+
+            // Reference: joint top-k + Algorithm 3 on in-memory users.
+            let su = UserGroup::from_users(&f.users, &f.ctx.text);
+            let out = joint_topk(&f.mir, &su, f.spec.k, &f.ctx, &io);
+            let tks = individual_topk(&f.users, &out, f.spec.k, &f.ctx);
+            let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
+            let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &rsk);
+            let want = select_candidate(&cc, &su, out.rsk_us, KeywordSelector::Exact);
+
+            let got = select_with_user_index(
+                &f.miur,
+                &f.mir,
+                &f.spec,
+                &f.ctx,
+                KeywordSelector::Exact,
+                &io,
+            );
+            assert_eq!(
+                got.result.cardinality(),
+                want.cardinality(),
+                "n={n}: user-index found {} vs in-memory {}",
+                got.result.cardinality(),
+                want.cardinality()
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_statistics_are_consistent() {
+        let f = fixture(40);
+        let io = IoStats::new();
+        let got = select_with_user_index(
+            &f.miur,
+            &f.mir,
+            &f.spec,
+            &f.ctx,
+            KeywordSelector::Greedy,
+            &io,
+        );
+        assert_eq!(got.users_scored + got.users_pruned, 40);
+    }
+
+    #[test]
+    fn greedy_variant_bounded_by_exact() {
+        let f = fixture(24);
+        let io = IoStats::new();
+        let e = select_with_user_index(&f.miur, &f.mir, &f.spec, &f.ctx, KeywordSelector::Exact, &io);
+        let g = select_with_user_index(
+            &f.miur,
+            &f.mir,
+            &f.spec,
+            &f.ctx,
+            KeywordSelector::Greedy,
+            &io,
+        );
+        assert!(g.result.cardinality() <= e.result.cardinality());
+    }
+
+    #[test]
+    fn miur_nodes_read_at_most_once() {
+        let f = fixture(40);
+        let io = IoStats::new();
+        select_with_user_index(&f.miur, &f.mir, &f.spec, &f.ctx, KeywordSelector::Exact, &io);
+        // 40 users, fanout 4 → ≤ 10 leaves + 3 inner + root + margin; each
+        // read at most once plus the root read.
+        assert!(io.snapshot().node_visits < 60);
+    }
+}

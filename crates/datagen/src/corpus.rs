@@ -1,0 +1,242 @@
+//! Object-collection generators: Flickr-like and Yelp-like.
+
+use geo::{Point, Rect};
+use mbrstk_core::ObjectData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use text::{Document, TermId};
+
+use crate::Zipf;
+
+/// Configuration of a synthetic object collection.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of objects `|O|`.
+    pub num_objects: usize,
+    /// Vocabulary size to draw terms from.
+    pub vocab_size: usize,
+    /// Mean number of *distinct* terms per object (Table 4: Flickr 6.9,
+    /// Yelp 398.7).
+    pub avg_terms: f64,
+    /// Maximum term frequency (1 for tag sets; larger for review text).
+    pub max_tf: u32,
+    /// Number of spatial clusters ("cities").
+    pub num_clusters: usize,
+    /// Cluster spread as a fraction of the dataspace side.
+    pub cluster_std: f64,
+    /// The dataspace.
+    pub space: Rect,
+    /// Zipf exponent for term popularity.
+    pub zipf_s: f64,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A Flickr-like collection: short tag sets (avg ≈ 6.9 distinct terms,
+    /// tf = 1), large vocabulary, strongly clustered geo-tags.
+    pub fn flickr_like(num_objects: usize) -> Self {
+        CorpusConfig {
+            num_objects,
+            // Table 4: 166 K unique terms over 1 M objects → scale the
+            // vocabulary with the collection, floor for small runs.
+            vocab_size: (num_objects / 6).clamp(1_000, 200_000),
+            avg_terms: 6.9,
+            max_tf: 1,
+            num_clusters: 40,
+            cluster_std: 0.02,
+            space: Rect::new(Point::new(0.0, 0.0), Point::new(60.0, 60.0)),
+            zipf_s: 1.0,
+            seed: 42,
+        }
+    }
+
+    /// A Yelp-like collection: few objects with very long documents
+    /// (avg ≈ 398.7 distinct terms, repeated terms), businesses clustered
+    /// in a handful of metro areas.
+    pub fn yelp_like(num_objects: usize) -> Self {
+        CorpusConfig {
+            num_objects,
+            vocab_size: (num_objects * 4).clamp(2_000, 270_000),
+            avg_terms: 398.7,
+            max_tf: 8,
+            num_clusters: 10,
+            cluster_std: 0.015,
+            space: Rect::new(Point::new(0.0, 0.0), Point::new(60.0, 60.0)),
+            zipf_s: 0.9,
+            seed: 43,
+        }
+    }
+
+    /// Overrides the seed (each of the paper's 100 user sets uses a fresh
+    /// seed; so can object collections).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates the object collection.
+pub fn generate_objects(cfg: &CorpusConfig) -> Vec<ObjectData> {
+    assert!(cfg.num_objects > 0, "num_objects must be positive");
+    assert!(cfg.vocab_size > 0, "vocab_size must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.vocab_size, cfg.zipf_s);
+
+    // Cluster centers.
+    let centers: Vec<Point> = (0..cfg.num_clusters.max(1))
+        .map(|_| uniform_point(&mut rng, &cfg.space))
+        .collect();
+    let spread_x = cfg.space.width() * cfg.cluster_std;
+    let spread_y = cfg.space.height() * cfg.cluster_std;
+
+    (0..cfg.num_objects)
+        .map(|i| {
+            // 85% clustered, 15% background uniform — tag collections have
+            // both dense cities and a rural tail.
+            let point = if rng.gen_bool(0.85) {
+                let c = centers[rng.gen_range(0..centers.len())];
+                clamp_point(
+                    Point::new(
+                        c.x + gaussian(&mut rng) * spread_x,
+                        c.y + gaussian(&mut rng) * spread_y,
+                    ),
+                    &cfg.space,
+                )
+            } else {
+                uniform_point(&mut rng, &cfg.space)
+            };
+
+            // Distinct term count: uniform in [avg/2, 3·avg/2], ≥ 1.
+            let lo = (cfg.avg_terms / 2.0).max(1.0);
+            let hi = (cfg.avg_terms * 1.5).max(lo + 1.0);
+            let n_terms = rng.gen_range(lo..hi).round() as usize;
+
+            let mut pairs: Vec<(TermId, u32)> = Vec::with_capacity(n_terms);
+            let mut tries = 0;
+            while pairs.len() < n_terms && tries < n_terms * 20 {
+                tries += 1;
+                let t = TermId(zipf.sample(&mut rng) as u32);
+                if pairs.iter().any(|&(x, _)| x == t) {
+                    continue;
+                }
+                let tf = if cfg.max_tf <= 1 {
+                    1
+                } else {
+                    // Skew frequencies toward 1.
+                    1 + (rng.gen::<f64>().powi(3) * (cfg.max_tf - 1) as f64).round() as u32
+                };
+                pairs.push((t, tf));
+            }
+
+            ObjectData {
+                id: i as u32,
+                point,
+                doc: Document::from_pairs(pairs),
+            }
+        })
+        .collect()
+}
+
+fn uniform_point(rng: &mut StdRng, space: &Rect) -> Point {
+    Point::new(
+        rng.gen_range(space.min.x..=space.max.x),
+        rng.gen_range(space.min.y..=space.max.y),
+    )
+}
+
+fn clamp_point(p: Point, space: &Rect) -> Point {
+    Point::new(
+        p.x.clamp(space.min.x, space.max.x),
+        p.y.clamp(space.min.y, space.max.y),
+    )
+}
+
+/// Standard normal via Box–Muller (avoids an extra dependency).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = CorpusConfig::flickr_like(500);
+        let a = generate_objects(&cfg);
+        let b = generate_objects(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.doc, y.doc);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_objects(&CorpusConfig::flickr_like(200));
+        let b = generate_objects(&CorpusConfig::flickr_like(200).with_seed(7));
+        assert!(a.iter().zip(&b).any(|(x, y)| x.point != y.point));
+    }
+
+    #[test]
+    fn flickr_statistics_match_table4_shape() {
+        let objs = generate_objects(&CorpusConfig::flickr_like(2_000));
+        assert_eq!(objs.len(), 2_000);
+        let avg: f64 =
+            objs.iter().map(|o| o.doc.num_terms() as f64).sum::<f64>() / objs.len() as f64;
+        assert!((5.0..9.0).contains(&avg), "avg distinct terms {avg}");
+        // Tag sets: every tf is 1.
+        for o in &objs {
+            for &(_, tf) in o.doc.entries() {
+                assert_eq!(tf, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn yelp_documents_are_long_with_repeats() {
+        let objs = generate_objects(&CorpusConfig::yelp_like(60));
+        let avg: f64 =
+            objs.iter().map(|o| o.doc.num_terms() as f64).sum::<f64>() / objs.len() as f64;
+        assert!(avg > 200.0, "avg distinct terms {avg}");
+        assert!(
+            objs.iter()
+                .any(|o| o.doc.entries().iter().any(|&(_, tf)| tf > 1)),
+            "review text should repeat terms"
+        );
+    }
+
+    #[test]
+    fn points_stay_in_dataspace() {
+        let cfg = CorpusConfig::flickr_like(1_000);
+        for o in generate_objects(&cfg) {
+            assert!(cfg.space.contains_point(&o.point));
+        }
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let objs = generate_objects(&CorpusConfig::flickr_like(100));
+        for (i, o) in objs.iter().enumerate() {
+            assert_eq!(o.id, i as u32);
+        }
+    }
+
+    #[test]
+    fn popular_terms_dominate() {
+        let objs = generate_objects(&CorpusConfig::flickr_like(2_000));
+        let mut df = std::collections::HashMap::<TermId, usize>::new();
+        for o in &objs {
+            for t in o.doc.terms() {
+                *df.entry(t).or_default() += 1;
+            }
+        }
+        let head = df.get(&TermId(0)).copied().unwrap_or(0);
+        let tail = df.get(&TermId(900)).copied().unwrap_or(0);
+        assert!(head > tail, "Zipf head {head} should beat tail {tail}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Dataset statistics — the paper's Table 4.
+
+use mbrstk_core::ObjectData;
+use std::collections::HashSet;
+
+/// The four rows of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// "Total objects".
+    pub total_objects: usize,
+    /// "Total unique terms".
+    pub total_unique_terms: usize,
+    /// "Avg unique terms per object".
+    pub avg_unique_terms_per_object: f64,
+    /// "Total terms in dataset" (token count).
+    pub total_terms: u64,
+}
+
+/// Computes the Table-4 statistics of a collection.
+pub fn dataset_stats(objects: &[ObjectData]) -> DatasetStats {
+    let mut vocab = HashSet::new();
+    let mut distinct_sum = 0usize;
+    let mut tokens = 0u64;
+    for o in objects {
+        distinct_sum += o.doc.num_terms();
+        tokens += o.doc.len();
+        vocab.extend(o.doc.terms());
+    }
+    DatasetStats {
+        total_objects: objects.len(),
+        total_unique_terms: vocab.len(),
+        avg_unique_terms_per_object: if objects.is_empty() {
+            0.0
+        } else {
+            distinct_sum as f64 / objects.len() as f64
+        },
+        total_terms: tokens,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_objects, CorpusConfig};
+    use geo::Point;
+    use text::{Document, TermId};
+
+    #[test]
+    fn manual_collection() {
+        let objects = vec![
+            ObjectData {
+                id: 0,
+                point: Point::new(0.0, 0.0),
+                doc: Document::from_pairs([(TermId(0), 2), (TermId(1), 1)]),
+            },
+            ObjectData {
+                id: 1,
+                point: Point::new(1.0, 1.0),
+                doc: Document::from_pairs([(TermId(1), 3)]),
+            },
+        ];
+        let s = dataset_stats(&objects);
+        assert_eq!(s.total_objects, 2);
+        assert_eq!(s.total_unique_terms, 2);
+        assert_eq!(s.avg_unique_terms_per_object, 1.5);
+        assert_eq!(s.total_terms, 6);
+    }
+
+    #[test]
+    fn flickr_like_shape() {
+        let s = dataset_stats(&generate_objects(&CorpusConfig::flickr_like(2_000)));
+        assert_eq!(s.total_objects, 2_000);
+        assert!((5.0..9.0).contains(&s.avg_unique_terms_per_object));
+        // Tag sets: tokens == distinct occurrences.
+        assert_eq!(
+            s.total_terms,
+            (s.avg_unique_terms_per_object * 2_000.0).round() as u64
+        );
+    }
+
+    #[test]
+    fn empty_collection() {
+        let s = dataset_stats(&[]);
+        assert_eq!(s.total_objects, 0);
+        assert_eq!(s.avg_unique_terms_per_object, 0.0);
+    }
+}

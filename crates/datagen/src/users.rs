@@ -1,0 +1,291 @@
+//! The paper's user-generation protocol (§8, "Datasets and user
+//! generation").
+//!
+//! > "First, an area of a fixed size is chosen and a pre-defined number
+//! > (`|U|`) of objects `Ou` in that area are taken randomly. The
+//! > locations of the objects are used as the locations of the users.
+//! > Then, `UW` keywords are randomly selected from `Ou` as the set of the
+//! > user keywords. These keywords are distributed among the users such
+//! > that each user has `UL` number of keywords following the same
+//! > distribution of keywords of `Ou`. [...] The set of keywords `UW` is
+//! > used as the set of candidate keywords."
+
+use geo::{Point, Rect};
+use mbrstk_core::{ObjectData, UserData};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use text::{Document, TermId};
+
+/// Configuration of one generated user set / query workload.
+#[derive(Debug, Clone)]
+pub struct UserGenConfig {
+    /// Number of users `|U|`.
+    pub num_users: usize,
+    /// Window side length (the paper's `Area`, in dataspace units).
+    pub area: f64,
+    /// Number of distinct user keywords `UW` (also the candidate set `W`).
+    pub uw: usize,
+    /// Keywords per user `UL`.
+    pub ul: usize,
+    /// Number of candidate locations `|L|`.
+    pub num_locations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UserGenConfig {
+    /// The paper's default setting (Table 5 bold values; `|L| = 50`).
+    pub fn paper_default() -> Self {
+        UserGenConfig {
+            num_users: 1_000,
+            area: 5.0,
+            uw: 20,
+            ul: 3,
+            num_locations: 50,
+            seed: 7,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated workload: users plus the candidate sets of Definition 1.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The user set `U`.
+    pub users: Vec<UserData>,
+    /// Candidate keywords `W` (= the `UW` pool), ascending.
+    pub candidate_keywords: Vec<TermId>,
+    /// Candidate locations `L`, inside the window.
+    pub candidate_locations: Vec<Point>,
+    /// The chosen `Area × Area` window.
+    pub window: Rect,
+}
+
+/// Runs the protocol over a generated object collection.
+///
+/// # Panics
+/// Panics when `objects` is empty or the config asks for zero users.
+pub fn generate_workload(objects: &[ObjectData], cfg: &UserGenConfig) -> Workload {
+    assert!(!objects.is_empty(), "workload needs objects");
+    assert!(cfg.num_users > 0, "workload needs users");
+    assert!(cfg.ul > 0, "users need at least one keyword");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Pick the window around a random object so it is never empty; clamp
+    // to the dataspace.
+    let space = Rect::bounding(objects.iter().map(|o| o.point)).unwrap();
+    let anchor = objects[rng.gen_range(0..objects.len())].point;
+    let half = cfg.area / 2.0;
+    let cx = anchor
+        .x
+        .clamp(space.min.x + half, (space.max.x - half).max(space.min.x + half));
+    let cy = anchor
+        .y
+        .clamp(space.min.y + half, (space.max.y - half).max(space.min.y + half));
+    let window = Rect::new(
+        Point::new(cx - half, cy - half),
+        Point::new(cx + half, cy + half),
+    );
+
+    // Objects inside the window; pad with the nearest outside objects when
+    // the window is under-populated (small synthetic collections).
+    let mut ou: Vec<&ObjectData> = objects
+        .iter()
+        .filter(|o| window.contains_point(&o.point))
+        .collect();
+    if ou.len() < cfg.num_users {
+        let mut rest: Vec<&ObjectData> = objects
+            .iter()
+            .filter(|o| !window.contains_point(&o.point))
+            .collect();
+        let c = window.center();
+        rest.sort_by(|a, b| a.point.dist_sq(&c).total_cmp(&b.point.dist_sq(&c)));
+        ou.extend(rest.into_iter().take(cfg.num_users - ou.len()));
+    }
+
+    // UW pool: distinct keywords sampled from Ou, weighted by occurrence.
+    let mut occurrences: Vec<TermId> = ou.iter().flat_map(|o| o.doc.terms()).collect();
+    occurrences.shuffle(&mut rng);
+    let mut pool: Vec<TermId> = Vec::with_capacity(cfg.uw);
+    for &t in &occurrences {
+        if !pool.contains(&t) {
+            pool.push(t);
+            if pool.len() == cfg.uw {
+                break;
+            }
+        }
+    }
+    assert!(
+        !pool.is_empty(),
+        "window objects carry no keywords — enlarge the collection"
+    );
+
+    // Occurrence counts of the pool keywords within Ou — "the same
+    // distribution of keywords of Ou".
+    let weights: Vec<f64> = pool
+        .iter()
+        .map(|&t| {
+            1.0 + ou
+                .iter()
+                .filter(|o| o.doc.contains(t))
+                .count() as f64
+        })
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+
+    // User locations: |U| random objects of Ou (with replacement when Ou
+    // is smaller than |U|).
+    let users: Vec<UserData> = (0..cfg.num_users)
+        .map(|i| {
+            let src = ou[rng.gen_range(0..ou.len())];
+            // UL keywords, weighted without replacement within the user.
+            let mut chosen: Vec<TermId> = Vec::with_capacity(cfg.ul);
+            let mut guard = 0;
+            while chosen.len() < cfg.ul.min(pool.len()) && guard < 50 * cfg.ul {
+                guard += 1;
+                let mut x = rng.gen::<f64>() * total_w;
+                let mut pick = pool.len() - 1;
+                for (j, &w) in weights.iter().enumerate() {
+                    if x < w {
+                        pick = j;
+                        break;
+                    }
+                    x -= w;
+                }
+                if !chosen.contains(&pool[pick]) {
+                    chosen.push(pool[pick]);
+                }
+            }
+            UserData {
+                id: i as u32,
+                point: src.point,
+                doc: Document::from_terms(chosen),
+            }
+        })
+        .collect();
+
+    // Candidate locations: uniform in the window.
+    let candidate_locations: Vec<Point> = (0..cfg.num_locations)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(window.min.x..=window.max.x),
+                rng.gen_range(window.min.y..=window.max.y),
+            )
+        })
+        .collect();
+
+    let mut candidate_keywords = pool;
+    candidate_keywords.sort_unstable();
+
+    Workload {
+        users,
+        candidate_keywords,
+        candidate_locations,
+        window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_objects, CorpusConfig};
+
+    fn objects() -> Vec<ObjectData> {
+        generate_objects(&CorpusConfig::flickr_like(3_000))
+    }
+
+    fn cfg() -> UserGenConfig {
+        UserGenConfig {
+            num_users: 100,
+            area: 10.0,
+            uw: 15,
+            ul: 3,
+            num_locations: 10,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let objs = objects();
+        let a = generate_workload(&objs, &cfg());
+        let b = generate_workload(&objs, &cfg());
+        assert_eq!(a.candidate_keywords, b.candidate_keywords);
+        for (x, y) in a.users.iter().zip(&b.users) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.doc, y.doc);
+        }
+    }
+
+    #[test]
+    fn respects_cardinalities() {
+        let objs = objects();
+        let w = generate_workload(&objs, &cfg());
+        assert_eq!(w.users.len(), 100);
+        assert!(w.candidate_keywords.len() <= 15);
+        assert_eq!(w.candidate_locations.len(), 10);
+        for u in &w.users {
+            assert!(u.doc.num_terms() <= 3);
+            assert!(u.doc.num_terms() >= 1);
+        }
+    }
+
+    #[test]
+    fn user_keywords_come_from_the_pool() {
+        let objs = objects();
+        let w = generate_workload(&objs, &cfg());
+        for u in &w.users {
+            for t in u.doc.terms() {
+                assert!(w.candidate_keywords.contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn window_has_requested_size() {
+        let objs = objects();
+        let w = generate_workload(&objs, &cfg());
+        assert!((w.window.width() - 10.0).abs() < 1e-9);
+        assert!((w.window.height() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_locations_inside_window() {
+        let objs = objects();
+        let w = generate_workload(&objs, &cfg());
+        for l in &w.candidate_locations {
+            assert!(w.window.contains_point(l));
+        }
+    }
+
+    #[test]
+    fn larger_area_spreads_users() {
+        let objs = objects();
+        let tight = generate_workload(&objs, &UserGenConfig { area: 2.0, ..cfg() });
+        let wide = generate_workload(&objs, &UserGenConfig { area: 30.0, ..cfg() });
+        let spread = |w: &Workload| {
+            Rect::bounding(w.users.iter().map(|u| u.point))
+                .unwrap()
+                .diagonal()
+        };
+        assert!(spread(&wide) > spread(&tight));
+    }
+
+    #[test]
+    fn users_sit_on_object_locations() {
+        let objs = objects();
+        let w = generate_workload(&objs, &cfg());
+        for u in &w.users {
+            assert!(
+                objs.iter().any(|o| o.point == u.point),
+                "user location must come from an object"
+            );
+        }
+    }
+}

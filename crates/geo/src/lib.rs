@@ -1,0 +1,32 @@
+//! Spatial primitives for the MaxBRSTkNN reproduction.
+//!
+//! This crate provides the 2-D geometry substrate used by every index and
+//! algorithm in the workspace:
+//!
+//! * [`Point`] — a location in the plane,
+//! * [`Rect`] — an axis-aligned minimum bounding rectangle (MBR),
+//! * minimum / maximum Euclidean distances between points and rectangles,
+//! * [`SpatialContext`] — the normalized spatial proximity `SS` of Eq. (2)
+//!   in the paper: `SS(a, b) = 1 − dist(a, b) / dmax`, where `dmax` is the
+//!   maximum distance between any two points in the dataspace.
+//!
+//! All distances are Euclidean (`L2`), matching §3 of the paper. Scores are
+//! normalized into `[0, 1]`, higher meaning *more* relevant.
+
+mod point;
+mod rect;
+mod proximity;
+
+pub use point::Point;
+pub use rect::Rect;
+pub use proximity::SpatialContext;
+
+/// Relative tolerance used when comparing floating-point scores in tests and
+/// debug assertions throughout the workspace.
+pub const EPS: f64 = 1e-9;
+
+/// Returns true when `a` and `b` are equal within [`EPS`] absolute tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the spatial substrate.
+//!
+//! These invariants are what the paper's bound proofs (Lemma 2, §6.1) lean
+//! on: MINDIST lower-bounds and MAXDIST upper-bounds every point-pair
+//! distance, and proximity is monotone in distance.
+
+use geo::{Point, Rect, SpatialContext};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (pt(), pt()).prop_map(|(a, b)| {
+        Rect::new(
+            Point::new(a.x.min(b.x), a.y.min(b.y)),
+            Point::new(a.x.max(b.x), a.y.max(b.y)),
+        )
+    })
+}
+
+/// A rect together with a point inside it.
+fn rect_with_inner() -> impl Strategy<Value = (Rect, Point)> {
+    (rect(), 0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(r, fx, fy)| {
+        let p = Point::new(
+            r.min.x + fx * (r.max.x - r.min.x),
+            r.min.y + fy * (r.max.y - r.min.y),
+        );
+        (r, p)
+    })
+}
+
+proptest! {
+    #[test]
+    fn min_dist_point_bounds_inner_distance((r, inner) in rect_with_inner(), q in pt()) {
+        let d = q.dist(&inner);
+        prop_assert!(r.min_dist_point(&q) <= d + 1e-9);
+        prop_assert!(r.max_dist_point(&q) >= d - 1e-9);
+    }
+
+    #[test]
+    fn rect_rect_dists_bound_point_pairs(
+        (ra, pa) in rect_with_inner(),
+        (rb, pb) in rect_with_inner(),
+    ) {
+        let d = pa.dist(&pb);
+        prop_assert!(ra.min_dist_rect(&rb) <= d + 1e-9);
+        prop_assert!(ra.max_dist_rect(&rb) >= d - 1e-9);
+    }
+
+    #[test]
+    fn rect_dists_are_symmetric(a in rect(), b in rect()) {
+        prop_assert!((a.min_dist_rect(&b) - b.min_dist_rect(&a)).abs() < 1e-9);
+        prop_assert!((a.max_dist_rect(&b) - b.max_dist_rect(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_contains_both(a in rect(), b in rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn union_is_commutative(a in rect(), b in rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn enlargement_nonnegative(a in rect(), b in rect()) {
+        prop_assert!(a.enlargement(&b) >= -1e-9);
+    }
+
+    #[test]
+    fn proximity_monotone_in_distance(d1 in 0.0f64..200.0, d2 in 0.0f64..200.0) {
+        let ctx = SpatialContext::with_dmax(150.0);
+        if d1 <= d2 {
+            prop_assert!(ctx.proximity(d1) >= ctx.proximity(d2));
+        } else {
+            prop_assert!(ctx.proximity(d1) <= ctx.proximity(d2));
+        }
+    }
+
+    #[test]
+    fn proximity_in_unit_interval(d in 0.0f64..1000.0) {
+        let ctx = SpatialContext::with_dmax(150.0);
+        let p = ctx.proximity(d);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn ss_bounds_bracket_true_ss((r, inner) in rect_with_inner(), (q, qinner) in rect_with_inner()) {
+        let ctx = SpatialContext::with_dmax(600.0);
+        let true_ss = ctx.ss_points(&inner, &qinner);
+        prop_assert!(ctx.min_ss(&r, &q) >= true_ss - 1e-9);
+        prop_assert!(ctx.max_ss(&r, &q) <= true_ss + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in pt(), b in pt(), c in pt()) {
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-9);
+    }
+}

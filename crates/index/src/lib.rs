@@ -1,0 +1,31 @@
+//! Spatial-textual indexes for the MaxBRSTkNN reproduction.
+//!
+//! The paper builds on a family of R-tree-based spatial-textual indexes:
+//!
+//! * the **IR-tree** of Cong et al. (the paper's ref. 3) — an R-tree whose
+//!   nodes carry inverted files with the *maximum* weight of each term in
+//!   the node's subtree,
+//! * the **MIR-tree** (§5.1) — the paper's extension in which every posting
+//!   stores both the maximum and the minimum term weight (minimum over the
+//!   subtree *intersection*, 0 when the term is missing from any document
+//!   below),
+//! * the **MIUR-tree** (§7) — a user-side R-tree whose nodes carry the
+//!   union and intersection of the keyword sets below plus the number of
+//!   users in each subtree.
+//!
+//! All three share the same R-tree skeleton, built here by Sort-Tile-
+//! Recursive bulk loading (with a classic quadratic-split insertion path
+//! for incremental updates). The trees are *disk resident*: nodes and
+//! inverted files are serialized into [`storage::BlockFile`]s at build
+//! time, and every query-time access deserializes a record and charges the
+//! paper's simulated I/O ([`storage::IoStats`]).
+
+mod rtree;
+mod sttree;
+mod miurtree;
+
+pub use rtree::{BuildItem, BuildTree, RTreeBuilder, DEFAULT_MAX_ENTRIES};
+pub use sttree::{
+    ChildRef, EntryView, IndexedObject, NodeView, PostingMode, Postings, StTree,
+};
+pub use miurtree::{IndexedUser, MiurEntryView, MiurNodeView, MiurTree, UserRef};

@@ -1,0 +1,509 @@
+//! The MIUR-tree (§7): a disk-resident user index.
+//!
+//! An MIUR-tree is an R-tree over user locations where every node entry is
+//! augmented with the *union* and the *intersection* of the keyword sets in
+//! its subtree (the `IntUni` vectors of Fig. 4) plus the number of users
+//! stored below it. It lets the candidate-selection algorithm bound the
+//! relevance of a whole group of users at once, and skip computing top-k
+//! results for user subtrees that can never contain a BRSTkNN.
+
+use geo::{Point, Rect};
+use storage::codec::{Reader, Writer};
+use storage::{BlockFile, IoStats, RecordId};
+use text::{Document, TermId};
+
+use crate::rtree::{BuildItem, BuildTree, DEFAULT_MAX_ENTRIES};
+
+/// A user ready for indexing.
+#[derive(Debug, Clone)]
+pub struct IndexedUser {
+    /// Application user id (dense).
+    pub id: u32,
+    /// Location `u.l`.
+    pub point: Point,
+    /// Keyword set `u.d`.
+    pub doc: Document,
+    /// The user's text normalizer `N(u)` under the query's weight model
+    /// (see [`text::TextScorer::normalizer`]). Stored in the tree so node
+    /// entries can carry sound `N(u)` brackets for whole subtrees — the
+    /// group upper/lower bound estimations of §7 need them.
+    pub norm: f64,
+}
+
+/// What an MIUR entry points to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserRef {
+    /// Inner entry: child node record.
+    Node(RecordId),
+    /// Leaf entry: a user id.
+    User(u32),
+}
+
+/// One deserialized MIUR node entry.
+#[derive(Debug, Clone)]
+pub struct MiurEntryView {
+    /// MBR of the subtree (degenerate for leaf entries).
+    pub rect: Rect,
+    /// Target of the entry.
+    pub child: UserRef,
+    /// Number of users in the subtree (1 for leaf entries).
+    pub count: u32,
+    /// Union of the subtree's keyword sets, ascending.
+    pub uni: Vec<TermId>,
+    /// Intersection of the subtree's keyword sets, ascending.
+    pub int: Vec<TermId>,
+    /// Minimum `N(u)` over the subtree's users.
+    pub norm_min: f64,
+    /// Maximum `N(u)` over the subtree's users.
+    pub norm_max: f64,
+}
+
+/// A deserialized MIUR node.
+#[derive(Debug, Clone)]
+pub struct MiurNodeView {
+    /// Record id of the node.
+    pub id: RecordId,
+    /// True when entries are users.
+    pub is_leaf: bool,
+    /// The node's entries with their `IntUni` vectors.
+    pub entries: Vec<MiurEntryView>,
+}
+
+/// The disk-resident MIUR-tree.
+#[derive(Debug)]
+pub struct MiurTree {
+    nodes: BlockFile,
+    intuni: BlockFile,
+    root: RecordId,
+    height: u32,
+    num_users: usize,
+}
+
+impl MiurTree {
+    /// Bulk loads the tree over `users` with the default fanout.
+    pub fn build(users: &[IndexedUser]) -> Self {
+        Self::build_with_fanout(users, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Bulk loads with an explicit node capacity.
+    ///
+    /// # Panics
+    /// Panics when `users` is empty.
+    pub fn build_with_fanout(users: &[IndexedUser], fanout: usize) -> Self {
+        let items: Vec<BuildItem> = users
+            .iter()
+            .enumerate()
+            .map(|(pos, u)| BuildItem {
+                id: pos as u32,
+                rect: Rect::from_point(u.point),
+            })
+            .collect();
+        let tree = BuildTree::bulk_load(&items, fanout);
+
+        let mut nodes = BlockFile::new();
+        let mut intuni = BlockFile::new();
+        // build index -> (record, count, uni, int, norm_min, norm_max)
+        #[allow(clippy::type_complexity)]
+        let mut done: std::collections::HashMap<
+            usize,
+            (RecordId, u32, Vec<TermId>, Vec<TermId>, f64, f64),
+        > = std::collections::HashMap::new();
+
+        let mut order: Vec<usize> = (0..tree.nodes.len()).collect();
+        order.sort_by_key(|&n| tree.nodes[n].level);
+
+        for n in order {
+            let node = &tree.nodes[n];
+            struct E {
+                r: UserRef,
+                rect: Rect,
+                count: u32,
+                uni: Vec<TermId>,
+                int: Vec<TermId>,
+                norm_min: f64,
+                norm_max: f64,
+            }
+            let entries: Vec<E> = if node.is_leaf() {
+                node.items
+                    .iter()
+                    .map(|&pos| {
+                        let u = &users[items[pos].id as usize];
+                        let terms: Vec<TermId> = u.doc.terms().collect();
+                        E {
+                            r: UserRef::User(u.id),
+                            rect: Rect::from_point(u.point),
+                            count: 1,
+                            uni: terms.clone(),
+                            int: terms,
+                            norm_min: u.norm,
+                            norm_max: u.norm,
+                        }
+                    })
+                    .collect()
+            } else {
+                node.children
+                    .iter()
+                    .map(|&c| {
+                        let (rid, count, uni, int, nmin, nmax) = done[&c].clone();
+                        E {
+                            r: UserRef::Node(rid),
+                            rect: tree.nodes[c].rect,
+                            count,
+                            uni,
+                            int,
+                            norm_min: nmin,
+                            norm_max: nmax,
+                        }
+                    })
+                    .collect()
+            };
+
+            // Serialize IntUni vectors (plus the normalizer bracket).
+            let mut w = Writer::new();
+            for e in &entries {
+                w.put_u32(e.uni.len() as u32);
+                for &t in &e.uni {
+                    w.put_u32(t.0);
+                }
+                w.put_u32(e.int.len() as u32);
+                for &t in &e.int {
+                    w.put_u32(t.0);
+                }
+                w.put_f64(e.norm_min);
+                w.put_f64(e.norm_max);
+            }
+            let iu_rec = intuni.put(&w.into_bytes());
+
+            // Serialize node record.
+            let mut w = Writer::new();
+            w.put_u8(u8::from(node.is_leaf()));
+            w.put_u32(iu_rec.0);
+            w.put_u32(entries.len() as u32);
+            for e in &entries {
+                let id = match e.r {
+                    UserRef::Node(rid) => rid.0,
+                    UserRef::User(uid) => uid,
+                };
+                w.put_u32(id);
+                w.put_f64(e.rect.min.x);
+                w.put_f64(e.rect.min.y);
+                w.put_f64(e.rect.max.x);
+                w.put_f64(e.rect.max.y);
+                w.put_u32(e.count);
+            }
+            let node_rec = nodes.put(&w.into_bytes());
+
+            // Parent aggregate.
+            let count: u32 = entries.iter().map(|e| e.count).sum();
+            let uni = union_sorted(entries.iter().map(|e| e.uni.as_slice()));
+            let int = intersect_sorted(entries.iter().map(|e| e.int.as_slice()));
+            let nmin = entries.iter().map(|e| e.norm_min).fold(f64::INFINITY, f64::min);
+            let nmax = entries.iter().map(|e| e.norm_max).fold(0.0f64, f64::max);
+            done.insert(n, (node_rec, count, uni, int, nmin, nmax));
+        }
+
+        MiurTree {
+            nodes,
+            intuni,
+            root: done[&tree.root].0,
+            height: tree.height,
+            num_users: users.len(),
+        }
+    }
+
+    /// Persists the tree to `dir` (`nodes.mbrs`, `intuni.mbrs`,
+    /// `meta.mbrs`); creates the directory when missing.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        storage::save_blockfile(&self.nodes, &dir.join("nodes.mbrs"))?;
+        storage::save_blockfile(&self.intuni, &dir.join("intuni.mbrs"))?;
+        let mut w = Writer::new();
+        w.put_u32(self.root.0);
+        w.put_u32(self.height);
+        w.put_u64(self.num_users as u64);
+        std::fs::write(dir.join("meta.mbrs"), w.into_bytes())
+    }
+
+    /// Reopens a tree saved by [`MiurTree::save`].
+    pub fn load(dir: &std::path::Path) -> std::io::Result<Self> {
+        let nodes = storage::load_blockfile(&dir.join("nodes.mbrs"))?;
+        let intuni = storage::load_blockfile(&dir.join("intuni.mbrs"))?;
+        let meta = std::fs::read(dir.join("meta.mbrs"))?;
+        let mut r = Reader::new(&meta);
+        Ok(MiurTree {
+            nodes,
+            intuni,
+            root: RecordId(r.get_u32()),
+            height: r.get_u32(),
+            num_users: r.get_u64() as usize,
+        })
+    }
+
+    /// Record id of the root.
+    #[inline]
+    pub fn root(&self) -> RecordId {
+        self.root
+    }
+
+    /// Tree height (1 = root is a leaf).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of indexed users.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Total bytes of node records.
+    pub fn node_bytes(&self) -> u64 {
+        self.nodes.bytes()
+    }
+
+    /// Total bytes of IntUni records.
+    pub fn intuni_bytes(&self) -> u64 {
+        self.intuni.bytes()
+    }
+
+    /// Reads a node with its IntUni vectors, charging one node visit plus
+    /// the IntUni file's blocks (the paper's inverted-file rule applies to
+    /// the textual payload of the node).
+    pub fn read_node(&self, id: RecordId, io: &IoStats) -> MiurNodeView {
+        io.charge_node_visit_keyed((2 << 33) | u64::from(id.0));
+        let payload = self.nodes.get(id);
+        let mut r = Reader::new(payload);
+        let is_leaf = r.get_u8() != 0;
+        let iu_rec = RecordId(r.get_u32());
+        let n = r.get_u32() as usize;
+
+        let iu_payload = self.intuni.get(iu_rec);
+        io.charge_invfile_keyed((3 << 33) | u64::from(iu_rec.0), iu_payload.len());
+        let mut iu = Reader::new(iu_payload);
+
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let raw = r.get_u32();
+            let rect = Rect::new(
+                Point::new(r.get_f64(), r.get_f64()),
+                Point::new(r.get_f64(), r.get_f64()),
+            );
+            let count = r.get_u32();
+            let n_uni = iu.get_u32() as usize;
+            let uni: Vec<TermId> = (0..n_uni).map(|_| TermId(iu.get_u32())).collect();
+            let n_int = iu.get_u32() as usize;
+            let int: Vec<TermId> = (0..n_int).map(|_| TermId(iu.get_u32())).collect();
+            let norm_min = iu.get_f64();
+            let norm_max = iu.get_f64();
+            entries.push(MiurEntryView {
+                rect,
+                child: if is_leaf {
+                    UserRef::User(raw)
+                } else {
+                    UserRef::Node(RecordId(raw))
+                },
+                count,
+                uni,
+                int,
+                norm_min,
+                norm_max,
+            });
+        }
+        debug_assert!(r.is_exhausted() && iu.is_exhausted());
+        MiurNodeView {
+            id,
+            is_leaf,
+            entries,
+        }
+    }
+}
+
+/// Union of ascending term slices, ascending output.
+fn union_sorted<'a>(lists: impl Iterator<Item = &'a [TermId]>) -> Vec<TermId> {
+    let mut all: Vec<TermId> = lists.flatten().copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+/// Intersection of ascending term slices, ascending output.
+fn intersect_sorted<'a>(mut lists: impl Iterator<Item = &'a [TermId]>) -> Vec<TermId> {
+    let Some(first) = lists.next() else {
+        return Vec::new();
+    };
+    let mut acc: Vec<TermId> = first.to_vec();
+    for list in lists {
+        let mut next = Vec::with_capacity(acc.len().min(list.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < acc.len() && j < list.len() {
+            match acc[i].cmp(&list[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    next.push(acc[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc = next;
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    /// 12 users; everyone has term 0, user i also has term 1 + i % 3.
+    fn users() -> Vec<IndexedUser> {
+        (0..12)
+            .map(|i| IndexedUser {
+                id: i,
+                point: Point::new(f64::from(i), f64::from(i % 4)),
+                doc: Document::from_terms([t(0), t(1 + i % 3)]),
+                norm: 2.0,
+            })
+            .collect()
+    }
+
+    fn gather_users(tree: &MiurTree, io: &IoStats) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, io);
+            for e in &node.entries {
+                match e.child {
+                    UserRef::Node(c) => stack.push(c),
+                    UserRef::User(u) => out.push(u),
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn all_users_present() {
+        let us = users();
+        let tree = MiurTree::build_with_fanout(&us, 4);
+        let io = IoStats::new();
+        assert_eq!(gather_users(&tree, &io), (0..12).collect::<Vec<_>>());
+        assert_eq!(tree.num_users(), 12);
+    }
+
+    #[test]
+    fn counts_sum_to_subtree_sizes() {
+        let us = users();
+        let tree = MiurTree::build_with_fanout(&us, 4);
+        let io = IoStats::new();
+        let root = tree.read_node(tree.root(), &io);
+        let total: u32 = root.entries.iter().map(|e| e.count).sum();
+        assert_eq!(total, 12);
+    }
+
+    /// The IntUni invariant: a node entry's union ⊇ every descendant's
+    /// keywords and its intersection ⊆ every descendant's keywords.
+    #[test]
+    fn intuni_vectors_bound_descendants() {
+        let us = users();
+        let tree = MiurTree::build_with_fanout(&us, 4);
+        let io = IoStats::new();
+
+        fn descendants(tree: &MiurTree, id: RecordId, io: &IoStats) -> Vec<u32> {
+            let node = tree.read_node(id, io);
+            let mut out = Vec::new();
+            for e in &node.entries {
+                match e.child {
+                    UserRef::User(u) => out.push(u),
+                    UserRef::Node(c) => out.extend(descendants(tree, c, io)),
+                }
+            }
+            out
+        }
+
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, &io);
+            for e in &node.entries {
+                let descs = match e.child {
+                    UserRef::User(u) => vec![u],
+                    UserRef::Node(c) => {
+                        stack.push(c);
+                        descendants(&tree, c, &io)
+                    }
+                };
+                assert_eq!(descs.len(), e.count as usize);
+                for d in descs {
+                    let doc = &us[d as usize].doc;
+                    for term in doc.terms() {
+                        assert!(e.uni.contains(&term), "union misses a descendant term");
+                    }
+                    for &term in &e.int {
+                        assert!(doc.contains(term), "intersection has a non-shared term");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_term_survives_to_root() {
+        let us = users();
+        let tree = MiurTree::build_with_fanout(&us, 4);
+        let io = IoStats::new();
+        // Everyone has t0, so every entry's intersection contains it.
+        let root = tree.read_node(tree.root(), &io);
+        for e in &root.entries {
+            assert!(e.int.contains(&t(0)));
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let us = users();
+        let tree = MiurTree::build_with_fanout(&us, 4);
+        let dir = std::env::temp_dir().join(format!("mbrstk-miur-{}", std::process::id()));
+        tree.save(&dir).unwrap();
+        let loaded = MiurTree::load(&dir).unwrap();
+        assert_eq!(loaded.root(), tree.root());
+        assert_eq!(loaded.num_users(), tree.num_users());
+        let io = IoStats::new();
+        assert_eq!(gather_users(&loaded, &io), (0..12).collect::<Vec<_>>());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn io_charged_per_node() {
+        let us = users();
+        let tree = MiurTree::build_with_fanout(&us, 4);
+        let io = IoStats::new();
+        tree.read_node(tree.root(), &io);
+        let snap = io.snapshot();
+        assert_eq!(snap.node_visits, 1);
+        assert!(snap.invfile_blocks >= 1);
+    }
+
+    #[test]
+    fn sorted_set_helpers() {
+        let a = [t(1), t(3), t(5)];
+        let b = [t(3), t(4), t(5)];
+        assert_eq!(
+            union_sorted([a.as_slice(), b.as_slice()].into_iter()),
+            vec![t(1), t(3), t(4), t(5)]
+        );
+        assert_eq!(
+            intersect_sorted([a.as_slice(), b.as_slice()].into_iter()),
+            vec![t(3), t(5)]
+        );
+        assert_eq!(intersect_sorted(std::iter::empty()), Vec::<TermId>::new());
+    }
+}

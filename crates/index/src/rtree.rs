@@ -1,0 +1,561 @@
+//! The shared R-tree skeleton: STR bulk loading and quadratic-split insert.
+//!
+//! This is the in-memory *build* structure. The disk layouts ([`crate::StTree`],
+//! [`crate::MiurTree`]) are produced by serializing a finished [`BuildTree`];
+//! queries never touch this module.
+
+use geo::Rect;
+
+/// Default maximum entries per node.
+///
+/// A node record stores ~40 bytes per entry (id + MBR + per-entry metadata),
+/// so 64 entries keep node records comfortably inside one 4 KB page, the
+/// configuration the paper's simulated I/O model assumes.
+pub const DEFAULT_MAX_ENTRIES: usize = 64;
+
+/// One item to index: an application id plus its (possibly degenerate) MBR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildItem {
+    /// Application identifier (object id or user id).
+    pub id: u32,
+    /// Bounding rectangle; a point for the paper's datasets.
+    pub rect: Rect,
+}
+
+/// A node of the in-memory build tree.
+#[derive(Debug, Clone)]
+pub struct BuildNode {
+    /// MBR of everything below this node.
+    pub rect: Rect,
+    /// Child node indices (inner nodes) — empty for leaves.
+    pub children: Vec<usize>,
+    /// Indices into the item slice (leaves) — empty for inner nodes.
+    pub items: Vec<usize>,
+    /// Distance from the leaf level (leaves are 0).
+    pub level: u32,
+}
+
+impl BuildNode {
+    /// True when this node holds items rather than child nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries (children or items).
+    pub fn len(&self) -> usize {
+        if self.is_leaf() {
+            self.items.len()
+        } else {
+            self.children.len()
+        }
+    }
+
+    /// True when the node holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A finished R-tree over a fixed item slice.
+///
+/// Node indices refer into [`BuildTree::nodes`]; item indices refer into
+/// the caller's item slice (which the tree does not own).
+#[derive(Debug, Clone)]
+pub struct BuildTree {
+    /// All nodes; the root is [`BuildTree::root`].
+    pub nodes: Vec<BuildNode>,
+    /// Index of the root node.
+    pub root: usize,
+    /// Tree height: 1 for a single leaf root.
+    pub height: u32,
+    /// Maximum entries per node used during construction.
+    pub max_entries: usize,
+}
+
+impl BuildTree {
+    /// Bulk loads `items` with the Sort-Tile-Recursive algorithm.
+    ///
+    /// STR produces well-clustered, fully-packed nodes; it is the standard
+    /// choice for static spatial-textual collections like the paper's.
+    ///
+    /// # Panics
+    /// Panics when `items` is empty or `max_entries < 2`.
+    pub fn bulk_load(items: &[BuildItem], max_entries: usize) -> Self {
+        assert!(!items.is_empty(), "cannot bulk load an empty item set");
+        assert!(max_entries >= 2, "max_entries must be at least 2");
+
+        let mut nodes: Vec<BuildNode> = Vec::new();
+
+        // --- Leaf level: tile the items. ---
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        let leaf_groups = str_tile(&mut order, max_entries, |&i| items[i].rect.center());
+        let mut level_nodes: Vec<usize> = Vec::with_capacity(leaf_groups.len());
+        for group in leaf_groups {
+            let rect = Rect::bounding_rects(group.iter().map(|&i| items[i].rect))
+                .expect("non-empty group");
+            nodes.push(BuildNode {
+                rect,
+                children: Vec::new(),
+                items: group,
+                level: 0,
+            });
+            level_nodes.push(nodes.len() - 1);
+        }
+
+        // --- Upper levels: tile the nodes of the level below. ---
+        let mut height = 1;
+        while level_nodes.len() > 1 {
+            let mut order: Vec<usize> = level_nodes.clone();
+            let groups = str_tile(&mut order, max_entries, |&n| nodes[n].rect.center());
+            let mut next: Vec<usize> = Vec::with_capacity(groups.len());
+            for group in groups {
+                let rect = Rect::bounding_rects(group.iter().map(|&n| nodes[n].rect))
+                    .expect("non-empty group");
+                nodes.push(BuildNode {
+                    rect,
+                    children: group,
+                    items: Vec::new(),
+                    level: height,
+                });
+                next.push(nodes.len() - 1);
+            }
+            level_nodes = next;
+            height += 1;
+        }
+
+        BuildTree {
+            root: level_nodes[0],
+            nodes,
+            height,
+            max_entries,
+        }
+    }
+
+    /// Checks structural invariants; used by tests and debug builds.
+    ///
+    /// Verifies that (a) every node's MBR tightly bounds its entries,
+    /// (b) no node exceeds `max_entries`, (c) every item appears exactly
+    /// once, and (d) levels decrease by one toward the leaves.
+    pub fn check_invariants(&self, items: &[BuildItem]) -> Result<(), String> {
+        let mut seen = vec![false; items.len()];
+        self.check_node(self.root, items, &mut seen)?;
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("item {missing} missing from tree"));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        n: usize,
+        items: &[BuildItem],
+        seen: &mut [bool],
+    ) -> Result<(), String> {
+        let node = &self.nodes[n];
+        if node.len() > self.max_entries {
+            return Err(format!("node {n} has {} > max {} entries", node.len(), self.max_entries));
+        }
+        if node.is_empty() {
+            return Err(format!("node {n} is empty"));
+        }
+        if node.is_leaf() {
+            let mbr = Rect::bounding_rects(node.items.iter().map(|&i| items[i].rect)).unwrap();
+            if mbr != node.rect {
+                return Err(format!("leaf {n} MBR is not tight"));
+            }
+            for &i in &node.items {
+                if seen[i] {
+                    return Err(format!("item {i} appears twice"));
+                }
+                seen[i] = true;
+            }
+        } else {
+            let mbr =
+                Rect::bounding_rects(node.children.iter().map(|&c| self.nodes[c].rect)).unwrap();
+            if mbr != node.rect {
+                return Err(format!("inner {n} MBR is not tight"));
+            }
+            for &c in &node.children {
+                if self.nodes[c].level + 1 != node.level {
+                    return Err(format!("child {c} level mismatch under {n}"));
+                }
+                self.check_node(c, items, seen)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of leaf-level item slots (for sanity checks).
+    pub fn num_items(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.items.len())
+            .sum()
+    }
+}
+
+/// Sort-Tile-Recursive grouping of `order` (indices) into runs of at most
+/// `cap`, tiling by x strips then y within each strip.
+fn str_tile<T: Copy>(
+    order: &mut [T],
+    cap: usize,
+    center: impl Fn(&T) -> geo::Point,
+) -> Vec<Vec<T>> {
+    let n = order.len();
+    let num_groups = n.div_ceil(cap);
+    let num_strips = (num_groups as f64).sqrt().ceil() as usize;
+    let strip_len = n.div_ceil(num_strips);
+
+    order.sort_by(|a, b| center(a).x.total_cmp(&center(b).x));
+    let mut groups = Vec::with_capacity(num_groups);
+    for strip in order.chunks_mut(strip_len.max(1)) {
+        strip.sort_by(|a, b| center(a).y.total_cmp(&center(b).y));
+        for run in strip.chunks(cap) {
+            groups.push(run.to_vec());
+        }
+    }
+    groups
+}
+
+/// An incrementally-built R-tree using the classic Guttman insertion path
+/// with quadratic split.
+///
+/// The paper notes the MIR-tree "splitting and merging of the nodes are
+/// executed in the same manner as the IR-tree", i.e. plain R-tree updates;
+/// this builder provides that dynamic path. Finish with
+/// [`RTreeBuilder::finish`] to obtain the same [`BuildTree`] shape the bulk
+/// loader produces.
+#[derive(Debug)]
+pub struct RTreeBuilder {
+    items: Vec<BuildItem>,
+    nodes: Vec<DynNode>,
+    root: usize,
+    max_entries: usize,
+}
+
+#[derive(Debug, Clone)]
+struct DynNode {
+    rect: Rect,
+    /// Entry ids: node indices for inner, item indices for leaves.
+    entries: Vec<usize>,
+    level: u32,
+}
+
+impl RTreeBuilder {
+    /// An empty builder with the given node capacity.
+    ///
+    /// # Panics
+    /// Panics when `max_entries < 4` (quadratic split needs room to
+    /// distribute seeds).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        RTreeBuilder {
+            items: Vec::new(),
+            nodes: vec![DynNode {
+                rect: Rect::from_point(geo::Point::new(0.0, 0.0)),
+                entries: Vec::new(),
+                level: 0,
+            }],
+            root: 0,
+            max_entries,
+        }
+    }
+
+    /// Number of items inserted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no item has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts one item.
+    pub fn insert(&mut self, item: BuildItem) {
+        let item_idx = self.items.len();
+        self.items.push(item);
+        if item_idx == 0 {
+            self.nodes[self.root].rect = item.rect;
+        }
+        let leaf = self.choose_leaf(item.rect);
+        self.nodes[leaf].entries.push(item_idx);
+        self.nodes[leaf].rect = self.nodes[leaf].rect.union(&item.rect);
+        if self.nodes[leaf].entries.len() > self.max_entries {
+            self.split(leaf);
+        } else {
+            self.adjust_path(leaf);
+        }
+    }
+
+    /// Walks from the root picking the child needing least enlargement.
+    fn choose_leaf(&self, rect: Rect) -> usize {
+        let mut n = self.root;
+        loop {
+            let node = &self.nodes[n];
+            if node.level == 0 {
+                return n;
+            }
+            let target = Rect::from_point(rect.center()).union(&rect);
+            let best = node
+                .entries
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ea = self.nodes[a].rect.enlargement(&target);
+                    let eb = self.nodes[b].rect.enlargement(&target);
+                    ea.total_cmp(&eb)
+                        .then_with(|| self.nodes[a].rect.area().total_cmp(&self.nodes[b].rect.area()))
+                })
+                .expect("inner node with no children");
+            n = best;
+        }
+    }
+
+    fn entry_rect(&self, node_level: u32, entry: usize) -> Rect {
+        if node_level == 0 {
+            self.items[entry].rect
+        } else {
+            self.nodes[entry].rect
+        }
+    }
+
+    /// Quadratic split of an overfull node, propagating upward.
+    fn split(&mut self, n: usize) {
+        let level = self.nodes[n].level;
+        let entries = std::mem::take(&mut self.nodes[n].entries);
+        let rects: Vec<Rect> = entries.iter().map(|&e| self.entry_rect(level, e)).collect();
+
+        // Quadratic seed pick: the pair wasting the most area together.
+        let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+                if waste > worst {
+                    worst = waste;
+                    s1 = i;
+                    s2 = j;
+                }
+            }
+        }
+
+        let min_fill = self.max_entries / 2;
+        let mut g1: Vec<usize> = vec![entries[s1]];
+        let mut g2: Vec<usize> = vec![entries[s2]];
+        let mut r1 = rects[s1];
+        let mut r2 = rects[s2];
+        let mut rest: Vec<usize> = (0..entries.len()).filter(|&i| i != s1 && i != s2).collect();
+
+        while let Some(pos) = rest.pop() {
+            let remaining = rest.len() + 1;
+            // Force assignment when one group must take everything left to
+            // reach minimum fill.
+            if g1.len() + remaining <= min_fill {
+                for &p in std::iter::once(&pos).chain(rest.iter()) {
+                    g1.push(entries[p]);
+                    r1 = r1.union(&rects[p]);
+                }
+                break;
+            }
+            if g2.len() + remaining <= min_fill {
+                for &p in std::iter::once(&pos).chain(rest.iter()) {
+                    g2.push(entries[p]);
+                    r2 = r2.union(&rects[p]);
+                }
+                break;
+            }
+            let e1 = r1.enlargement(&rects[pos]);
+            let e2 = r2.enlargement(&rects[pos]);
+            if e1 < e2 || (e1 == e2 && r1.area() <= r2.area()) {
+                g1.push(entries[pos]);
+                r1 = r1.union(&rects[pos]);
+            } else {
+                g2.push(entries[pos]);
+                r2 = r2.union(&rects[pos]);
+            }
+        }
+
+        self.nodes[n].entries = g1;
+        self.nodes[n].rect = r1;
+        let sibling = self.nodes.len();
+        self.nodes.push(DynNode {
+            rect: r2,
+            entries: g2,
+            level,
+        });
+
+        if n == self.root {
+            // Grow a new root.
+            let new_root = self.nodes.len();
+            self.nodes.push(DynNode {
+                rect: r1.union(&r2),
+                entries: vec![n, sibling],
+                level: level + 1,
+            });
+            self.root = new_root;
+        } else {
+            let parent = self.parent_of(n).expect("non-root node must have a parent");
+            self.nodes[parent].entries.push(sibling);
+            self.recompute_rect(parent);
+            if self.nodes[parent].entries.len() > self.max_entries {
+                self.split(parent);
+            } else {
+                self.adjust_path(parent);
+            }
+        }
+    }
+
+    /// Finds the parent by scanning (build-time only; trees are shallow and
+    /// splits rare, so the scan is not a hot path).
+    fn parent_of(&self, n: usize) -> Option<usize> {
+        let level = self.nodes[n].level;
+        self.nodes
+            .iter()
+            .position(|node| node.level == level + 1 && node.entries.contains(&n))
+    }
+
+    fn recompute_rect(&mut self, n: usize) {
+        let level = self.nodes[n].level;
+        let rect = Rect::bounding_rects(
+            self.nodes[n]
+                .entries
+                .iter()
+                .map(|&e| self.entry_rect(level, e)),
+        )
+        .expect("node with no entries");
+        self.nodes[n].rect = rect;
+    }
+
+    /// Re-tightens MBRs from `n` up to the root.
+    fn adjust_path(&mut self, mut n: usize) {
+        loop {
+            self.recompute_rect(n);
+            match self.parent_of(n) {
+                Some(p) => n = p,
+                None => break,
+            }
+        }
+    }
+
+    /// Finalizes into the canonical [`BuildTree`] shape (plus the item
+    /// vector in insertion order).
+    ///
+    /// # Panics
+    /// Panics when no item was inserted.
+    pub fn finish(self) -> (Vec<BuildItem>, BuildTree) {
+        assert!(!self.items.is_empty(), "cannot finish an empty builder");
+        let height = self.nodes[self.root].level + 1;
+        let max_entries = self.max_entries;
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|d| BuildNode {
+                rect: d.rect,
+                children: if d.level > 0 { d.entries.clone() } else { Vec::new() },
+                items: if d.level == 0 { d.entries.clone() } else { Vec::new() },
+                level: d.level,
+            })
+            .collect();
+        (
+            self.items,
+            BuildTree {
+                nodes,
+                root: self.root,
+                height,
+                max_entries,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::Point;
+
+    fn grid_items(n: usize) -> Vec<BuildItem> {
+        (0..n)
+            .map(|i| BuildItem {
+                id: i as u32,
+                rect: Rect::from_point(Point::new((i % 37) as f64, (i / 37) as f64)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_single_item() {
+        let items = grid_items(1);
+        let t = BuildTree::bulk_load(&items, 8);
+        assert_eq!(t.height, 1);
+        assert_eq!(t.num_items(), 1);
+        t.check_invariants(&items).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_one_leaf() {
+        let items = grid_items(8);
+        let t = BuildTree::bulk_load(&items, 8);
+        assert_eq!(t.height, 1);
+        t.check_invariants(&items).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_two_levels() {
+        let items = grid_items(50);
+        let t = BuildTree::bulk_load(&items, 8);
+        assert!(t.height >= 2);
+        assert_eq!(t.num_items(), 50);
+        t.check_invariants(&items).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_large() {
+        let items = grid_items(5000);
+        let t = BuildTree::bulk_load(&items, 16);
+        t.check_invariants(&items).unwrap();
+        // Packed tree: node count near n/M + n/M² ...
+        assert!(t.nodes.len() <= 5000 / 16 * 2 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty item set")]
+    fn bulk_load_empty_panics() {
+        BuildTree::bulk_load(&[], 8);
+    }
+
+    #[test]
+    fn insert_builds_valid_tree() {
+        let mut b = RTreeBuilder::new(4);
+        for item in grid_items(100) {
+            b.insert(item);
+        }
+        let (items, t) = b.finish();
+        assert_eq!(t.num_items(), 100);
+        t.check_invariants(&items).unwrap();
+    }
+
+    #[test]
+    fn insert_duplicate_locations() {
+        let mut b = RTreeBuilder::new(4);
+        for i in 0..30 {
+            b.insert(BuildItem {
+                id: i,
+                rect: Rect::from_point(Point::new(1.0, 1.0)),
+            });
+        }
+        let (items, t) = b.finish();
+        t.check_invariants(&items).unwrap();
+        assert_eq!(t.num_items(), 30);
+    }
+
+    #[test]
+    fn root_mbr_covers_everything() {
+        let items = grid_items(200);
+        let t = BuildTree::bulk_load(&items, 8);
+        let root = &t.nodes[t.root];
+        for it in &items {
+            assert!(root.rect.contains_rect(&it.rect));
+        }
+    }
+}

@@ -1,0 +1,1340 @@
+//! The disk-resident spatial-textual tree: IR-tree and MIR-tree layouts.
+//!
+//! Both trees share one physical organization (§5.1): an R-tree whose every
+//! node carries an inverted file over the node's *entries*. A posting for
+//! term `t` under entry `e` stores the maximum — and, in the MIR-tree, also
+//! the minimum — weight of `t` across all documents in the subtree below
+//! `e`. The minimum is taken over the subtree *intersection*: it is 0 when
+//! any document below `e` lacks `t` (Fig. 3 / Table 2 of the paper).
+//!
+//! [`PostingMode::MaxOnly`] reproduces the original IR-tree of Cong et al.
+//! (used by the paper's baseline); [`PostingMode::MaxMin`] is the paper's
+//! MIR-tree. The only physical difference is posting width, which is why
+//! the paper reports identical construction/update costs — and why the
+//! MIR-tree's inverted files are slightly larger, which our block
+//! accounting faithfully reflects.
+
+use std::collections::HashMap;
+
+use geo::{Point, Rect};
+use storage::codec::{Reader, Writer};
+use storage::{BlockFile, IoStats, RecordId};
+use text::{TermId, WeightedDoc};
+
+use crate::rtree::{BuildItem, BuildTree, DEFAULT_MAX_ENTRIES};
+
+/// Whether postings carry only maxima (IR-tree) or maxima and minima
+/// (MIR-tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostingMode {
+    /// Original IR-tree postings: `⟨entry, maxw⟩`.
+    MaxOnly,
+    /// MIR-tree postings: `⟨entry, maxw, minw⟩`.
+    MaxMin,
+}
+
+/// An object ready for indexing: id, location, precomputed term weights.
+#[derive(Debug, Clone)]
+pub struct IndexedObject {
+    /// Application object id (dense, used to index object tables).
+    pub id: u32,
+    /// Location `o.l`.
+    pub point: Point,
+    /// Model weights of `o.d` (see [`text::TextScorer::weigh`]).
+    pub doc: WeightedDoc,
+}
+
+/// What an entry of a node points to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildRef {
+    /// An inner entry: the record id of a child node.
+    Node(RecordId),
+    /// A leaf entry: an object id.
+    Object(u32),
+}
+
+/// One deserialized entry of a node.
+#[derive(Debug, Clone, Copy)]
+pub struct EntryView {
+    /// The entry's MBR (degenerate for leaf entries — the object location).
+    pub rect: Rect,
+    /// Target of the entry.
+    pub child: ChildRef,
+}
+
+/// A deserialized tree node.
+#[derive(Debug, Clone)]
+pub struct NodeView {
+    /// Record id of this node.
+    pub id: RecordId,
+    /// True for leaves (entries are objects).
+    pub is_leaf: bool,
+    /// The node's entries.
+    pub entries: Vec<EntryView>,
+    invfile: RecordId,
+}
+
+impl NodeView {
+    /// Location of leaf entry `i` (its degenerate MBR corner).
+    pub fn entry_point(&self, i: usize) -> Point {
+        self.entries[i].rect.min
+    }
+}
+
+/// Postings of one node restricted to a set of query terms.
+///
+/// `per_entry[i]` lists `(term, maxw, minw)` ascending by term for entry
+/// `i`; in [`PostingMode::MaxOnly`] the minimum mirrors the maximum at the
+/// leaf level and is unavailable above it (the IR-tree stores no minima),
+/// so it is reported as 0.
+#[derive(Debug, Clone)]
+pub struct Postings {
+    /// Per-entry `(term, maxw, minw)` triples, ascending by term.
+    pub per_entry: Vec<Vec<(TermId, f64, f64)>>,
+}
+
+/// A disk-resident IR-tree / MIR-tree.
+#[derive(Debug)]
+pub struct StTree {
+    mode: PostingMode,
+    nodes: BlockFile,
+    invfiles: BlockFile,
+    root: RecordId,
+    height: u32,
+    num_objects: usize,
+    fanout: usize,
+}
+
+impl StTree {
+    /// Bulk loads the tree over `objects` with the default fanout.
+    pub fn build(objects: &[IndexedObject], mode: PostingMode) -> Self {
+        Self::build_with_fanout(objects, mode, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Bulk loads with an explicit node capacity.
+    ///
+    /// # Panics
+    /// Panics when `objects` is empty.
+    pub fn build_with_fanout(
+        objects: &[IndexedObject],
+        mode: PostingMode,
+        fanout: usize,
+    ) -> Self {
+        let items: Vec<BuildItem> = objects
+            .iter()
+            .enumerate()
+            .map(|(pos, o)| BuildItem {
+                id: pos as u32,
+                rect: Rect::from_point(o.point),
+            })
+            .collect();
+        let tree = BuildTree::bulk_load(&items, fanout);
+        Self::from_build_tree(&tree, &items, objects, mode, fanout)
+    }
+
+    /// Bulk loads with *text-first* leaf clustering (CIR/DIR-inspired).
+    ///
+    /// §5.1 notes the MIR-tree "can be constructed in the same manner as
+    /// the DIR-tree", i.e. with nodes grouped by textual as well as
+    /// spatial criteria. This variant packs leaves primarily by each
+    /// object's dominant (highest-weight) term and only secondarily by
+    /// location, then builds the upper levels spatially (STR on leaf
+    /// centers). Leaves get coherent vocabularies — smaller per-node
+    /// inverted files and sharper `MaxTS` bounds — at the cost of looser
+    /// MBRs. The `figures -- ablation` harness quantifies the trade-off.
+    pub fn build_text_first(
+        objects: &[IndexedObject],
+        mode: PostingMode,
+        fanout: usize,
+    ) -> Self {
+        assert!(!objects.is_empty(), "cannot index an empty object set");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let items: Vec<BuildItem> = objects
+            .iter()
+            .enumerate()
+            .map(|(pos, o)| BuildItem {
+                id: pos as u32,
+                rect: Rect::from_point(o.point),
+            })
+            .collect();
+
+        // Order: dominant term, then x, then y.
+        let dominant = |o: &IndexedObject| -> u32 {
+            o.doc
+                .entries
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|&(t, _)| t.0)
+                .unwrap_or(u32::MAX)
+        };
+        let mut order: Vec<usize> = (0..objects.len()).collect();
+        order.sort_by(|&a, &b| {
+            dominant(&objects[a])
+                .cmp(&dominant(&objects[b]))
+                .then(objects[a].point.x.total_cmp(&objects[b].point.x))
+                .then(objects[a].point.y.total_cmp(&objects[b].point.y))
+        });
+
+        // Sequential leaf packing in that order.
+        let mut nodes: Vec<crate::rtree::BuildNode> = Vec::new();
+        let mut leaf_ids: Vec<usize> = Vec::new();
+        for run in order.chunks(fanout) {
+            let rect = Rect::bounding_rects(run.iter().map(|&i| items[i].rect)).unwrap();
+            nodes.push(crate::rtree::BuildNode {
+                rect,
+                children: Vec::new(),
+                items: run.to_vec(),
+                level: 0,
+            });
+            leaf_ids.push(nodes.len() - 1);
+        }
+
+        // Upper levels: plain spatial STR over the level below.
+        let mut level_nodes = leaf_ids;
+        let mut height = 1;
+        while level_nodes.len() > 1 {
+            let leaf_items: Vec<BuildItem> = level_nodes
+                .iter()
+                .map(|&n| BuildItem {
+                    id: n as u32,
+                    rect: nodes[n].rect,
+                })
+                .collect();
+            let grouped = BuildTree::bulk_load(&leaf_items, fanout);
+            // Take only the first level above the pseudo-leaves.
+            let mut next = Vec::new();
+            for bn in grouped.nodes.iter().filter(|bn| bn.is_leaf()) {
+                let children: Vec<usize> = bn.items.iter().map(|&i| level_nodes[i]).collect();
+                let rect = Rect::bounding_rects(children.iter().map(|&c| nodes[c].rect)).unwrap();
+                nodes.push(crate::rtree::BuildNode {
+                    rect,
+                    children,
+                    items: Vec::new(),
+                    level: height,
+                });
+                next.push(nodes.len() - 1);
+            }
+            level_nodes = next;
+            height += 1;
+        }
+
+        let tree = BuildTree {
+            root: level_nodes[0],
+            nodes,
+            height,
+            max_entries: fanout,
+        };
+        Self::from_build_tree(&tree, &items, objects, mode, fanout)
+    }
+
+    /// Serializes a finished [`BuildTree`] (exposed so tests can exercise
+    /// insertion-built trees through the same disk layout).
+    pub fn from_build_tree(
+        tree: &BuildTree,
+        items: &[BuildItem],
+        objects: &[IndexedObject],
+        mode: PostingMode,
+        fanout: usize,
+    ) -> Self {
+        let mut nodes = BlockFile::new();
+        let mut invfiles = BlockFile::new();
+        // node build-index -> (record id, subtree term aggregate).
+        let mut done: HashMap<usize, (RecordId, TermAgg)> = HashMap::new();
+
+        // Serialize bottom-up so child record ids exist before parents.
+        let mut order: Vec<usize> = (0..tree.nodes.len()).collect();
+        order.sort_by_key(|&n| tree.nodes[n].level);
+
+        for n in order {
+            let node = &tree.nodes[n];
+            let (entry_refs, entry_rects, entry_aggs): (Vec<ChildRef>, Vec<Rect>, Vec<TermAgg>) =
+                if node.is_leaf() {
+                    let mut refs = Vec::with_capacity(node.items.len());
+                    let mut rects = Vec::with_capacity(node.items.len());
+                    let mut aggs = Vec::with_capacity(node.items.len());
+                    for &pos in &node.items {
+                        let obj = &objects[items[pos].id as usize];
+                        refs.push(ChildRef::Object(obj.id));
+                        rects.push(Rect::from_point(obj.point));
+                        aggs.push(TermAgg::from_doc(&obj.doc));
+                    }
+                    (refs, rects, aggs)
+                } else {
+                    let mut refs = Vec::with_capacity(node.children.len());
+                    let mut rects = Vec::with_capacity(node.children.len());
+                    let mut aggs = Vec::with_capacity(node.children.len());
+                    for &c in &node.children {
+                        let (rid, agg) = &done[&c];
+                        refs.push(ChildRef::Node(*rid));
+                        rects.push(tree.nodes[c].rect);
+                        aggs.push(agg.clone());
+                    }
+                    (refs, rects, aggs)
+                };
+
+            let inv_rec = invfiles.put(&serialize_invfile(&entry_aggs, mode));
+            let node_rec = nodes.put(&serialize_node(node.is_leaf(), inv_rec, &entry_refs, &entry_rects));
+            let node_agg = TermAgg::merge_entries(&entry_aggs);
+            done.insert(n, (node_rec, node_agg));
+        }
+
+        let root = done[&tree.root].0;
+        StTree {
+            mode,
+            nodes,
+            invfiles,
+            root,
+            height: tree.height,
+            num_objects: objects.len(),
+            fanout,
+        }
+    }
+
+    /// Inserts one object into the disk-resident tree — the §5.1 update
+    /// path ("the splitting and merging of the nodes are executed in the
+    /// same manner as the IR-tree"; min weights are maintained in the same
+    /// pass as max weights, which is the paper's cost argument).
+    ///
+    /// Follows the classic least-enlargement descent with quadratic node
+    /// splits. The affected root-to-leaf path is re-serialized as fresh
+    /// records (the block file is append-only, like a disk page
+    /// allocator); superseded records become garbage, which a rebuild
+    /// reclaims. No simulated I/O is charged: the paper's metrics measure
+    /// query I/O on static indexes, not maintenance.
+    pub fn insert(&mut self, obj: &IndexedObject) {
+        let rect = Rect::from_point(obj.point);
+        // Descend by least enlargement, collecting the path.
+        let mut path: Vec<(NodeView, usize)> = Vec::new(); // (node, chosen child idx)
+        let mut current = self.read_node_quiet(self.root);
+        while !current.is_leaf {
+            let best = current
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.rect
+                        .enlargement(&rect)
+                        .total_cmp(&b.rect.enlargement(&rect))
+                        .then(a.rect.area().total_cmp(&b.rect.area()))
+                })
+                .map(|(i, _)| i)
+                .expect("inner node with no entries");
+            let ChildRef::Node(next) = current.entries[best].child else {
+                unreachable!("inner entries reference nodes")
+            };
+            path.push((current, best));
+            current = self.read_node_quiet(next);
+        }
+
+        // Extend the leaf.
+        let mut refs: Vec<ChildRef> = current.entries.iter().map(|e| e.child).collect();
+        let mut rects: Vec<Rect> = current.entries.iter().map(|e| e.rect).collect();
+        let mut aggs = self.full_aggs(&current);
+        refs.push(ChildRef::Object(obj.id));
+        rects.push(rect);
+        aggs.push(TermAgg::from_doc(&obj.doc));
+        self.num_objects += 1;
+
+        // Write the (possibly split) leaf, then walk back up.
+        let mut carry = self.write_level(true, refs, rects, aggs);
+        for (node, child_idx) in path.into_iter().rev() {
+            let mut refs: Vec<ChildRef> = node.entries.iter().map(|e| e.child).collect();
+            let mut rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
+            let mut aggs = self.full_aggs(&node);
+            // Replace the descended child with the rewritten one (and its
+            // split sibling when present).
+            let (first, rest) = carry.split_first().expect("at least one child");
+            refs[child_idx] = ChildRef::Node(first.0);
+            rects[child_idx] = first.1;
+            aggs[child_idx] = first.2.clone();
+            for extra in rest {
+                refs.push(ChildRef::Node(extra.0));
+                rects.push(extra.1);
+                aggs.push(extra.2.clone());
+            }
+            carry = self.write_level(false, refs, rects, aggs);
+        }
+
+        // Grow a new root when the old one split.
+        if carry.len() == 1 {
+            self.root = carry[0].0;
+        } else {
+            let refs: Vec<ChildRef> = carry.iter().map(|c| ChildRef::Node(c.0)).collect();
+            let rects: Vec<Rect> = carry.iter().map(|c| c.1).collect();
+            let aggs: Vec<TermAgg> = carry.iter().map(|c| c.2.clone()).collect();
+            let top = self.write_level(false, refs, rects, aggs);
+            assert_eq!(top.len(), 1, "root split produces one new root");
+            self.root = top[0].0;
+            self.height += 1;
+        }
+    }
+
+    /// Removes an object from the disk-resident tree — the delete side of
+    /// §5.1's update path. Returns `false` when no entry with that id is
+    /// found at that location.
+    ///
+    /// Classic R-tree CondenseTree: find the leaf holding the entry,
+    /// remove it, and when a node underflows (below ⌈fanout/2⌉ entries)
+    /// dissolve it and re-[`StTree::insert`] the orphaned objects. A root
+    /// with a single inner child is collapsed (height shrinks).
+    pub fn remove(&mut self, id: u32, point: Point) -> bool {
+        // Locate the leaf whose MBR covers the point and holds the id.
+        let rect = Rect::from_point(point);
+        let mut path: Vec<(NodeView, usize)> = Vec::new();
+        let Some(leaf) = self.find_leaf(self.root, id, &rect, &mut path) else {
+            return false;
+        };
+
+        // Drop the entry from the leaf.
+        let pos = leaf
+            .entries
+            .iter()
+            .position(|e| e.child == ChildRef::Object(id))
+            .expect("find_leaf verified membership");
+        let mut refs: Vec<ChildRef> = leaf.entries.iter().map(|e| e.child).collect();
+        let mut rects: Vec<Rect> = leaf.entries.iter().map(|e| e.rect).collect();
+        let mut aggs = self.full_aggs(&leaf);
+        refs.remove(pos);
+        rects.remove(pos);
+        aggs.remove(pos);
+        self.num_objects -= 1;
+
+        let min_fill = (self.fanout / 2).max(1);
+        // Orphaned objects to reinsert when nodes dissolve.
+        let mut orphans: Vec<IndexedObject> = Vec::new();
+        // The rewritten child to splice into the parent (None = dissolved).
+        let mut carry: Option<(RecordId, Rect, TermAgg)> = None;
+        if refs.len() >= min_fill || path.is_empty() {
+            if refs.is_empty() {
+                // Deleting the last object entirely empties the tree — keep
+                // a valid empty leaf root.
+                let inv = self.invfiles.put(&serialize_invfile(&[], self.mode));
+                let rec = self.nodes.put(&serialize_node(true, inv, &[], &[]));
+                self.root = rec;
+                self.height = 1;
+                return true;
+            }
+            let written = self.write_level(true, refs, rects, aggs);
+            carry = Some(written.into_iter().next().expect("no split on delete"));
+        } else {
+            // Underflow: dissolve the leaf, reinsert its survivors later.
+            for (r, (rc, agg)) in refs.iter().zip(rects.iter().zip(aggs.iter())) {
+                let ChildRef::Object(oid) = *r else { unreachable!() };
+                orphans.push(IndexedObject {
+                    id: oid,
+                    point: rc.min,
+                    doc: WeightedDoc::from_pairs(
+                        agg.terms.iter().map(|&(t, mx, _)| (t, mx)).collect(),
+                    ),
+                });
+            }
+        }
+
+        // Walk back up, splicing or dropping the rewritten child.
+        for (node, child_idx) in path.into_iter().rev() {
+            let mut refs: Vec<ChildRef> = node.entries.iter().map(|e| e.child).collect();
+            let mut rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
+            let mut aggs = self.full_aggs(&node);
+            match carry.take() {
+                Some((rec, rc, agg)) => {
+                    refs[child_idx] = ChildRef::Node(rec);
+                    rects[child_idx] = rc;
+                    aggs[child_idx] = agg;
+                }
+                None => {
+                    refs.remove(child_idx);
+                    rects.remove(child_idx);
+                    aggs.remove(child_idx);
+                }
+            }
+            if refs.is_empty() {
+                continue; // dissolve this node too (carry stays None)
+            }
+            let written = self.write_level(false, refs, rects, aggs);
+            carry = Some(written.into_iter().next().expect("no split on delete"));
+        }
+
+        match carry {
+            Some((rec, _, _)) => {
+                self.root = rec;
+                // Collapse a root with one inner child.
+                loop {
+                    let root = self.read_node_quiet(self.root);
+                    if root.is_leaf || root.entries.len() > 1 {
+                        break;
+                    }
+                    let ChildRef::Node(only) = root.entries[0].child else {
+                        unreachable!()
+                    };
+                    self.root = only;
+                    self.height -= 1;
+                }
+            }
+            None => {
+                // Everything dissolved: start over from an empty leaf.
+                let inv = self.invfiles.put(&serialize_invfile(&[], self.mode));
+                self.root = self.nodes.put(&serialize_node(true, inv, &[], &[]));
+                self.height = 1;
+            }
+        }
+
+        // Reinsert survivors of dissolved leaves.
+        self.num_objects -= orphans.len();
+        for o in &orphans {
+            self.insert(o);
+        }
+        true
+    }
+
+    /// Depth-first search for the leaf holding `(id, rect)`; records the
+    /// descent path (nodes with the child index taken).
+    fn find_leaf(
+        &self,
+        node_rec: RecordId,
+        id: u32,
+        rect: &Rect,
+        path: &mut Vec<(NodeView, usize)>,
+    ) -> Option<NodeView> {
+        let node = self.read_node_quiet(node_rec);
+        if node.is_leaf {
+            if node
+                .entries
+                .iter()
+                .any(|e| e.child == ChildRef::Object(id))
+            {
+                return Some(node);
+            }
+            return None;
+        }
+        for (i, e) in node.entries.iter().enumerate() {
+            if let ChildRef::Node(c) = e.child {
+                if e.rect.contains_rect(rect) || e.rect.intersects(rect) {
+                    path.push((node.clone(), i));
+                    if let Some(found) = self.find_leaf(c, id, rect, path) {
+                        return Some(found);
+                    }
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Serializes one (possibly overfull) node, splitting when needed.
+    /// Returns the written node(s): `(record, rect, aggregate)`.
+    fn write_level(
+        &mut self,
+        is_leaf: bool,
+        refs: Vec<ChildRef>,
+        rects: Vec<Rect>,
+        aggs: Vec<TermAgg>,
+    ) -> Vec<(RecordId, Rect, TermAgg)> {
+        let groups: Vec<Vec<usize>> = if refs.len() <= self.fanout {
+            vec![(0..refs.len()).collect()]
+        } else {
+            let (a, b) = quadratic_partition(&rects, self.fanout / 2);
+            vec![a, b]
+        };
+        groups
+            .into_iter()
+            .map(|group| {
+                let g_refs: Vec<ChildRef> = group.iter().map(|&i| refs[i]).collect();
+                let g_rects: Vec<Rect> = group.iter().map(|&i| rects[i]).collect();
+                let g_aggs: Vec<TermAgg> = group.iter().map(|&i| aggs[i].clone()).collect();
+                let inv = self.invfiles.put(&serialize_invfile(&g_aggs, self.mode));
+                let rec = self
+                    .nodes
+                    .put(&serialize_node(is_leaf, inv, &g_refs, &g_rects));
+                let rect = Rect::bounding_rects(g_rects.iter().copied()).expect("non-empty");
+                (rec, rect, TermAgg::merge_entries(&g_aggs))
+            })
+            .collect()
+    }
+
+    /// Reads a node without charging simulated I/O (maintenance path).
+    fn read_node_quiet(&self, id: RecordId) -> NodeView {
+        deserialize_node(id, self.nodes.get(id))
+    }
+
+    /// Reconstructs every entry's full term aggregate from the node's
+    /// inverted file (maintenance path; no I/O charge).
+    fn full_aggs(&self, node: &NodeView) -> Vec<TermAgg> {
+        let payload = self.invfiles.get(node.invfile);
+        let all = deserialize_all_postings(payload, self.mode, node.entries.len());
+        all.into_iter().map(|terms| TermAgg { terms }).collect()
+    }
+
+    /// Persists the tree to `dir` (three files: `nodes.mbrs`,
+    /// `invfiles.mbrs`, `meta.mbrs`). The directory is created when
+    /// missing.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        storage::save_blockfile(&self.nodes, &dir.join("nodes.mbrs"))?;
+        storage::save_blockfile(&self.invfiles, &dir.join("invfiles.mbrs"))?;
+        let mut w = Writer::new();
+        w.put_u8(match self.mode {
+            PostingMode::MaxOnly => 0,
+            PostingMode::MaxMin => 1,
+        });
+        w.put_u32(self.root.0);
+        w.put_u32(self.height);
+        w.put_u64(self.num_objects as u64);
+        w.put_u32(self.fanout as u32);
+        std::fs::write(dir.join("meta.mbrs"), w.into_bytes())
+    }
+
+    /// Reopens a tree saved by [`StTree::save`].
+    pub fn load(dir: &std::path::Path) -> std::io::Result<Self> {
+        let nodes = storage::load_blockfile(&dir.join("nodes.mbrs"))?;
+        let invfiles = storage::load_blockfile(&dir.join("invfiles.mbrs"))?;
+        let meta = std::fs::read(dir.join("meta.mbrs"))?;
+        let mut r = Reader::new(&meta);
+        let mode = if r.get_u8() == 0 {
+            PostingMode::MaxOnly
+        } else {
+            PostingMode::MaxMin
+        };
+        let root = RecordId(r.get_u32());
+        let height = r.get_u32();
+        let num_objects = r.get_u64() as usize;
+        let fanout = r.get_u32() as usize;
+        Ok(StTree {
+            mode,
+            nodes,
+            invfiles,
+            root,
+            height,
+            num_objects,
+            fanout,
+        })
+    }
+
+    /// Record id of the root node.
+    #[inline]
+    pub fn root(&self) -> RecordId {
+        self.root
+    }
+
+    /// Tree height (1 = the root is a leaf).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of indexed objects.
+    #[inline]
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Posting layout in use.
+    #[inline]
+    pub fn mode(&self) -> PostingMode {
+        self.mode
+    }
+
+    /// Node capacity used during construction.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Total bytes of all node records (index footprint reporting).
+    pub fn node_bytes(&self) -> u64 {
+        self.nodes.bytes()
+    }
+
+    /// Total bytes of all inverted files.
+    pub fn invfile_bytes(&self) -> u64 {
+        self.invfiles.bytes()
+    }
+
+    /// Reads (visits) a node, charging one simulated I/O (free on a warm
+    /// cache hit when the counter carries one).
+    pub fn read_node(&self, id: RecordId, io: &IoStats) -> NodeView {
+        io.charge_node_visit_keyed(node_cache_key(self.mode, id));
+        deserialize_node(id, self.nodes.get(id))
+    }
+
+    /// Loads the node's inverted file and extracts postings for `terms`
+    /// (which must be sorted ascending). Charges ⌈file bytes / 4096⌉
+    /// simulated I/Os — the paper's inverted-file rule.
+    pub fn read_postings(&self, node: &NodeView, terms: &[TermId], io: &IoStats) -> Postings {
+        debug_assert!(terms.windows(2).all(|w| w[0] < w[1]), "terms must be sorted");
+        let payload = self.invfiles.get(node.invfile);
+        io.charge_invfile_keyed(invfile_cache_key(self.mode, node.invfile), payload.len());
+        deserialize_postings(payload, self.mode, terms, node.entries.len())
+    }
+}
+
+/// Cache key for a node record (distinct per posting mode so IR and MIR
+/// trees sharing one counter never alias).
+fn node_cache_key(mode: PostingMode, id: RecordId) -> u64 {
+    let kind = match mode {
+        PostingMode::MaxOnly => 0u64,
+        PostingMode::MaxMin => 1,
+    };
+    (kind << 33) | u64::from(id.0)
+}
+
+/// Cache key for an inverted-file record.
+fn invfile_cache_key(mode: PostingMode, id: RecordId) -> u64 {
+    node_cache_key(mode, id) | (1 << 32)
+}
+
+/// Subtree term aggregate carried during construction: per term, the max
+/// weight anywhere below, and the min weight when the term is in the
+/// subtree intersection (0 otherwise).
+#[derive(Debug, Clone, Default)]
+struct TermAgg {
+    /// `(term, max, min)` sorted by term; `min == 0` ⇔ not in intersection.
+    terms: Vec<(TermId, f64, f64)>,
+}
+
+impl TermAgg {
+    fn from_doc(doc: &WeightedDoc) -> Self {
+        TermAgg {
+            terms: doc.entries.iter().map(|&(t, w)| (t, w, w)).collect(),
+        }
+    }
+
+    /// Merges sibling aggregates into the parent-entry aggregate.
+    fn merge_entries(entries: &[TermAgg]) -> Self {
+        let mut map: HashMap<TermId, (f64, f64, usize)> = HashMap::new();
+        for agg in entries {
+            for &(t, max, min) in &agg.terms {
+                let slot = map.entry(t).or_insert((0.0, f64::INFINITY, 0));
+                slot.0 = slot.0.max(max);
+                // min == 0 means "not in this entry's intersection"; it
+                // poisons the parent's intersection too.
+                slot.1 = slot.1.min(if min > 0.0 { min } else { 0.0 });
+                slot.2 += 1;
+            }
+        }
+        let total = entries.len();
+        let mut terms: Vec<(TermId, f64, f64)> = map
+            .into_iter()
+            .map(|(t, (max, min, seen))| {
+                let min = if seen == total && min > 0.0 { min } else { 0.0 };
+                (t, max, min)
+            })
+            .collect();
+        terms.sort_unstable_by_key(|&(t, _, _)| t);
+        TermAgg { terms }
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk layouts.
+//
+// Node record:
+//   u8  is_leaf
+//   u32 invfile record id
+//   u32 n entries
+//   n × { u32 ref, f64 min.x, f64 min.y, f64 max.x, f64 max.y }
+//
+// Inverted-file record (directory + data, lists ascending by term):
+//   u32 n_terms
+//   n_terms × { u32 term, u32 list_len }
+//   concatenated lists: list_len × { u32 entry_idx, f64 max [, f64 min] }
+// ---------------------------------------------------------------------
+
+fn serialize_node(
+    is_leaf: bool,
+    invfile: RecordId,
+    refs: &[ChildRef],
+    rects: &[Rect],
+) -> Vec<u8> {
+    let mut w = Writer::with_capacity(9 + refs.len() * 36);
+    w.put_u8(u8::from(is_leaf));
+    w.put_u32(invfile.0);
+    w.put_u32(refs.len() as u32);
+    for (r, rect) in refs.iter().zip(rects) {
+        let id = match *r {
+            ChildRef::Node(rid) => rid.0,
+            ChildRef::Object(oid) => oid,
+        };
+        w.put_u32(id);
+        w.put_f64(rect.min.x);
+        w.put_f64(rect.min.y);
+        w.put_f64(rect.max.x);
+        w.put_f64(rect.max.y);
+    }
+    w.into_bytes()
+}
+
+fn deserialize_node(id: RecordId, payload: &[u8]) -> NodeView {
+    let mut r = Reader::new(payload);
+    let is_leaf = r.get_u8() != 0;
+    let invfile = RecordId(r.get_u32());
+    let n = r.get_u32() as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = r.get_u32();
+        let rect = Rect::new(
+            Point::new(r.get_f64(), r.get_f64()),
+            Point::new(r.get_f64(), r.get_f64()),
+        );
+        let child = if is_leaf {
+            ChildRef::Object(raw)
+        } else {
+            ChildRef::Node(RecordId(raw))
+        };
+        entries.push(EntryView { rect, child });
+    }
+    debug_assert!(r.is_exhausted());
+    NodeView {
+        id,
+        is_leaf,
+        entries,
+        invfile,
+    }
+}
+
+fn serialize_invfile(entry_aggs: &[TermAgg], mode: PostingMode) -> Vec<u8> {
+    // Gather term -> [(entry_idx, max, min)].
+    let mut lists: HashMap<TermId, Vec<(u32, f64, f64)>> = HashMap::new();
+    for (i, agg) in entry_aggs.iter().enumerate() {
+        for &(t, max, min) in &agg.terms {
+            lists.entry(t).or_default().push((i as u32, max, min));
+        }
+    }
+    let mut terms: Vec<TermId> = lists.keys().copied().collect();
+    terms.sort_unstable();
+
+    let mut w = Writer::new();
+    w.put_u32(terms.len() as u32);
+    for &t in &terms {
+        w.put_u32(t.0);
+        w.put_u32(lists[&t].len() as u32);
+    }
+    for &t in &terms {
+        for &(idx, max, min) in &lists[&t] {
+            w.put_u32(idx);
+            w.put_f64(max);
+            if mode == PostingMode::MaxMin {
+                w.put_f64(min);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Quadratic-split partition of entry indices (Guttman): seeds are the
+/// pair wasting the most area together; remaining entries go to the group
+/// needing less enlargement, with a minimum-fill force-assignment.
+fn quadratic_partition(rects: &[Rect], min_fill: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut g1 = vec![s1];
+    let mut g2 = vec![s2];
+    let mut r1 = rects[s1];
+    let mut r2 = rects[s2];
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+    while let Some(i) = rest.pop() {
+        let remaining = rest.len() + 1;
+        if g1.len() + remaining <= min_fill {
+            for &x in std::iter::once(&i).chain(rest.iter()) {
+                g1.push(x);
+            }
+            break;
+        }
+        if g2.len() + remaining <= min_fill {
+            for &x in std::iter::once(&i).chain(rest.iter()) {
+                g2.push(x);
+            }
+            break;
+        }
+        let e1 = r1.enlargement(&rects[i]);
+        let e2 = r2.enlargement(&rects[i]);
+        if e1 < e2 || (e1 == e2 && r1.area() <= r2.area()) {
+            g1.push(i);
+            r1 = r1.union(&rects[i]);
+        } else {
+            g2.push(i);
+            r2 = r2.union(&rects[i]);
+        }
+    }
+    (g1, g2)
+}
+
+/// Decodes the entire inverted file into per-entry `(term, max, min)`
+/// rows (maintenance path — query reads use [`deserialize_postings`]).
+fn deserialize_all_postings(
+    payload: &[u8],
+    mode: PostingMode,
+    num_entries: usize,
+) -> Vec<Vec<(TermId, f64, f64)>> {
+    let mut r = Reader::new(payload);
+    let n_terms = r.get_u32() as usize;
+    let mut dir = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        let t = TermId(r.get_u32());
+        let len = r.get_u32() as usize;
+        dir.push((t, len));
+    }
+    let mut per_entry: Vec<Vec<(TermId, f64, f64)>> = vec![Vec::new(); num_entries];
+    for (t, len) in dir {
+        for _ in 0..len {
+            let idx = r.get_u32() as usize;
+            let max = r.get_f64();
+            let min = if mode == PostingMode::MaxMin {
+                r.get_f64()
+            } else {
+                0.0
+            };
+            per_entry[idx].push((t, max, min));
+        }
+    }
+    debug_assert!(r.is_exhausted());
+    // Directory ascends by term, so each row is already sorted.
+    per_entry
+}
+
+fn deserialize_postings(
+    payload: &[u8],
+    mode: PostingMode,
+    wanted: &[TermId],
+    num_entries: usize,
+) -> Postings {
+    let mut r = Reader::new(payload);
+    let n_terms = r.get_u32() as usize;
+    let posting_width = match mode {
+        PostingMode::MaxOnly => 12,
+        PostingMode::MaxMin => 20,
+    };
+
+    // Directory: (term, list_len) pairs, plus running data offsets.
+    let mut dir = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        let t = TermId(r.get_u32());
+        let len = r.get_u32() as usize;
+        dir.push((t, len));
+    }
+    let data_start = 4 + n_terms * 8;
+
+    let mut per_entry: Vec<Vec<(TermId, f64, f64)>> = vec![Vec::new(); num_entries];
+    let mut offset = data_start;
+    let mut want = wanted.iter().peekable();
+    for &(t, len) in &dir {
+        // Advance the wanted cursor (both sides ascend).
+        while let Some(&&wt) = want.peek() {
+            if wt < t {
+                want.next();
+            } else {
+                break;
+            }
+        }
+        let is_wanted = matches!(want.peek(), Some(&&wt) if wt == t);
+        if is_wanted {
+            let mut lr = Reader::new(&payload[offset..offset + len * posting_width]);
+            for _ in 0..len {
+                let idx = lr.get_u32() as usize;
+                let max = lr.get_f64();
+                let min = if mode == PostingMode::MaxMin {
+                    lr.get_f64()
+                } else {
+                    0.0
+                };
+                per_entry[idx].push((t, max, min));
+            }
+        }
+        offset += len * posting_width;
+    }
+    Postings { per_entry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use text::{Document, TextScorer, WeightModel};
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    /// A small corpus: 20 objects on a line, term i%3 plus term 3 in all.
+    fn corpus() -> (Vec<IndexedObject>, TextScorer, Vec<Document>) {
+        let docs: Vec<Document> = (0..20)
+            .map(|i| Document::from_terms([t(i % 3), t(3)]))
+            .collect();
+        let scorer = TextScorer::from_docs(WeightModel::KeywordOverlap, &docs);
+        let objects = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| IndexedObject {
+                id: i as u32,
+                point: Point::new(i as f64, (i % 5) as f64),
+                doc: scorer.weigh(d),
+            })
+            .collect();
+        (objects, scorer, docs)
+    }
+
+    fn collect_objects(tree: &StTree, io: &IoStats) -> Vec<(u32, Point)> {
+        let mut out = Vec::new();
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, io);
+            for e in &node.entries {
+                match e.child {
+                    ChildRef::Node(c) => stack.push(c),
+                    ChildRef::Object(o) => out.push((o, e.rect.min)),
+                }
+            }
+        }
+        out.sort_by_key(|&(o, _)| o);
+        out
+    }
+
+    #[test]
+    fn roundtrip_all_objects_present() {
+        let (objects, _, _) = corpus();
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let io = IoStats::new();
+        let got = collect_objects(&tree, &io);
+        assert_eq!(got.len(), 20);
+        for (i, &(oid, pt)) in got.iter().enumerate() {
+            assert_eq!(oid, i as u32);
+            assert_eq!(pt, objects[i].point);
+        }
+        // Every node visit was charged.
+        assert!(io.snapshot().node_visits >= 1);
+    }
+
+    #[test]
+    fn leaf_postings_equal_object_weights() {
+        let (objects, _, _) = corpus();
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let io = IoStats::new();
+        let mut stack = vec![tree.root()];
+        let all_terms: Vec<TermId> = (0..4).map(t).collect();
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, &io);
+            if node.is_leaf {
+                let p = tree.read_postings(&node, &all_terms, &io);
+                for (i, e) in node.entries.iter().enumerate() {
+                    let ChildRef::Object(oid) = e.child else { panic!() };
+                    let doc = &objects[oid as usize].doc;
+                    let got: Vec<(TermId, f64)> =
+                        p.per_entry[i].iter().map(|&(t, mx, _)| (t, mx)).collect();
+                    assert_eq!(got, doc.entries);
+                    // Leaf min == max.
+                    for &(_, mx, mn) in &p.per_entry[i] {
+                        assert_eq!(mx, mn);
+                    }
+                }
+            } else {
+                for e in &node.entries {
+                    if let ChildRef::Node(c) = e.child {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The core MIR-tree invariant: for every node entry and term, max is
+    /// ≥ every descendant weight, and min is a positive lower bound iff the
+    /// term is in the subtree intersection.
+    #[test]
+    fn posting_bounds_dominate_descendants() {
+        let (objects, _, _) = corpus();
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let io = IoStats::new();
+        let all_terms: Vec<TermId> = (0..4).map(t).collect();
+
+        // Recursively gather descendant object ids per node record.
+        fn descendants(tree: &StTree, id: RecordId, io: &IoStats) -> Vec<u32> {
+            let node = tree.read_node(id, io);
+            let mut out = Vec::new();
+            for e in &node.entries {
+                match e.child {
+                    ChildRef::Object(o) => out.push(o),
+                    ChildRef::Node(c) => out.extend(descendants(tree, c, io)),
+                }
+            }
+            out
+        }
+
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, &io);
+            if node.is_leaf {
+                continue;
+            }
+            let p = tree.read_postings(&node, &all_terms, &io);
+            for (i, e) in node.entries.iter().enumerate() {
+                let ChildRef::Node(c) = e.child else { panic!() };
+                stack.push(c);
+                let descs = descendants(&tree, c, &io);
+                for &(term, mx, mn) in &p.per_entry[i] {
+                    let weights: Vec<f64> = descs
+                        .iter()
+                        .map(|&o| objects[o as usize].doc.weight(term))
+                        .collect();
+                    let best = weights.iter().cloned().fold(0.0, f64::max);
+                    assert!((mx - best).abs() < 1e-12, "max must equal subtree max");
+                    if mn > 0.0 {
+                        let worst = weights.iter().cloned().fold(f64::INFINITY, f64::min);
+                        assert!((mn - worst).abs() < 1e-12, "min must equal subtree min");
+                    } else {
+                        assert!(
+                            weights.contains(&0.0),
+                            "min=0 requires a missing term below"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_only_mode_has_smaller_invfiles() {
+        let (objects, _, _) = corpus();
+        let ir = StTree::build_with_fanout(&objects, PostingMode::MaxOnly, 4);
+        let mir = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        assert!(ir.invfile_bytes() < mir.invfile_bytes());
+        assert_eq!(ir.node_bytes(), mir.node_bytes());
+    }
+
+    #[test]
+    fn io_accounting_per_access() {
+        let (objects, _, _) = corpus();
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let io = IoStats::new();
+        let root = tree.read_node(tree.root(), &io);
+        assert_eq!(io.snapshot().node_visits, 1);
+        let before = io.snapshot();
+        tree.read_postings(&root, &[t(0)], &io);
+        let delta = io.snapshot() - before;
+        assert_eq!(delta.node_visits, 0);
+        assert!(delta.invfile_blocks >= 1);
+    }
+
+    #[test]
+    fn postings_filter_terms() {
+        let (objects, _, _) = corpus();
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let io = IoStats::new();
+        let root = tree.read_node(tree.root(), &io);
+        let p = tree.read_postings(&root, &[t(1)], &io);
+        for entry in &p.per_entry {
+            for &(term, _, _) in entry {
+                assert_eq!(term, t(1));
+            }
+        }
+    }
+
+    #[test]
+    fn text_first_roundtrip_and_bounds() {
+        let (objects, _, _) = corpus();
+        let tree = StTree::build_text_first(&objects, PostingMode::MaxMin, 4);
+        let io = IoStats::new();
+        let got = collect_objects(&tree, &io);
+        assert_eq!(got.len(), 20);
+        for (i, &(oid, pt)) in got.iter().enumerate() {
+            assert_eq!(oid, i as u32);
+            assert_eq!(pt, objects[i].point);
+        }
+    }
+
+    #[test]
+    fn text_first_groups_by_dominant_term() {
+        // Objects with rotating dominant terms: text-first leaves should
+        // have fewer distinct terms per node invfile than STR leaves on
+        // average (coherent vocabularies).
+        let (objects, _, _) = corpus();
+        let count_leaf_terms = |tree: &StTree| -> usize {
+            let io = IoStats::new();
+            let all_terms: Vec<TermId> = (0..4).map(t).collect();
+            let mut total = 0;
+            let mut stack = vec![tree.root()];
+            while let Some(id) = stack.pop() {
+                let node = tree.read_node(id, &io);
+                if node.is_leaf {
+                    let p = tree.read_postings(&node, &all_terms, &io);
+                    let mut terms = std::collections::HashSet::new();
+                    for row in &p.per_entry {
+                        for &(term, _, _) in row {
+                            terms.insert(term);
+                        }
+                    }
+                    total += terms.len();
+                } else {
+                    for e in &node.entries {
+                        if let ChildRef::Node(c) = e.child {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+            total
+        };
+        let str_tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let txt_tree = StTree::build_text_first(&objects, PostingMode::MaxMin, 4);
+        assert!(
+            count_leaf_terms(&txt_tree) <= count_leaf_terms(&str_tree),
+            "text-first leaves should not have broader vocabularies"
+        );
+    }
+
+    /// Insertion into the disk-resident tree preserves every invariant:
+    /// all objects findable, posting bounds still dominate, splits legal.
+    #[test]
+    fn dynamic_insert_matches_bulk_build() {
+        let (objects, _, _) = corpus();
+        // Build from the first 8, insert the remaining 12 one by one.
+        let mut tree = StTree::build_with_fanout(&objects[..8], PostingMode::MaxMin, 4);
+        for obj in &objects[8..] {
+            tree.insert(obj);
+        }
+        assert_eq!(tree.num_objects(), 20);
+
+        let io = IoStats::new();
+        let got = collect_objects(&tree, &io);
+        assert_eq!(got.len(), 20);
+        for (i, &(oid, pt)) in got.iter().enumerate() {
+            assert_eq!(oid, i as u32);
+            assert_eq!(pt, objects[i].point);
+        }
+
+        // Bound invariant: every node entry's max posting dominates every
+        // descendant weight (same check as the bulk-built tree).
+        let all_terms: Vec<TermId> = (0..4).map(t).collect();
+        fn descendants(tree: &StTree, id: RecordId, io: &IoStats) -> Vec<u32> {
+            let node = tree.read_node(id, io);
+            let mut out = Vec::new();
+            for e in &node.entries {
+                match e.child {
+                    ChildRef::Object(o) => out.push(o),
+                    ChildRef::Node(c) => out.extend(descendants(tree, c, io)),
+                }
+            }
+            out
+        }
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, &io);
+            assert!(node.entries.len() <= tree.fanout());
+            if node.is_leaf {
+                continue;
+            }
+            let p = tree.read_postings(&node, &all_terms, &io);
+            for (i, e) in node.entries.iter().enumerate() {
+                let ChildRef::Node(c) = e.child else { panic!() };
+                stack.push(c);
+                for oid in descendants(&tree, c, &io) {
+                    let obj = &objects[oid as usize];
+                    assert!(e.rect.contains_point(&obj.point), "MBR containment");
+                    for &(term, w) in &obj.doc.entries {
+                        let posted = p.per_entry[i]
+                            .iter()
+                            .find(|&&(pt2, _, _)| pt2 == term)
+                            .map(|&(_, mx, _)| mx)
+                            .unwrap_or(0.0);
+                        assert!(posted >= w - 1e-12, "posting max dominates");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_grows_height_when_root_splits() {
+        let (objects, _, _) = corpus();
+        let mut tree = StTree::build_with_fanout(&objects[..4], PostingMode::MaxMin, 4);
+        let h0 = tree.height();
+        for obj in &objects[4..] {
+            tree.insert(obj);
+        }
+        assert!(tree.height() > h0, "20 objects at fanout 4 need more levels");
+        let io = IoStats::new();
+        assert_eq!(collect_objects(&tree, &io).len(), 20);
+    }
+
+    #[test]
+    fn remove_then_query_is_consistent() {
+        let (objects, _, _) = corpus();
+        let mut tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        // Remove every even object.
+        for obj in objects.iter().filter(|o| o.id % 2 == 0) {
+            assert!(tree.remove(obj.id, obj.point), "object {} present", obj.id);
+        }
+        assert_eq!(tree.num_objects(), 10);
+        let io = IoStats::new();
+        let got = collect_objects(&tree, &io);
+        let ids: Vec<u32> = got.iter().map(|&(o, _)| o).collect();
+        assert_eq!(ids, (0..20).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+        // Removing again reports absence.
+        assert!(!tree.remove(0, objects[0].point));
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let (objects, _, _) = corpus();
+        let mut tree = StTree::build_with_fanout(&objects[..6], PostingMode::MaxMin, 4);
+        for obj in &objects[..6] {
+            assert!(tree.remove(obj.id, obj.point));
+        }
+        assert_eq!(tree.num_objects(), 0);
+        // The empty tree accepts fresh inserts.
+        for obj in &objects {
+            tree.insert(obj);
+        }
+        assert_eq!(tree.num_objects(), 20);
+        let io = IoStats::new();
+        assert_eq!(collect_objects(&tree, &io).len(), 20);
+    }
+
+    #[test]
+    fn remove_missing_object_is_noop() {
+        let (objects, _, _) = corpus();
+        let mut tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        assert!(!tree.remove(999, Point::new(0.0, 0.0)));
+        assert_eq!(tree.num_objects(), 20);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let (objects, _, _) = corpus();
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let dir = std::env::temp_dir().join(format!("mbrstk-sttree-{}", std::process::id()));
+        tree.save(&dir).unwrap();
+        let loaded = StTree::load(&dir).unwrap();
+        assert_eq!(loaded.mode(), tree.mode());
+        assert_eq!(loaded.root(), tree.root());
+        assert_eq!(loaded.height(), tree.height());
+        assert_eq!(loaded.num_objects(), tree.num_objects());
+        assert_eq!(loaded.invfile_bytes(), tree.invfile_bytes());
+        // Query the reopened tree.
+        let io = IoStats::new();
+        let got = collect_objects(&loaded, &io);
+        assert_eq!(got.len(), 20);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn single_object_tree() {
+        let (objects, _, _) = corpus();
+        let one = &objects[..1];
+        let tree = StTree::build(one, PostingMode::MaxMin);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.num_objects(), 1);
+        let io = IoStats::new();
+        let root = tree.read_node(tree.root(), &io);
+        assert!(root.is_leaf);
+        assert_eq!(root.entries.len(), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Property-based tests of the index family on random data.
+
+use geo::{Point, Rect};
+use index::{
+    BuildItem, BuildTree, ChildRef, IndexedObject, IndexedUser, MiurTree, PostingMode,
+    RTreeBuilder, StTree, UserRef,
+};
+use proptest::prelude::*;
+use storage::IoStats;
+use text::{Document, TermId, TextScorer, WeightModel, WeightedDoc};
+
+prop_compose! {
+    fn point()(x in -50.0f64..50.0, y in -50.0f64..50.0) -> Point {
+        Point::new(x, y)
+    }
+}
+
+prop_compose! {
+    fn objects()(pts in prop::collection::vec((point(), prop::collection::vec(0u32..8, 1..5)), 1..80))
+        -> Vec<(Point, Vec<TermId>)>
+    {
+        pts.into_iter()
+            .map(|(p, ts)| (p, ts.into_iter().map(TermId).collect()))
+            .collect()
+    }
+}
+
+fn build_indexed(data: &[(Point, Vec<TermId>)]) -> (Vec<IndexedObject>, TextScorer) {
+    let docs: Vec<Document> = data
+        .iter()
+        .map(|(_, ts)| Document::from_terms(ts.iter().copied()))
+        .collect();
+    let scorer = TextScorer::from_docs(WeightModel::lm(), &docs);
+    let objs = data
+        .iter()
+        .zip(&docs)
+        .enumerate()
+        .map(|(i, ((p, _), d))| IndexedObject {
+            id: i as u32,
+            point: *p,
+            doc: scorer.weigh(d),
+        })
+        .collect();
+    (objs, scorer)
+}
+
+/// Walks the tree gathering every object with its leaf-stored weights.
+fn collect_all(tree: &StTree, io: &IoStats) -> Vec<(u32, Point, WeightedDoc)> {
+    let all_terms: Vec<TermId> = (0..16).map(TermId).collect();
+    let mut out = Vec::new();
+    let mut stack = vec![tree.root()];
+    while let Some(id) = stack.pop() {
+        let node = tree.read_node(id, io);
+        let postings = tree.read_postings(&node, &all_terms, io);
+        for (i, e) in node.entries.iter().enumerate() {
+            match e.child {
+                ChildRef::Node(c) => stack.push(c),
+                ChildRef::Object(oid) => {
+                    let w = WeightedDoc::from_pairs(
+                        postings.per_entry[i].iter().map(|&(t, mx, _)| (t, mx)).collect(),
+                    );
+                    out.push((oid, node.entry_point(i), w));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|&(id, _, _)| id);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every object written is read back bit-exactly (location + weights).
+    #[test]
+    fn sttree_roundtrip(data in objects(), fanout in 2usize..10) {
+        let (objs, _) = build_indexed(&data);
+        let tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, fanout.max(2));
+        let io = IoStats::new();
+        let got = collect_all(&tree, &io);
+        prop_assert_eq!(got.len(), objs.len());
+        for (g, o) in got.iter().zip(&objs) {
+            prop_assert_eq!(g.0, o.id);
+            prop_assert_eq!(g.1, o.point);
+            prop_assert_eq!(&g.2, &o.doc);
+        }
+    }
+
+    /// Inner-node posting maxima dominate every leaf weight below them and
+    /// MBRs contain every descendant point.
+    #[test]
+    fn sttree_bounds_dominate(data in objects(), fanout in 3usize..8) {
+        let (objs, _) = build_indexed(&data);
+        let tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, fanout);
+        let io = IoStats::new();
+        let all_terms: Vec<TermId> = (0..16).map(TermId).collect();
+
+        fn check(
+            tree: &StTree,
+            node_rec: storage::RecordId,
+            objs: &[IndexedObject],
+            all_terms: &[TermId],
+            io: &IoStats,
+        ) -> Result<(), TestCaseError> {
+            let node = tree.read_node(node_rec, io);
+            let postings = tree.read_postings(&node, all_terms, io);
+            for (i, e) in node.entries.iter().enumerate() {
+                if let ChildRef::Node(c) = e.child {
+                    // Gather descendant objects of c.
+                    let mut descs = Vec::new();
+                    let mut stack = vec![c];
+                    while let Some(id) = stack.pop() {
+                        let nv = tree.read_node(id, io);
+                        for ee in &nv.entries {
+                            match ee.child {
+                                ChildRef::Node(cc) => stack.push(cc),
+                                ChildRef::Object(o) => descs.push(o),
+                            }
+                        }
+                    }
+                    for &oid in &descs {
+                        let obj = &objs[oid as usize];
+                        prop_assert!(e.rect.contains_point(&obj.point));
+                        for &(t, w) in &obj.doc.entries {
+                            let row = &postings.per_entry[i];
+                            let posted = row
+                                .iter()
+                                .find(|&&(pt, _, _)| pt == t)
+                                .map(|&(_, mx, _)| mx)
+                                .unwrap_or(0.0);
+                            prop_assert!(
+                                posted >= w - 1e-12,
+                                "max posting must dominate descendant weight"
+                            );
+                        }
+                    }
+                    check(tree, c, objs, all_terms, io)?;
+                }
+            }
+            Ok(())
+        }
+        check(&tree, tree.root(), &objs, &all_terms, &io)?;
+    }
+
+    /// Insertion-built trees hold the R-tree invariants and serialize to a
+    /// queryable StTree containing every object.
+    #[test]
+    fn insertion_tree_roundtrips(data in objects()) {
+        let (objs, _) = build_indexed(&data);
+        let mut b = RTreeBuilder::new(4);
+        for (pos, o) in objs.iter().enumerate() {
+            b.insert(BuildItem {
+                id: pos as u32,
+                rect: Rect::from_point(o.point),
+            });
+        }
+        let (items, tree) = b.finish();
+        tree.check_invariants(&items).unwrap();
+        let st = StTree::from_build_tree(&tree, &items, &objs, PostingMode::MaxMin, 4);
+        let io = IoStats::new();
+        prop_assert_eq!(collect_all(&st, &io).len(), objs.len());
+    }
+
+    /// Dynamic insertion yields a complete, bit-exact object set no matter
+    /// how the build is split between bulk load and inserts.
+    #[test]
+    fn dynamic_insert_completeness(data in objects(), split_pct in 10usize..90, fanout in 4usize..10) {
+        let (objs, _) = build_indexed(&data);
+        let split = (objs.len() * split_pct / 100).max(1);
+        let mut tree = StTree::build_with_fanout(&objs[..split], PostingMode::MaxMin, fanout);
+        for o in &objs[split..] {
+            tree.insert(o);
+        }
+        let io = IoStats::new();
+        let got = collect_all(&tree, &io);
+        prop_assert_eq!(got.len(), objs.len());
+        for (g, o) in got.iter().zip(&objs) {
+            prop_assert_eq!(g.0, o.id);
+            prop_assert_eq!(g.1, o.point);
+            prop_assert_eq!(&g.2, &o.doc);
+        }
+    }
+
+    /// Random deletions leave exactly the surviving objects, queryable.
+    #[test]
+    fn dynamic_remove_completeness(data in objects(), kill_pct in 10usize..90, fanout in 4usize..10) {
+        let (objs, _) = build_indexed(&data);
+        let mut tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, fanout);
+        let kill = (objs.len() * kill_pct / 100).min(objs.len());
+        for o in &objs[..kill] {
+            prop_assert!(tree.remove(o.id, o.point));
+        }
+        let io = IoStats::new();
+        let got = collect_all(&tree, &io);
+        prop_assert_eq!(got.len(), objs.len() - kill);
+        for (g, o) in got.iter().zip(&objs[kill..]) {
+            prop_assert_eq!(g.0, o.id);
+            prop_assert_eq!(g.1, o.point);
+            prop_assert_eq!(&g.2, &o.doc);
+        }
+    }
+
+    /// Bulk-loaded trees hold the invariants for any fanout.
+    #[test]
+    fn bulk_load_invariants(data in objects(), fanout in 2usize..12) {
+        let items: Vec<BuildItem> = data
+            .iter()
+            .enumerate()
+            .map(|(i, (p, _))| BuildItem { id: i as u32, rect: Rect::from_point(*p) })
+            .collect();
+        let tree = BuildTree::bulk_load(&items, fanout.max(2));
+        tree.check_invariants(&items).unwrap();
+    }
+
+    /// MIUR IntUni vectors bound every descendant's keyword set.
+    #[test]
+    fn miur_intuni_sound(data in objects(), fanout in 3usize..8) {
+        let users: Vec<IndexedUser> = data
+            .iter()
+            .enumerate()
+            .map(|(i, (p, ts))| IndexedUser {
+                id: i as u32,
+                point: *p,
+                doc: Document::from_terms(ts.iter().copied()),
+                norm: ts.len() as f64,
+            })
+            .collect();
+        let tree = MiurTree::build_with_fanout(&users, fanout);
+        let io = IoStats::new();
+
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, &io);
+            for e in &node.entries {
+                let descs: Vec<u32> = match e.child {
+                    UserRef::User(u) => vec![u],
+                    UserRef::Node(c) => {
+                        stack.push(c);
+                        let mut out = Vec::new();
+                        let mut s2 = vec![c];
+                        while let Some(x) = s2.pop() {
+                            let nv = tree.read_node(x, &io);
+                            for ee in &nv.entries {
+                                match ee.child {
+                                    UserRef::Node(cc) => s2.push(cc),
+                                    UserRef::User(u) => out.push(u),
+                                }
+                            }
+                        }
+                        out
+                    }
+                };
+                prop_assert_eq!(descs.len(), e.count as usize);
+                for d in descs {
+                    let doc = &users[d as usize].doc;
+                    for t in doc.terms() {
+                        prop_assert!(e.uni.contains(&t));
+                    }
+                    for &t in &e.int {
+                        prop_assert!(doc.contains(t));
+                    }
+                }
+            }
+        }
+    }
+}

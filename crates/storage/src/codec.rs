@@ -1,0 +1,171 @@
+//! Little-endian serialization helpers for node and posting layouts.
+//!
+//! The index crate lays records out by hand (no serde): the formats are a
+//! handful of fixed-width fields and length-prefixed sequences, and keeping
+//! them explicit makes the simulated on-disk footprint auditable — block
+//! accounting is only as good as the byte counts behind it.
+
+/// Append-only byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh writer, optionally pre-sized.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    #[inline]
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes and returns the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential byte reader over a record payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Reads a `u8`.
+    #[inline]
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `f64`.
+    #[inline]
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole payload has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEADBEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-2.5);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 1 + 4 + 8 + 8);
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEADBEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_f64(), -2.5);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let mut w = Writer::new();
+        w.put_f64(f64::NAN);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.get_f64().is_nan());
+    }
+
+    #[test]
+    fn remaining_tracks_position() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u32(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.remaining(), 8);
+        r.get_u32();
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let bytes = [1u8, 2];
+        let mut r = Reader::new(&bytes);
+        r.get_u32();
+    }
+}

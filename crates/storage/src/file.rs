@@ -1,0 +1,115 @@
+//! Persisting [`BlockFile`]s to real files.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "MBRS"  u32 version  u32 record-count
+//! record-count × u64 record length
+//! concatenated record payloads
+//! ```
+//!
+//! The format is deliberately dumb — the simulated-disk abstraction stays
+//! the unit of I/O accounting; persistence only lets an index built once
+//! be reopened later, as a disk-resident index should.
+
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+use crate::BlockFile;
+
+const MAGIC: &[u8; 4] = b"MBRS";
+const VERSION: u32 = 1;
+
+/// Writes a [`BlockFile`] to `path`, overwriting any previous content.
+pub fn save_blockfile(bf: &BlockFile, path: &Path) -> io::Result<()> {
+    let mut out = io::BufWriter::new(std::fs::File::create(path)?);
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(bf.len() as u32).to_le_bytes())?;
+    for i in 0..bf.len() {
+        let rec = bf.get(crate::RecordId(i as u32));
+        out.write_all(&(rec.len() as u64).to_le_bytes())?;
+    }
+    for i in 0..bf.len() {
+        out.write_all(bf.get(crate::RecordId(i as u32)))?;
+    }
+    out.flush()
+}
+
+/// Reads a [`BlockFile`] previously written by [`save_blockfile`].
+pub fn load_blockfile(path: &Path) -> io::Result<BlockFile> {
+    let mut input = io::BufReader::new(std::fs::File::open(path)?);
+    let mut head = [0u8; 12];
+    input.read_exact(&mut head)?;
+    if &head[0..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let count = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+
+    let mut lens = Vec::with_capacity(count);
+    let mut lenbuf = [0u8; 8];
+    for _ in 0..count {
+        input.read_exact(&mut lenbuf)?;
+        lens.push(u64::from_le_bytes(lenbuf) as usize);
+    }
+    let mut bf = BlockFile::new();
+    let mut buf = Vec::new();
+    for len in lens {
+        buf.resize(len, 0);
+        input.read_exact(&mut buf)?;
+        bf.put(&buf);
+    }
+    Ok(bf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mbrstk-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut bf = BlockFile::new();
+        bf.put(b"hello");
+        bf.put(b"");
+        bf.put(&[0u8; 5000]);
+        let path = tmp("roundtrip.bin");
+        save_blockfile(&bf, &path).unwrap();
+        let loaded = load_blockfile(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.get(crate::RecordId(0)), b"hello");
+        assert_eq!(loaded.get(crate::RecordId(1)), b"");
+        assert_eq!(loaded.get(crate::RecordId(2)), &[0u8; 5000]);
+        assert_eq!(loaded.bytes(), bf.bytes());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let bf = BlockFile::new();
+        let path = tmp("empty.bin");
+        save_blockfile(&bf, &path).unwrap();
+        assert_eq!(load_blockfile(&path).unwrap().len(), 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("junk.bin");
+        std::fs::write(&path, b"JUNKJUNKJUNKJUNK").unwrap();
+        assert!(load_blockfile(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,229 @@
+//! Simulated I/O accounting (§8 "Setup").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cache::LruSet;
+
+/// The simulated I/O counter.
+///
+/// Accounting rule, verbatim from the paper: *"The number of simulated I/Os
+/// is increased by 1 when a node of a tree is visited. When an inverted
+/// file is loaded, the number of simulated I/Os is increased by the number
+/// of blocks (4 kB per block) for storing the list."*
+///
+/// By default every access is charged — the paper's *cold* model. For the
+/// warm-cache ablation, [`IoStats::with_cache`] attaches an LRU page cache;
+/// keyed accesses that hit it are then free, modelling an OS page cache.
+///
+/// Counters are atomic so a shared reference can be threaded through index
+/// and algorithm layers without interior-mutability plumbing; all query
+/// algorithms themselves are single-threaded, as in the paper.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    node_visits: AtomicU64,
+    invfile_blocks: AtomicU64,
+    cache: Option<Mutex<LruSet>>,
+}
+
+/// A point-in-time copy of [`IoStats`], used to measure deltas per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Tree nodes visited (1 simulated I/O each).
+    pub node_visits: u64,
+    /// 4 KB blocks of inverted-file data loaded.
+    pub invfile_blocks: u64,
+}
+
+impl IoSnapshot {
+    /// Total simulated I/O operations.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.node_visits + self.invfile_blocks
+    }
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+    fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            node_visits: self.node_visits - rhs.node_visits,
+            invfile_blocks: self.invfile_blocks - rhs.invfile_blocks,
+        }
+    }
+}
+
+impl IoStats {
+    /// A fresh counter at zero (cold model — no cache).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A counter backed by an LRU page cache of `capacity_blocks` 4 KB
+    /// blocks (warm-cache ablation; see `figures -- ablation`).
+    pub fn with_cache(capacity_blocks: u64) -> Self {
+        IoStats {
+            cache: Some(Mutex::new(LruSet::new(capacity_blocks))),
+            ..Self::default()
+        }
+    }
+
+    /// Charge one node visit.
+    #[inline]
+    pub fn charge_node_visit(&self) {
+        self.node_visits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge a node visit identified by `key`; free on a cache hit.
+    #[inline]
+    pub fn charge_node_visit_keyed(&self, key: u64) {
+        if let Some(cache) = &self.cache {
+            if cache.lock().unwrap().access(key, 1) {
+                return;
+            }
+        }
+        self.charge_node_visit();
+    }
+
+    /// Charge an inverted-file load of `bytes` bytes (⌈bytes / 4096⌉ blocks).
+    #[inline]
+    pub fn charge_invfile(&self, bytes: usize) {
+        let blocks = crate::blocks_for(bytes);
+        if blocks > 0 {
+            self.invfile_blocks.fetch_add(blocks, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge an inverted-file load identified by `key`; free on a cache
+    /// hit.
+    #[inline]
+    pub fn charge_invfile_keyed(&self, key: u64, bytes: usize) {
+        let blocks = crate::blocks_for(bytes);
+        if blocks == 0 {
+            return;
+        }
+        if let Some(cache) = &self.cache {
+            if cache.lock().unwrap().access(key, blocks) {
+                return;
+            }
+        }
+        self.invfile_blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Charge a pre-computed number of inverted-file blocks.
+    #[inline]
+    pub fn charge_blocks(&self, blocks: u64) {
+        if blocks > 0 {
+            self.invfile_blocks.fetch_add(blocks, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            node_visits: self.node_visits.load(Ordering::Relaxed),
+            invfile_blocks: self.invfile_blocks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total simulated I/Os so far.
+    pub fn total(&self) -> u64 {
+        self.snapshot().total()
+    }
+
+    /// Resets both counters to zero and empties any attached cache (cold
+    /// start for the next trial).
+    pub fn reset(&self) {
+        self.node_visits.store(0, Ordering::Relaxed);
+        self.invfile_blocks.store(0, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            cache.lock().unwrap().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_SIZE;
+
+    #[test]
+    fn node_visit_counts_one() {
+        let io = IoStats::new();
+        io.charge_node_visit();
+        io.charge_node_visit();
+        assert_eq!(io.snapshot().node_visits, 2);
+        assert_eq!(io.total(), 2);
+    }
+
+    #[test]
+    fn invfile_charges_blocks() {
+        let io = IoStats::new();
+        io.charge_invfile(1); // 1 block
+        io.charge_invfile(PAGE_SIZE + 1); // 2 blocks
+        io.charge_invfile(0); // nothing
+        assert_eq!(io.snapshot().invfile_blocks, 3);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let io = IoStats::new();
+        io.charge_node_visit();
+        let before = io.snapshot();
+        io.charge_node_visit();
+        io.charge_invfile(10);
+        let delta = io.snapshot() - before;
+        assert_eq!(delta.node_visits, 1);
+        assert_eq!(delta.invfile_blocks, 1);
+        assert_eq!(delta.total(), 2);
+    }
+
+    #[test]
+    fn keyed_charges_without_cache_always_count() {
+        let io = IoStats::new();
+        io.charge_node_visit_keyed(1);
+        io.charge_node_visit_keyed(1);
+        io.charge_invfile_keyed(2, 10);
+        io.charge_invfile_keyed(2, 10);
+        assert_eq!(io.snapshot().node_visits, 2);
+        assert_eq!(io.snapshot().invfile_blocks, 2);
+    }
+
+    #[test]
+    fn warm_cache_makes_repeat_access_free() {
+        let io = IoStats::with_cache(16);
+        io.charge_node_visit_keyed(1);
+        io.charge_node_visit_keyed(1); // hit
+        io.charge_invfile_keyed(2, PAGE_SIZE * 2);
+        io.charge_invfile_keyed(2, PAGE_SIZE * 2); // hit
+        assert_eq!(io.snapshot().node_visits, 1);
+        assert_eq!(io.snapshot().invfile_blocks, 2);
+    }
+
+    #[test]
+    fn tiny_cache_still_charges_when_evicting() {
+        let io = IoStats::with_cache(1);
+        io.charge_node_visit_keyed(1);
+        io.charge_node_visit_keyed(2); // evicts 1
+        io.charge_node_visit_keyed(1); // miss again
+        assert_eq!(io.snapshot().node_visits, 3);
+    }
+
+    #[test]
+    fn reset_clears_the_cache_too() {
+        let io = IoStats::with_cache(16);
+        io.charge_node_visit_keyed(1);
+        io.reset();
+        io.charge_node_visit_keyed(1); // cold again
+        assert_eq!(io.snapshot().node_visits, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let io = IoStats::new();
+        io.charge_node_visit();
+        io.charge_invfile(100);
+        io.reset();
+        assert_eq!(io.total(), 0);
+    }
+}

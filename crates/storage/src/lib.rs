@@ -1,0 +1,51 @@
+//! Simulated disk substrate for the MaxBRSTkNN reproduction.
+//!
+//! The paper's indexes are disk resident with a 4 KB page size, and its
+//! experiments report *simulated* I/O (§8): the counter grows by 1 whenever
+//! a tree node is visited, and by the number of 4 KB blocks of a posting
+//! list whenever an inverted file is loaded. This crate reproduces that
+//! substrate:
+//!
+//! * [`BlockFile`] — an append-only record store standing in for a disk
+//!   file; records are byte payloads addressed by [`RecordId`],
+//! * [`IoStats`] — the simulated I/O counter with exactly the paper's
+//!   accounting rule,
+//! * [`codec`] — little-endian serialization helpers used by the index
+//!   crate to lay out nodes and inverted files byte-exactly.
+//!
+//! Queries in the evaluation are *cold*: the substrate deliberately has no
+//! buffer pool, so every node visit is charged.
+
+pub mod codec;
+mod cache;
+mod file;
+mod io;
+mod store;
+
+pub use cache::LruSet;
+pub use file::{load_blockfile, save_blockfile};
+pub use io::{IoSnapshot, IoStats};
+pub use store::{BlockFile, RecordId};
+
+/// Disk page size in bytes (§8: "the page size was fixed at 4 kB").
+pub const PAGE_SIZE: usize = 4096;
+
+/// Number of 4 KB blocks needed to store `bytes` bytes (0 for empty).
+#[inline]
+pub fn blocks_for(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(PAGE_SIZE as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_for_boundaries() {
+        assert_eq!(blocks_for(0), 0);
+        assert_eq!(blocks_for(1), 1);
+        assert_eq!(blocks_for(PAGE_SIZE), 1);
+        assert_eq!(blocks_for(PAGE_SIZE + 1), 2);
+        assert_eq!(blocks_for(3 * PAGE_SIZE), 3);
+    }
+}

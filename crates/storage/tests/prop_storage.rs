@@ -1,0 +1,92 @@
+//! Property-based tests of the storage substrate.
+
+use proptest::prelude::*;
+use storage::codec::{Reader, Writer};
+use storage::{blocks_for, BlockFile, IoStats, LruSet, PAGE_SIZE};
+
+proptest! {
+    /// Arbitrary record sequences round-trip through the block file.
+    #[test]
+    fn blockfile_roundtrip(payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..40)) {
+        let mut f = BlockFile::new();
+        let ids: Vec<_> = payloads.iter().map(|p| f.put(p)).collect();
+        for (id, p) in ids.iter().zip(&payloads) {
+            prop_assert_eq!(f.get(*id), p.as_slice());
+            prop_assert_eq!(f.record_len(*id), p.len());
+        }
+        let total: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+        prop_assert_eq!(f.bytes(), total);
+    }
+
+    /// The codec round-trips any interleaving of primitive values.
+    #[test]
+    fn codec_roundtrip(vals in prop::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(|v| (0u8, v as u64, 0.0)),
+            any::<u32>().prop_map(|v| (1u8, v as u64, 0.0)),
+            any::<u64>().prop_map(|v| (2u8, v, 0.0)),
+            any::<f64>().prop_map(|v| (3u8, 0, v)),
+        ],
+        0..60,
+    )) {
+        let mut w = Writer::new();
+        for &(kind, i, f) in &vals {
+            match kind {
+                0 => w.put_u8(i as u8),
+                1 => w.put_u32(i as u32),
+                2 => w.put_u64(i),
+                _ => w.put_f64(f),
+            }
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for &(kind, i, f) in &vals {
+            match kind {
+                0 => prop_assert_eq!(r.get_u8(), i as u8),
+                1 => prop_assert_eq!(r.get_u32(), i as u32),
+                2 => prop_assert_eq!(r.get_u64(), i),
+                _ => {
+                    let got = r.get_f64();
+                    prop_assert!(got == f || (got.is_nan() && f.is_nan()));
+                }
+            }
+        }
+        prop_assert!(r.is_exhausted());
+    }
+
+    /// Block accounting: ⌈bytes/4096⌉, never off by one.
+    #[test]
+    fn block_accounting(bytes in 0usize..200_000) {
+        let blocks = blocks_for(bytes);
+        prop_assert!(blocks as usize * PAGE_SIZE >= bytes);
+        if blocks > 0 {
+            prop_assert!((blocks as usize - 1) * PAGE_SIZE < bytes);
+        } else {
+            prop_assert_eq!(bytes, 0);
+        }
+    }
+
+    /// The LRU cache never holds more than its capacity, and an uncached
+    /// IoStats charges exactly the sum of accesses.
+    #[test]
+    fn lru_capacity_respected(ops in prop::collection::vec((0u64..30, 1u64..5), 1..200), cap in 1u64..20) {
+        let mut lru = LruSet::new(cap);
+        for &(key, blocks) in &ops {
+            lru.access(key, blocks);
+            prop_assert!(lru.held_blocks() <= cap);
+        }
+    }
+
+    /// A cached counter never charges more than an uncached one replaying
+    /// the same access trace.
+    #[test]
+    fn cache_only_reduces_io(ops in prop::collection::vec((0u64..30, 0usize..20_000), 1..100), cap in 1u64..50) {
+        let cold = IoStats::new();
+        let warm = IoStats::with_cache(cap);
+        for &(key, bytes) in &ops {
+            cold.charge_invfile_keyed(key, bytes);
+            warm.charge_invfile_keyed(key, bytes);
+        }
+        prop_assert!(warm.total() <= cold.total());
+    }
+}

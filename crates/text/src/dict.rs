@@ -1,0 +1,120 @@
+//! Term identifiers and string interning.
+
+use std::collections::HashMap;
+
+/// A compact identifier for a vocabulary term.
+///
+/// Terms are interned once in a [`Dictionary`]; every document, posting list
+/// and keyword set then works with 4-byte ids instead of strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a `usize` index (for table lookups).
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional map between term strings and [`TermId`]s.
+///
+/// Insertion order defines ids: the first distinct term gets id 0. Lookups
+/// by id are O(1); lookups by string are hash-map lookups.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<String>,
+    by_name: HashMap<String, TermId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_name.get(term) {
+            return id;
+        }
+        let id = TermId(
+            u32::try_from(self.terms.len()).expect("dictionary exceeds u32::MAX terms"),
+        );
+        self.terms.push(term.to_owned());
+        self.by_name.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Interns every whitespace-separated token of `textual` description.
+    pub fn intern_all<'a>(&mut self, terms: impl IntoIterator<Item = &'a str>) -> Vec<TermId> {
+        terms.into_iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Looks up an already-interned term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_name.get(term).copied()
+    }
+
+    /// The string for `id`, if assigned.
+    pub fn name(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.idx()).map(String::as_str)
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("sushi");
+        let b = d.intern("noodles");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("sushi"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), TermId(0));
+        assert_eq!(d.intern("b"), TermId(1));
+        assert_eq!(d.intern("c"), TermId(2));
+    }
+
+    #[test]
+    fn roundtrip_name() {
+        let mut d = Dictionary::new();
+        let id = d.intern("seafood");
+        assert_eq!(d.name(id), Some("seafood"));
+        assert_eq!(d.get("seafood"), Some(id));
+        assert_eq!(d.get("absent"), None);
+        assert_eq!(d.name(TermId(99)), None);
+    }
+
+    #[test]
+    fn intern_all_preserves_order() {
+        let mut d = Dictionary::new();
+        let ids = d.intern_all(["x", "y", "x"]);
+        assert_eq!(ids, vec![TermId(0), TermId(1), TermId(0)]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

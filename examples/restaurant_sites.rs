@@ -1,0 +1,64 @@
+//! The paper's running example (Figure 1 / Example 2): choose a site and a
+//! one-item menu for a new restaurant `ox` so it becomes the top-1
+//! spatial-textual choice of the most users.
+//!
+//! Users u1..u4 and restaurants o1, o2 are laid out as in Figure 1; the
+//! candidate locations are l1, l2, l3 and the menu choices are
+//! {sushi, seafood, noodles} with a budget of one item. The paper's
+//! answer: place `ox` at l1 with menu "sushi", winning u1, u2 and u3.
+//!
+//! ```sh
+//! cargo run --release --example restaurant_sites
+//! ```
+
+use maxbrstknn::prelude::*;
+
+fn main() {
+    let mut dict = Dictionary::new();
+    let sushi = dict.intern("sushi");
+    let seafood = dict.intern("seafood");
+    let noodles = dict.intern("noodles");
+
+    // Geometry mirroring Figure 1: u1,u2,u3 cluster on the left around l1,
+    // u4 sits to the right next to o2; o1 is below the cluster.
+    let objects = vec![
+        ObjectData { id: 0, point: Point::new(2.0, 1.0), doc: Document::from_terms([sushi]) }, // o1
+        ObjectData { id: 1, point: Point::new(8.0, 4.0), doc: Document::from_terms([noodles]) }, // o2
+    ];
+    let users = vec![
+        UserData { id: 0, point: Point::new(1.0, 4.0), doc: Document::from_terms([sushi, seafood]) }, // u1
+        UserData { id: 1, point: Point::new(2.0, 5.0), doc: Document::from_terms([sushi]) },          // u2
+        UserData { id: 2, point: Point::new(3.0, 4.0), doc: Document::from_terms([sushi, noodles]) }, // u3
+        UserData { id: 3, point: Point::new(7.0, 4.5), doc: Document::from_terms([noodles]) },        // u4
+    ];
+
+    let engine = Engine::build(objects, users, WeightModel::KeywordOverlap, 0.5);
+
+    let locations = vec![
+        Point::new(2.0, 4.5), // l1 — inside the user cluster
+        Point::new(5.0, 1.0), // l2 — south, away from everyone
+        Point::new(6.5, 5.5), // l3 — near u4 but next to o2
+    ];
+    let spec = QuerySpec {
+        ox_doc: Document::new(),
+        locations,
+        keywords: vec![sushi, seafood, noodles],
+        ws: 1, // "the number of menu items that can be displayed is 1"
+        k: 1,  // top-1 restaurant per user
+    };
+
+    let ans = engine.query(&spec, Method::JointExact);
+    let menu: Vec<&str> = ans.keywords.iter().map(|&t| dict.name(t).unwrap()).collect();
+    println!(
+        "Best site: l{} — menu {:?} — top-1 restaurant for {} users: {:?}",
+        ans.location + 1,
+        menu,
+        ans.cardinality(),
+        ans.brstknn.iter().map(|u| format!("u{}", u + 1)).collect::<Vec<_>>(),
+    );
+
+    assert_eq!(ans.location, 0, "the paper's answer is l1");
+    assert_eq!(menu, vec!["sushi"], "the paper's answer is 'sushi'");
+    assert_eq!(ans.cardinality(), 3, "ox wins u1, u2, u3");
+    println!("Matches Example 2 of the paper: l1 + sushi wins u1,u2,u3.");
+}

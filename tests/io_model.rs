@@ -1,0 +1,123 @@
+//! Integration tests of the simulated I/O claims (§5, §8).
+
+use datagen::{generate_objects, generate_workload, CorpusConfig, UserGenConfig};
+use maxbrstknn::prelude::*;
+
+fn setup(num_users: usize) -> (Engine, QuerySpec) {
+    let objects = generate_objects(&CorpusConfig::flickr_like(4_000));
+    let wl = generate_workload(
+        &objects,
+        &UserGenConfig {
+            num_users,
+            area: 6.0,
+            uw: 15,
+            ul: 3,
+            num_locations: 10,
+            seed: 321,
+        },
+    );
+    let engine =
+        Engine::build_with_fanout(objects, wl.users, WeightModel::lm(), 0.5, 16).with_user_index();
+    let spec = QuerySpec {
+        ox_doc: Document::new(),
+        locations: wl.candidate_locations,
+        keywords: wl.candidate_keywords,
+        ws: 2,
+        k: 5,
+    };
+    (engine, spec)
+}
+
+#[test]
+fn baseline_io_grows_with_users_joint_io_does_not() {
+    let (eng_small, _) = setup(50);
+    let (eng_large, _) = setup(200);
+
+    eng_small.io.reset();
+    eng_small.baseline_user_topk(5);
+    let base_small = eng_small.io.total();
+    eng_large.io.reset();
+    eng_large.baseline_user_topk(5);
+    let base_large = eng_large.io.total();
+    // 4× the users ⇒ roughly 4× the baseline I/O.
+    assert!(
+        base_large as f64 > 2.5 * base_small as f64,
+        "baseline: {base_small} → {base_large}"
+    );
+
+    eng_small.io.reset();
+    eng_small.joint_user_topk(5);
+    let joint_small = eng_small.io.total();
+    eng_large.io.reset();
+    eng_large.joint_user_topk(5);
+    let joint_large = eng_large.io.total();
+    // Joint I/O is bounded by one full traversal; it must stay within a
+    // small factor regardless of the user count.
+    assert!(
+        (joint_large as f64) < 2.0 * joint_small as f64 + 100.0,
+        "joint: {joint_small} → {joint_large}"
+    );
+}
+
+#[test]
+fn joint_io_bounded_by_index_size() {
+    let (engine, _) = setup(100);
+    engine.io.reset();
+    engine.joint_user_topk(5);
+    let snap = engine.io.snapshot();
+    // Visiting every node once is the worst case.
+    let total_nodes = 4_000usize.div_ceil(16) * 2; // generous: leaves ×2
+    assert!(
+        (snap.node_visits as usize) <= total_nodes,
+        "visited {} nodes of ≤ {total_nodes}",
+        snap.node_visits
+    );
+}
+
+#[test]
+fn mir_invfiles_larger_than_ir_but_nodes_equal() {
+    let (engine, _) = setup(50);
+    assert!(engine.mir.invfile_bytes() > engine.ir.invfile_bytes());
+    assert_eq!(engine.mir.node_bytes(), engine.ir.node_bytes());
+    // §5.1 cost analysis: the MIR-tree stores one extra weight per
+    // posting, so its inverted files are bounded by 2× the IR-tree's.
+    assert!(engine.mir.invfile_bytes() < 2 * engine.ir.invfile_bytes());
+}
+
+#[test]
+fn user_index_prunes_users_without_changing_io_class() {
+    let (engine, spec) = setup(200);
+
+    engine.io.reset();
+    engine.joint_user_topk(spec.k);
+    let unindexed_io = engine.io.total();
+
+    engine.io.reset();
+    let out = maxbrstknn::mbrstk_core::user_index::select_with_user_index(
+        engine.miur.as_ref().unwrap(),
+        &engine.mir,
+        &spec,
+        &engine.ctx,
+        maxbrstknn::mbrstk_core::select::location::KeywordSelector::Greedy,
+        &engine.io,
+    );
+    let indexed_io = engine.io.total();
+
+    // The MIUR pipeline adds user-node reads but skips per-user work; it
+    // must stay in the same I/O class as the plain joint traversal.
+    assert!(
+        indexed_io < unindexed_io * 3,
+        "indexed {indexed_io} vs unindexed {unindexed_io}"
+    );
+    assert_eq!(out.users_scored + out.users_pruned, 200);
+}
+
+#[test]
+fn cold_queries_charge_every_run() {
+    let (engine, _) = setup(50);
+    engine.io.reset();
+    engine.joint_user_topk(5);
+    let first = engine.io.total();
+    engine.joint_user_topk(5);
+    assert_eq!(engine.io.total(), 2 * first, "no caching allowed");
+}

@@ -1,0 +1,209 @@
+//! Property-based cross-validation of the full pipeline against brute
+//! force on random small instances.
+//!
+//! These are the strongest correctness tests in the repository: every
+//! pruning rule in Algorithms 1–4 must survive arbitrary geometry, keyword
+//! assignments and thresholds.
+
+use maxbrstknn::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    objects: Vec<ObjectData>,
+    users: Vec<UserData>,
+    locations: Vec<Point>,
+    keywords: Vec<TermId>,
+    ws: usize,
+    k: usize,
+    alpha: f64,
+}
+
+prop_compose! {
+    fn point()(x in 0.0f64..20.0, y in 0.0f64..20.0) -> Point {
+        Point::new(x, y)
+    }
+}
+
+prop_compose! {
+    fn doc(max_term: u32)(terms in prop::collection::vec(0..max_term, 1..4)) -> Document {
+        Document::from_terms(terms.into_iter().map(TermId))
+    }
+}
+
+prop_compose! {
+    fn instance()(
+        objs in prop::collection::vec((point(), doc(6)), 6..40),
+        usrs in prop::collection::vec((point(), doc(6)), 2..12),
+        locs in prop::collection::vec(point(), 1..5),
+        kws in prop::collection::vec(0u32..6, 1..5),
+        ws in 1usize..3,
+        k in 1usize..5,
+        alpha in 0.1f64..0.9,
+    ) -> Instance {
+        let mut keywords: Vec<TermId> = kws.into_iter().map(TermId).collect();
+        keywords.sort_unstable();
+        keywords.dedup();
+        Instance {
+            objects: objs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (p, d))| ObjectData { id: i as u32, point: p, doc: d })
+                .collect(),
+            users: usrs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (p, d))| UserData { id: i as u32, point: p, doc: d })
+                .collect(),
+            locations: locs,
+            keywords,
+            ws,
+            k,
+            alpha,
+        }
+    }
+}
+
+/// Brute-force per-user top-k threshold.
+fn brute_rsk(engine: &Engine, k: usize) -> Vec<f64> {
+    engine
+        .users
+        .iter()
+        .map(|u| {
+            let n_u = engine.ctx.text.normalizer(&u.doc);
+            let mut scores: Vec<f64> = engine
+                .objects
+                .iter()
+                .map(|o| {
+                    let w = engine.ctx.text.weigh(&o.doc);
+                    engine.ctx.sts(&o.point, &w, u, n_u)
+                })
+                .collect();
+            scores.sort_by(|a, b| b.total_cmp(a));
+            if scores.len() >= k {
+                scores[k - 1]
+            } else {
+                f64::NEG_INFINITY
+            }
+        })
+        .collect()
+}
+
+/// Brute-force optimum: every ⟨location, keyword subset ≤ ws⟩.
+fn brute_optimum(engine: &Engine, spec: &QuerySpec, rsk: &[f64]) -> usize {
+    let ref_len = spec.ref_len();
+    let subsets = |kws: &[TermId], ws: usize| -> Vec<Vec<TermId>> {
+        let mut out = vec![vec![]];
+        for &w in kws {
+            let mut extended = Vec::new();
+            for s in &out {
+                if s.len() < ws {
+                    let mut t = s.clone();
+                    t.push(w);
+                    extended.push(t);
+                }
+            }
+            out.extend(extended);
+        }
+        out
+    };
+    let mut best = 0;
+    for loc in &spec.locations {
+        for subset in subsets(&spec.keywords, spec.ws) {
+            let cand = spec.ox_doc.with_terms(subset.iter().copied());
+            let count = engine
+                .users
+                .iter()
+                .zip(rsk)
+                .filter(|(u, &r)| {
+                    u.doc.overlaps(&cand)
+                        && engine.ctx.sts_candidate(loc, &cand, ref_len, u) >= r
+                })
+                .count();
+            best = best.max(count);
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Joint top-k thresholds equal brute force on random instances.
+    #[test]
+    fn joint_topk_matches_brute_force(inst in instance()) {
+        let engine = Engine::build_with_fanout(
+            inst.objects.clone(),
+            inst.users.clone(),
+            WeightModel::lm(),
+            inst.alpha,
+            4,
+        );
+        let want = brute_rsk(&engine, inst.k);
+        let (got, _) = engine.joint_user_topk(inst.k);
+        for (g, w) in got.iter().zip(&want) {
+            if w.is_finite() {
+                prop_assert!((g.rsk - w).abs() < 1e-9, "user {}: {} vs {}", g.user, g.rsk, w);
+            } else {
+                prop_assert!(g.rsk == f64::NEG_INFINITY);
+            }
+        }
+    }
+
+    /// The exact pipeline finds the true optimum cardinality.
+    #[test]
+    fn exact_query_matches_brute_force(inst in instance()) {
+        let engine = Engine::build_with_fanout(
+            inst.objects.clone(),
+            inst.users.clone(),
+            WeightModel::lm(),
+            inst.alpha,
+            4,
+        ).with_user_index();
+        let spec = QuerySpec {
+            ox_doc: Document::new(),
+            locations: inst.locations.clone(),
+            keywords: inst.keywords.clone(),
+            ws: inst.ws,
+            k: inst.k,
+        };
+        let rsk = brute_rsk(&engine, inst.k);
+        let want = brute_optimum(&engine, &spec, &rsk);
+        let got = engine.query(&spec, Method::JointExact);
+        prop_assert_eq!(got.cardinality(), want, "joint-exact vs brute force");
+        let got_ui = engine.query(&spec, Method::UserIndexExact);
+        prop_assert_eq!(got_ui.cardinality(), want, "user-index-exact vs brute force");
+    }
+
+    /// Greedy never exceeds exact and its result always verifies.
+    #[test]
+    fn greedy_result_is_sound(inst in instance()) {
+        let engine = Engine::build_with_fanout(
+            inst.objects.clone(),
+            inst.users.clone(),
+            WeightModel::KeywordOverlap,
+            inst.alpha,
+            4,
+        );
+        let spec = QuerySpec {
+            ox_doc: Document::new(),
+            locations: inst.locations.clone(),
+            keywords: inst.keywords.clone(),
+            ws: inst.ws,
+            k: inst.k,
+        };
+        let e = engine.query(&spec, Method::JointExact);
+        let g = engine.query(&spec, Method::JointGreedy);
+        prop_assert!(g.cardinality() <= e.cardinality());
+        // Every reported user genuinely qualifies.
+        let rsk = brute_rsk(&engine, inst.k);
+        let loc = spec.locations[g.location];
+        let cand = spec.ox_doc.with_terms(g.keywords.iter().copied());
+        for &uid in &g.brstknn {
+            let u = &engine.users[uid as usize];
+            let sts = engine.ctx.sts_candidate(&loc, &cand, spec.ref_len(), u);
+            prop_assert!(sts >= rsk[uid as usize] - 1e-9);
+            prop_assert!(u.doc.overlaps(&cand));
+        }
+    }
+}
