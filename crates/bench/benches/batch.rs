@@ -1,0 +1,36 @@
+//! Micro-benchmark: batch query throughput vs worker threads.
+//!
+//! Complements the `figures batch` experiment with fixed-scale timings of
+//! `Engine::query_batch_threads` for the joint-greedy pipeline.
+
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main, measure_query_batch, Params, Scenario};
+use mbrstk_core::Method;
+
+fn bench_batch(c: &mut Criterion) {
+    let p = Params {
+        num_objects: 5_000,
+        num_users: 150,
+        trials: 1,
+        ..Params::default()
+    };
+    let sc = Scenario::build(&p, 0);
+    let specs = sc.batch_specs(16);
+
+    let mut g = c.benchmark_group("query_batch");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("joint-greedy", threads),
+            &threads,
+            |b, &threads| b.iter(|| measure_query_batch(&sc, &specs, Method::JointGreedy, threads)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch
+}
+criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! Criterion micro-benchmark: index construction and node access paths.
+//! Micro-benchmark: index construction and node access paths (internal
+//! min/mean/max harness; one timed invocation per sample).
 //!
 //! Covers the cost analysis of §5.1: MIR-tree construction should track
 //! IR-tree construction (the min weights are computed in the same pass),
 //! at slightly larger inverted files.
 
-use bench::{Params, Scenario};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main, Params, Scenario};
 use index::{IndexedObject, PostingMode, StTree};
 use storage::IoStats;
 use text::TermId;

@@ -1,8 +1,12 @@
-//! Criterion micro-benchmark: candidate selection — baseline vs exact vs
-//! greedy (§4 / §6.2.2 / §6.2.1).
+//! Micro-benchmark: candidate selection — baseline vs exact vs greedy
+//! (§4 / §6.2.2 / §6.2.1). Internal min/mean/max harness; one timed
+//! invocation per sample.
 
-use bench::{measure_select, measure_topk_joint, Params, Scenario, SelectMethod};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{
+    criterion_group, criterion_main, measure_select, measure_topk_joint, Params, Scenario,
+    SelectMethod,
+};
 
 fn bench_select(c: &mut Criterion) {
     let p = Params {

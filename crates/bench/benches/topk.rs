@@ -1,10 +1,13 @@
-//! Criterion micro-benchmark: joint top-k (§5) vs per-user baseline (§4).
+//! Micro-benchmark: joint top-k (§5) vs per-user baseline (§4).
 //!
-//! Complements the `figures` harness with statistically rigorous timings
-//! at a fixed small scale.
+//! Complements the `figures` harness with repeated min/mean/max timings
+//! at a fixed small scale (internal harness; one timed invocation per
+//! sample, no statistical outlier rejection).
 
-use bench::{measure_topk_baseline, measure_topk_joint, Params, Scenario};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{
+    criterion_group, criterion_main, measure_topk_baseline, measure_topk_joint, Params, Scenario,
+};
 
 fn bench_topk(c: &mut Criterion) {
     let p = Params {

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 | all]
+//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch | all]
 //! ```
 //!
 //! `--quick` shrinks the collection for smoke runs; default scales are the
@@ -19,12 +19,16 @@ fn main() {
         .collect();
     if which.is_empty() || which.contains(&"all") {
         which = vec![
-            "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "ablation",
+            "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "ablation", "batch",
         ];
     }
 
-    let mut p = if quick { Params::quick() } else { Params::default() };
+    let mut p = if quick {
+        Params::quick()
+    } else {
+        Params::default()
+    };
     // Optional overrides: --objects N, --users N, --trials N, --seed N.
     let flag = |name: &str| -> Option<u64> {
         args.iter()
@@ -69,6 +73,7 @@ fn main() {
             "fig14" => figs::fig14(&p),
             "fig15" => figs::fig15(&p),
             "ablation" => figs::ablation(&p),
+            "batch" => figs::batch(&p),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);

@@ -5,11 +5,12 @@
 //! series the paper plots. Paper-expected shapes are noted in each doc
 //! comment so EXPERIMENTS.md can record paper-vs-measured side by side.
 
-use mbrstk_core::QuerySpec;
+use mbrstk_core::{Method, QuerySpec};
 use text::WeightModel;
 
 use crate::measure::{
-    measure_select, measure_topk_baseline, measure_topk_joint, measure_user_index, SelectMethod,
+    measure_query_batch, measure_select, measure_topk_baseline, measure_topk_joint,
+    measure_user_index, SelectMethod,
 };
 use crate::report::{fmt, Table};
 use crate::{Params, Scenario};
@@ -83,9 +84,9 @@ pub fn table4(p: &Params) {
     let fl = datagen::dataset_stats(&datagen::generate_objects(
         &datagen::CorpusConfig::flickr_like(p.num_objects),
     ));
-    let yp = datagen::dataset_stats(&datagen::generate_objects(&datagen::CorpusConfig::yelp_like(
-        (p.num_objects / 16).max(500),
-    )));
+    let yp = datagen::dataset_stats(&datagen::generate_objects(
+        &datagen::CorpusConfig::yelp_like((p.num_objects / 16).max(500)),
+    ));
     t.row(vec![
         "Total objects".into(),
         fl.total_objects.to_string(),
@@ -111,7 +112,10 @@ pub fn table4(p: &Params) {
 
 /// Table 5: parameter ranges (defaults in brackets).
 pub fn table5(_p: &Params) {
-    let mut t = Table::new("Table 5 — Parameters (defaults bracketed)", &["Parameter", "Range"]);
+    let mut t = Table::new(
+        "Table 5 — Parameters (defaults bracketed)",
+        &["Parameter", "Range"],
+    );
     t.row(vec!["k".into(), "1, 5, [10], 20, 50".into()]);
     t.row(vec!["alpha".into(), "0.1, 0.3, [0.5], 0.7, 0.9".into()]);
     t.row(vec!["UL".into(), "1, 2, [3], 4, 5, 6".into()]);
@@ -119,7 +123,10 @@ pub fn table5(_p: &Params) {
     t.row(vec!["Area".into(), "1, 2, [5], 10, 20".into()]);
     t.row(vec!["|L|".into(), "1, 20, [50], 100, 300".into()]);
     t.row(vec!["ws".into(), "1, 2, [3], 4, 5, 6, 7, 8".into()]);
-    t.row(vec!["|U| (scaled)".into(), "100, 250, [500], 1000, 2000".into()]);
+    t.row(vec![
+        "|U| (scaled)".into(),
+        "100, 250, [500], 1000, 2000".into(),
+    ]);
     t.row(vec!["|O| (scaled)".into(), "10K, [20K], 40K, 80K".into()]);
     t.print();
 }
@@ -128,17 +135,27 @@ pub fn table5(_p: &Params) {
 /// KO costs the most; approx 2–3 orders faster than exact; ratio rises
 /// with k.
 pub fn fig5(p: &Params) {
-    let models = [WeightModel::lm(), WeightModel::TfIdf, WeightModel::KeywordOverlap];
+    let models = [
+        WeightModel::lm(),
+        WeightModel::TfIdf,
+        WeightModel::KeywordOverlap,
+    ];
     // per model → per k → [B.mrpu, J.mrpu, B.io, J.io, selB, selE, selA, ratio]
     let mut data = vec![vec![vec![0.0f64; 8]; KS.len()]; models.len()];
     for (mi, model) in models.iter().enumerate() {
-        let pm = Params { model: *model, ..p.clone() };
+        let pm = Params {
+            model: *model,
+            ..p.clone()
+        };
         let rows = avg_over_trials(&pm, |sc| {
             let mut out = Vec::new();
             for &k in &KS {
                 let b = measure_topk_baseline(sc, k);
                 let j = measure_topk_joint(sc, k);
-                let spec = QuerySpec { k, ..sc.spec.clone() };
+                let spec = QuerySpec {
+                    k,
+                    ..sc.spec.clone()
+                };
                 let run_baseline = model.short_name() == "LM" && baseline_feasible(&pm, &spec);
                 let sb = if run_baseline {
                     measure_select(sc, &spec, &j, SelectMethod::Baseline).runtime_ms
@@ -175,7 +192,9 @@ pub fn fig5(p: &Params) {
     );
     let mut c = Table::new(
         "Fig 5c — candidate-selection runtime (ms) vs k",
-        &["k", "B(LM)", "E(LM)", "A(LM)", "E(TF)", "A(TF)", "E(KO)", "A(KO)"],
+        &[
+            "k", "B(LM)", "E(LM)", "A(LM)", "E(TF)", "A(TF)", "E(KO)", "A(KO)",
+        ],
     );
     let mut d = Table::new(
         "Fig 5d — approximation ratio vs k",
@@ -531,7 +550,10 @@ pub fn fig14(p: &Params) {
         for &k in &KS {
             let bm = measure_topk_baseline(sc, k);
             let jm = measure_topk_joint(sc, k);
-            let spec = QuerySpec { k, ..sc.spec.clone() };
+            let spec = QuerySpec {
+                k,
+                ..sc.spec.clone()
+            };
             let e = measure_select(sc, &spec, &jm, SelectMethod::Exact);
             let ap = measure_select(sc, &spec, &jm, SelectMethod::Approx);
             out.extend([
@@ -616,8 +638,7 @@ pub fn fig15(p: &Params) {
                 .iter()
                 .map(|u| 4 + 16 + 4 + 4 * u.doc.num_terms())
                 .sum();
-            let unindexed_io =
-                jm.total_io as f64 + storage::blocks_for(user_table_bytes) as f64;
+            let unindexed_io = jm.total_io as f64 + storage::blocks_for(user_table_bytes) as f64;
             let ui = measure_user_index(sc, &spec);
             // Un-indexed runtime: the full §5–§6 pipeline on in-memory
             // users (joint top-k + Algorithm 3 greedy).
@@ -641,6 +662,60 @@ pub fn fig15(p: &Params) {
     }
     a.print();
     b.print();
+}
+
+/// Batch-serving experiment (beyond the paper): throughput of
+/// `Engine::query_batch` as worker threads grow, per method.
+///
+/// Expected shape: wall-clock drops and QPS climbs until thread count
+/// reaches the hardware's parallelism, while per-query simulated I/O stays
+/// *exactly* constant — batching parallelizes the work without changing
+/// the algorithms' access paths (the paper's cost model is preserved).
+pub fn batch(p: &Params) {
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    const BATCH: usize = 24;
+
+    let sc = Scenario::build(p, 0);
+    let specs = sc.batch_specs(BATCH);
+    for method in [
+        Method::JointGreedy,
+        Method::JointExact,
+        Method::UserIndexGreedy,
+    ] {
+        let mut t = Table::new(
+            &format!(
+                "Batch — {} × {BATCH} queries vs worker threads",
+                method.name()
+            ),
+            &["threads", "wall ms", "QPS", "mean q ms", "mean q I/O"],
+        );
+        // The serial run doubles as the THREADS[0] == 1 row, so the most
+        // expensive configuration is measured exactly once.
+        let baseline = measure_query_batch(&sc, &specs, method, 1);
+        for &threads in &THREADS {
+            let m = if threads == 1 {
+                baseline.clone()
+            } else {
+                measure_query_batch(&sc, &specs, method, threads)
+            };
+            assert_eq!(
+                m.cardinalities, baseline.cardinalities,
+                "batch answers must not depend on thread count"
+            );
+            assert_eq!(
+                m.total_io, baseline.total_io,
+                "per-query I/O must not depend on thread count"
+            );
+            t.row(vec![
+                threads.to_string(),
+                fmt(m.wall_ms),
+                fmt(m.qps),
+                fmt(m.mean_query_ms),
+                fmt(m.mean_query_io),
+            ]);
+        }
+        t.print();
+    }
 }
 
 /// Ablations beyond the paper's figures: design-choice experiments listed
@@ -690,7 +765,12 @@ pub fn ablation(p: &Params) {
             let su = sc.engine.super_user();
             let out =
                 mbrstk_core::topk::joint::joint_topk(&sc.engine.mir, &su, p.k, &sc.engine.ctx, &io);
-            mbrstk_core::topk::individual::individual_topk(&sc.engine.users, &out, p.k, &sc.engine.ctx);
+            mbrstk_core::topk::individual::individual_topk(
+                &sc.engine.users,
+                &out,
+                p.k,
+                &sc.engine.ctx,
+            );
             io.total() as f64 / sc.engine.users.len() as f64
         };
         t.row(vec![blocks.to_string(), fmt(b_io), fmt(j_io)]);
@@ -703,7 +783,10 @@ pub fn ablation(p: &Params) {
         &["fanout", "B MIOCPU", "J MIOCPU", "B MRPU(ms)", "J MRPU(ms)"],
     );
     for fanout in [16usize, 32, 64, 128] {
-        let pf = Params { fanout, ..p.clone() };
+        let pf = Params {
+            fanout,
+            ..p.clone()
+        };
         let sc = Scenario::build(&pf, 0);
         let b = measure_topk_baseline(&sc, pf.k);
         let j = measure_topk_joint(&sc, pf.k);
@@ -720,7 +803,14 @@ pub fn ablation(p: &Params) {
     // --- (c) Keyword selector quality. ---
     let mut t = Table::new(
         "Ablation C — keyword selector: runtime (ms) and ratio to exact",
-        &["trial", "Greedy ms", "Greedy+ ms", "Exact ms", "Greedy ratio", "Greedy+ ratio"],
+        &[
+            "trial",
+            "Greedy ms",
+            "Greedy+ ms",
+            "Exact ms",
+            "Greedy ratio",
+            "Greedy+ ratio",
+        ],
     );
     for trial in 0..p.trials {
         let sc = Scenario::build(p, trial);
@@ -760,8 +850,14 @@ pub fn ablation(p: &Params) {
             })
             .collect();
         let trees = [
-            ("STR", StTree::build_with_fanout(&objs, PostingMode::MaxMin, p.fanout)),
-            ("text-first", StTree::build_text_first(&objs, PostingMode::MaxMin, p.fanout)),
+            (
+                "STR",
+                StTree::build_with_fanout(&objs, PostingMode::MaxMin, p.fanout),
+            ),
+            (
+                "text-first",
+                StTree::build_text_first(&objs, PostingMode::MaxMin, p.fanout),
+            ),
         ];
         for (name, tree) in &trees {
             let io = storage::IoStats::new();

@@ -1,0 +1,200 @@
+//! Minimal micro-benchmark harness with a criterion-shaped API.
+//!
+//! The container this reproduction builds in has no network access to
+//! crates.io, so the `criterion` dependency is replaced by this module: it
+//! keeps the familiar `Criterion` / `benchmark_group` / `bench_function` /
+//! `iter` surface (the subset our benches use) and reports min / mean /
+//! max wall-clock per iteration on stdout. Benches still run with
+//! `cargo bench`, each as a `harness = false` binary.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Harness entry point; mirrors `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup_iters: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warmup_iters: 2,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_one(id, self.sample_size, self.warmup_iters, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let full = format!("{}/{id}", self.name);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.warmup_iters,
+            f,
+        );
+    }
+
+    /// Runs a parameterized benchmark; `input` is passed to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.warmup_iters,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds the label from a function name and a parameter value.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`, keeping its result alive via
+    /// [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, warmup: usize, mut f: F) {
+    let mut b = Bencher::default();
+    for _ in 0..warmup {
+        f(&mut b);
+    }
+    b.samples.clear();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    // A closure that never calls iter() still gets a line, with no stats.
+    if b.samples.is_empty() {
+        println!("  {id:<40} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "  {id:<40} min {:>12?}  mean {:>12?}  max {:>12?}  ({} samples)",
+        min,
+        mean,
+        max,
+        b.samples.len()
+    );
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles target functions into one
+/// runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::harness::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        // 2 warmup + 3 measured.
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("joint", 10).to_string(), "joint/10");
+    }
+}

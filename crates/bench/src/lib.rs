@@ -13,15 +13,16 @@
 //! * candidate-selection **runtime** (ms, total),
 //! * **approximation ratio** — approx cardinality / exact cardinality.
 
-mod params;
-mod scenario;
-mod measure;
-mod report;
 pub mod figs;
+pub mod harness;
+mod measure;
+mod params;
+mod report;
+mod scenario;
 
 pub use measure::{
-    measure_select, measure_topk_baseline, measure_topk_joint, measure_user_index, SelectMeasure,
-    SelectMethod, TopkMeasure, UserIndexMeasure,
+    measure_query_batch, measure_select, measure_topk_baseline, measure_topk_joint,
+    measure_user_index, BatchMeasure, SelectMeasure, SelectMethod, TopkMeasure, UserIndexMeasure,
 };
 pub use params::{DatasetKind, Params};
 pub use report::Table;

@@ -1,4 +1,7 @@
-//! Timed measurements of each pipeline stage.
+//! Timed measurements of each pipeline stage, plus whole-query batch
+//! throughput on top of [`Engine::query_batch`].
+//!
+//! [`Engine::query_batch`]: mbrstk_core::Engine::query_batch
 
 use std::time::Instant;
 
@@ -8,6 +11,7 @@ use mbrstk_core::select::CandidateContext;
 use mbrstk_core::topk::individual::individual_topk;
 use mbrstk_core::topk::joint::joint_topk;
 use mbrstk_core::user_index::select_with_user_index;
+use mbrstk_core::{Method, QuerySpec};
 
 use crate::Scenario;
 
@@ -163,6 +167,59 @@ pub fn measure_user_index(sc: &Scenario, spec: &mbrstk_core::QuerySpec) -> UserI
     }
 }
 
+/// Whole-batch execution result (the serving-oriented metric set).
+#[derive(Debug, Clone)]
+pub struct BatchMeasure {
+    /// Wall-clock time for the whole batch, ms.
+    pub wall_ms: f64,
+    /// Mean per-query latency as measured on the worker threads, ms.
+    pub mean_query_ms: f64,
+    /// Mean simulated I/O per query (from the per-thread deltas).
+    pub mean_query_io: f64,
+    /// Total simulated I/O of the batch (sum of per-query deltas).
+    pub total_io: u64,
+    /// Queries per second over the wall-clock time.
+    pub qps: f64,
+    /// Per-query result cardinalities, in spec order (for cross-checking
+    /// against sequential execution).
+    pub cardinalities: Vec<usize>,
+}
+
+/// Runs a whole batch of queries through [`Engine::query_batch_threads`]
+/// and aggregates the per-query [`QueryStats`] the engine reports.
+///
+/// [`Engine::query_batch_threads`]: mbrstk_core::Engine::query_batch_threads
+/// [`QueryStats`]: mbrstk_core::QueryStats
+pub fn measure_query_batch(
+    sc: &Scenario,
+    specs: &[QuerySpec],
+    method: Method,
+    threads: usize,
+) -> BatchMeasure {
+    let eng = &sc.engine;
+    let start = Instant::now();
+    let outcomes = eng.query_batch_threads(specs, method, threads);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let n = outcomes.len().max(1) as f64;
+    let total_io: u64 = outcomes.iter().map(|o| o.stats.io.total()).sum();
+    let total_query_ms: f64 = outcomes
+        .iter()
+        .map(|o| o.stats.elapsed.as_secs_f64() * 1e3)
+        .sum();
+    BatchMeasure {
+        wall_ms,
+        mean_query_ms: total_query_ms / n,
+        mean_query_io: total_io as f64 / n,
+        total_io,
+        qps: if wall_ms > 0.0 {
+            outcomes.len() as f64 / (wall_ms / 1e3)
+        } else {
+            f64::INFINITY
+        },
+        cardinalities: outcomes.iter().map(|o| o.result.cardinality()).collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,7 +245,12 @@ mod tests {
         let sc = quick_scenario();
         let b = measure_topk_baseline(&sc, sc.spec.k);
         let j = measure_topk_joint(&sc, sc.spec.k);
-        assert!(j.total_io < b.total_io, "joint {} vs baseline {}", j.total_io, b.total_io);
+        assert!(
+            j.total_io < b.total_io,
+            "joint {} vs baseline {}",
+            j.total_io,
+            b.total_io
+        );
         // Thresholds must agree between the two methods.
         for (x, y) in b.rsk.iter().zip(&j.rsk) {
             assert!((x - y).abs() < 1e-9);
@@ -216,5 +278,19 @@ mod tests {
         let m = measure_user_index(&sc, &sc.spec);
         assert!(m.total_io > 0);
         assert!((0.0..=100.0).contains(&m.users_pruned_pct));
+    }
+
+    /// The serving metric set: parallel batches return the same answers as
+    /// single-threaded ones, with identical per-query I/O.
+    #[test]
+    fn batch_measure_is_thread_invariant() {
+        let sc = quick_scenario();
+        let specs = sc.batch_specs(8);
+        let seq = measure_query_batch(&sc, &specs, Method::JointGreedy, 1);
+        let par = measure_query_batch(&sc, &specs, Method::JointGreedy, 4);
+        assert_eq!(seq.cardinalities, par.cardinalities);
+        assert_eq!(seq.total_io, par.total_io);
+        assert!(par.qps > 0.0);
+        assert!(par.mean_query_io > 0.0);
     }
 }

@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn super_user_fields_match_example_semantics() {
         let su = UserGroup::from_users(&users(), &scorer());
-        assert_eq!(su.mbr, Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 6.0)));
+        assert_eq!(
+            su.mbr,
+            Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 6.0))
+        );
         assert_eq!(su.d_uni.terms().collect::<Vec<_>>(), vec![t(0), t(1), t(2)]);
         assert_eq!(su.d_int.terms().collect::<Vec<_>>(), vec![t(0)]);
         assert_eq!(su.count, 3);

@@ -24,17 +24,19 @@
 //! the individual modules stay public because the paper evaluates them
 //! separately (and the joint top-k is of independent interest).
 
-mod data;
-mod score;
-mod group;
 mod bounds;
-pub mod topk;
-pub mod select;
-pub mod user_index;
+mod data;
+mod group;
+pub mod pipeline;
 mod query;
+mod score;
+pub mod select;
+pub mod topk;
+pub mod user_index;
 
 pub use data::{ObjectData, QueryResult, QuerySpec, UserData};
 pub use group::UserGroup;
+pub use pipeline::{BatchOutcome, QueryStats, QueryStrategy};
 pub use query::{Engine, Method};
 pub use score::ScoreContext;
 pub use topk::{ScoredObject, TopkOutcome, UserTopk};

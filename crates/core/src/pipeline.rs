@@ -1,0 +1,469 @@
+//! Strategy-based query pipeline and batch-parallel execution.
+//!
+//! The paper evaluates six end-to-end ways of answering a `MaxBRSTkNN`
+//! query. Each one is a [`QueryStrategy`]: a stateless, thread-safe plan
+//! that takes the [`Engine`] and a [`QuerySpec`] and produces a
+//! [`QueryResult`]. [`Method`](crate::Method) stays the convenient public
+//! handle — it is now a thin resolver into the strategy table below — and
+//! callers that want behaviour outside the built-in six (custom pruning,
+//! different selection, instrumentation) can implement the trait themselves
+//! and run through [`Engine::query_with`] / [`Engine::query_batch_with`]
+//! without touching the engine.
+//!
+//! Batching is the scaling primitive this layer adds: a production service
+//! answers many queries against one (read-only) engine, so
+//! [`Engine::query_batch`] fans a slice of specs out across threads. All
+//! strategies are deterministic and take `&Engine`, so batched results are
+//! bit-identical to sequential ones; per-query cost comes back as
+//! [`QueryStats`] via the storage layer's per-thread I/O accounting
+//! ([`IoStats::scoped`](storage::IoStats::scoped)).
+//!
+//! # Implementing a custom strategy
+//!
+//! ```ignore
+//! struct FirstLocationOnly;
+//!
+//! impl QueryStrategy for FirstLocationOnly {
+//!     fn name(&self) -> &'static str { "first-location-only" }
+//!     fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+//!         let narrowed = QuerySpec { locations: spec.locations[..1].to_vec(), ..spec.clone() };
+//!         engine.query(&narrowed, Method::JointGreedy)
+//!     }
+//! }
+//!
+//! let outcomes = engine.query_batch_with(&specs, &FirstLocationOnly, 4);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use storage::IoSnapshot;
+
+use crate::select::baseline::baseline_select;
+use crate::select::location::{select_candidate, KeywordSelector};
+use crate::select::CandidateContext;
+use crate::topk::individual::individual_topk;
+use crate::topk::joint::joint_topk;
+use crate::user_index::select_with_user_index;
+use crate::{Engine, Method, QueryResult, QuerySpec};
+
+/// One end-to-end way of answering a `MaxBRSTkNN` query.
+///
+/// Implementations must be stateless with respect to the engine (they get
+/// `&Engine`) and are required to be `Send + Sync` so batches can share
+/// them across worker threads.
+pub trait QueryStrategy: Send + Sync {
+    /// Stable, kebab-case identifier (used in logs, benches and reports).
+    fn name(&self) -> &'static str;
+
+    /// Whether the strategy needs [`Engine::with_user_index`] to have been
+    /// called (the §7 MIUR-tree pipelines do).
+    fn requires_user_index(&self) -> bool {
+        false
+    }
+
+    /// Answers the query. Must be deterministic (the same engine and spec
+    /// give the same result, on any thread) and must do all its work on
+    /// the calling thread: per-query I/O accounting in
+    /// [`Engine::query_batch`] measures the calling thread's charges, so
+    /// an implementation that spawns threads of its own would silently
+    /// under-report its I/O.
+    fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult;
+}
+
+/// §4: per-user top-k on the IR-tree + exhaustive candidate scan.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineScan;
+
+impl QueryStrategy for BaselineScan {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+        let tks = engine.baseline_user_topk(spec.k);
+        let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
+        let cc = CandidateContext::new(&engine.ctx, spec, &engine.users, &rsk);
+        baseline_select(&cc)
+    }
+}
+
+/// §5+§6: joint top-k (Algorithms 1+2) + Algorithm 3 with the configured
+/// keyword selector.
+#[derive(Debug, Clone, Copy)]
+pub struct JointPipeline {
+    /// Keyword-selection subroutine for Algorithm 3.
+    pub selector: KeywordSelector,
+}
+
+impl QueryStrategy for JointPipeline {
+    fn name(&self) -> &'static str {
+        match self.selector {
+            KeywordSelector::Greedy => "joint-greedy",
+            KeywordSelector::GreedyPlus => "joint-greedy-plus",
+            KeywordSelector::Exact => "joint-exact",
+        }
+    }
+
+    fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+        let su = engine.super_user();
+        let out = joint_topk(&engine.mir, &su, spec.k, &engine.ctx, &engine.io);
+        let tks = individual_topk(&engine.users, &out, spec.k, &engine.ctx);
+        let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
+        let cc = CandidateContext::new(&engine.ctx, spec, &engine.users, &rsk);
+        select_candidate(&cc, &su, out.rsk_us, self.selector)
+    }
+}
+
+/// §7: MIUR-tree user-index pipeline with the configured keyword selector.
+#[derive(Debug, Clone, Copy)]
+pub struct UserIndexPipeline {
+    /// Keyword-selection subroutine for the per-location refinement.
+    pub selector: KeywordSelector,
+}
+
+impl QueryStrategy for UserIndexPipeline {
+    fn name(&self) -> &'static str {
+        match self.selector {
+            KeywordSelector::Greedy => "user-index-greedy",
+            KeywordSelector::GreedyPlus => "user-index-greedy-plus",
+            KeywordSelector::Exact => "user-index-exact",
+        }
+    }
+
+    fn requires_user_index(&self) -> bool {
+        true
+    }
+
+    fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+        let miur = engine
+            .miur
+            .as_ref()
+            .expect("call with_user_index() before querying with a user-index method");
+        select_with_user_index(
+            miur,
+            &engine.mir,
+            spec,
+            &engine.ctx,
+            self.selector,
+            &engine.io,
+        )
+        .result
+    }
+}
+
+/// The built-in strategy table [`Method`] resolves into.
+pub static BASELINE: BaselineScan = BaselineScan;
+/// §5+§6 with greedy keyword selection.
+pub static JOINT_GREEDY: JointPipeline = JointPipeline {
+    selector: KeywordSelector::Greedy,
+};
+/// §5+§6 with realized-gain greedy keyword selection.
+pub static JOINT_GREEDY_PLUS: JointPipeline = JointPipeline {
+    selector: KeywordSelector::GreedyPlus,
+};
+/// §5+§6 with exact keyword selection.
+pub static JOINT_EXACT: JointPipeline = JointPipeline {
+    selector: KeywordSelector::Exact,
+};
+/// §7 with greedy keyword selection.
+pub static USER_INDEX_GREEDY: UserIndexPipeline = UserIndexPipeline {
+    selector: KeywordSelector::Greedy,
+};
+/// §7 with exact keyword selection.
+pub static USER_INDEX_EXACT: UserIndexPipeline = UserIndexPipeline {
+    selector: KeywordSelector::Exact,
+};
+
+/// Per-query cost measured by the batch executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Wall-clock time of this query on its worker thread.
+    pub elapsed: Duration,
+    /// Simulated I/O charged by this query alone — exact under concurrency
+    /// because the delta comes from the per-thread mirror (see
+    /// [`storage::IoStats::scoped`]). The mirror is process-wide, so a
+    /// custom strategy that charges a *different* `IoStats` instance during
+    /// `execute` would fold those charges in too; the built-in strategies
+    /// only ever touch their engine's counter.
+    pub io: IoSnapshot,
+}
+
+/// One query's answer plus its measured cost.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The query answer — bit-identical to what [`Engine::query`] returns
+    /// for the same spec and method.
+    pub result: QueryResult,
+    /// Measured cost of this query.
+    pub stats: QueryStats,
+}
+
+impl Engine {
+    /// Single-sourced precondition check for every strategy entry point.
+    fn assert_strategy_ready(&self, strategy: &dyn QueryStrategy) {
+        assert!(
+            !strategy.requires_user_index() || self.miur.is_some(),
+            "call with_user_index() before querying with a user-index method"
+        );
+    }
+
+    /// Answers a query with an arbitrary [`QueryStrategy`].
+    ///
+    /// # Panics
+    /// Panics when the strategy requires the user index and
+    /// [`Engine::with_user_index`] was not called.
+    pub fn query_with(&self, spec: &QuerySpec, strategy: &dyn QueryStrategy) -> QueryResult {
+        self.assert_strategy_ready(strategy);
+        strategy.execute(self, spec)
+    }
+
+    /// Answers a whole batch of queries in parallel, using all available
+    /// parallelism: workers claim specs off a shared cursor
+    /// (work-stealing), so uneven query costs don't leave threads idle.
+    ///
+    /// Results are in spec order and bit-identical to calling
+    /// [`Engine::query`] sequentially: every strategy is deterministic and
+    /// only reads the engine. Per-query [`QueryStats`] come from the
+    /// storage layer's per-thread accounting, so each query's I/O delta is
+    /// exact even though all workers share one [`IoStats`]; the engine-level
+    /// counter still accumulates the batch total.
+    pub fn query_batch(&self, specs: &[QuerySpec], method: Method) -> Vec<BatchOutcome> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.query_batch_threads(specs, method, threads)
+    }
+
+    /// [`Engine::query_batch`] with an explicit worker-thread budget.
+    pub fn query_batch_threads(
+        &self,
+        specs: &[QuerySpec],
+        method: Method,
+        threads: usize,
+    ) -> Vec<BatchOutcome> {
+        self.query_batch_with(specs, method.strategy(), threads)
+    }
+
+    /// Batch execution of an arbitrary [`QueryStrategy`] across `threads`
+    /// workers (clamped to `1..=specs.len()`).
+    ///
+    /// # Panics
+    /// Panics when the strategy requires the user index and
+    /// [`Engine::with_user_index`] was not called.
+    pub fn query_batch_with(
+        &self,
+        specs: &[QuerySpec],
+        strategy: &dyn QueryStrategy,
+        threads: usize,
+    ) -> Vec<BatchOutcome> {
+        self.assert_strategy_ready(strategy);
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, specs.len());
+
+        // Work stealing off a shared cursor rather than static chunking:
+        // query costs vary (k, |L|, selector), so pre-assigned contiguous
+        // blocks would leave workers idle behind whichever block drew the
+        // expensive queries. Each worker pops the next unclaimed spec until
+        // the batch is drained, and results are stitched back into spec
+        // order afterwards.
+        let cursor = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, BatchOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(spec) = specs.get(i) else { break };
+                            let start = Instant::now();
+                            let (result, io) = self.io.scoped(|| strategy.execute(self, spec));
+                            local.push((
+                                i,
+                                BatchOutcome {
+                                    result,
+                                    stats: QueryStats {
+                                        elapsed: start.elapsed(),
+                                        io,
+                                    },
+                                },
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        });
+
+        let mut out: Vec<Option<BatchOutcome>> = Vec::new();
+        out.resize_with(specs.len(), || None);
+        for (i, outcome) in per_worker.into_iter().flatten() {
+            out[i] = Some(outcome);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every spec index is claimed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::Point;
+    use text::{Document, TermId, WeightModel};
+
+    use crate::{ObjectData, UserData};
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    fn engine() -> Engine {
+        let objects: Vec<ObjectData> = (0..50)
+            .map(|i| ObjectData {
+                id: i,
+                point: Point::new((i % 10) as f64, (i / 10) as f64),
+                doc: Document::from_pairs([(t(i % 5), 1 + i % 2), (t(5), 1)]),
+            })
+            .collect();
+        let users: Vec<UserData> = (0..12)
+            .map(|i| UserData {
+                id: i,
+                point: Point::new((i % 7) as f64 + 0.4, (i % 4) as f64 + 0.7),
+                doc: Document::from_terms([t(i % 5), t(5)]),
+            })
+            .collect();
+        Engine::build_with_fanout(objects, users, WeightModel::lm(), 0.5, 4).with_user_index()
+    }
+
+    fn specs() -> Vec<QuerySpec> {
+        (0..9)
+            .map(|i| QuerySpec {
+                ox_doc: Document::from_terms([t(5)]),
+                locations: vec![
+                    Point::new((i % 3) as f64 + 0.5, 1.0),
+                    Point::new(8.0 - (i % 4) as f64, 3.5),
+                ],
+                keywords: vec![t(0), t(1), t(2), t(3), t(4)],
+                ws: 2,
+                k: 2 + i % 3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn method_resolves_to_matching_strategy_names() {
+        let names: Vec<&str> = Method::ALL.iter().map(|m| m.strategy().name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "baseline",
+                "joint-greedy",
+                "joint-greedy-plus",
+                "joint-exact",
+                "user-index-greedy",
+                "user-index-exact",
+            ]
+        );
+    }
+
+    #[test]
+    fn only_user_index_strategies_require_the_index() {
+        for m in Method::ALL {
+            let wants = matches!(m, Method::UserIndexGreedy | Method::UserIndexExact);
+            assert_eq!(m.strategy().requires_user_index(), wants, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_method() {
+        let eng = engine();
+        let specs = specs();
+        for m in Method::ALL {
+            let sequential: Vec<_> = specs.iter().map(|s| eng.query(s, m)).collect();
+            let batch = eng.query_batch_threads(&specs, m, 4);
+            assert_eq!(batch.len(), sequential.len());
+            for (b, s) in batch.iter().zip(&sequential) {
+                assert_eq!(&b.result, s, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stats_sum_to_engine_total() {
+        let eng = engine();
+        let specs = specs();
+        eng.io.reset();
+        let before = eng.io.snapshot();
+        let batch = eng.query_batch_threads(&specs, Method::JointExact, 4);
+        let delta = eng.io.snapshot() - before;
+        let summed: IoSnapshot = batch.iter().map(|o| o.stats.io).sum();
+        assert_eq!(summed, delta);
+        assert!(delta.total() > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let eng = engine();
+        assert!(eng.query_batch_threads(&[], Method::Baseline, 4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_specs_is_fine() {
+        let eng = engine();
+        let specs = &specs()[..2];
+        let batch = eng.query_batch_threads(specs, Method::JointGreedy, 16);
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_user_index")]
+    fn batch_rejects_user_index_method_without_index() {
+        let objects = vec![ObjectData {
+            id: 0,
+            point: Point::new(0.0, 0.0),
+            doc: Document::from_terms([t(0)]),
+        }];
+        let users = vec![UserData {
+            id: 0,
+            point: Point::new(1.0, 1.0),
+            doc: Document::from_terms([t(0)]),
+        }];
+        let eng = Engine::build(objects, users, WeightModel::lm(), 0.5);
+        eng.query_batch_threads(&specs()[..1], Method::UserIndexExact, 2);
+    }
+
+    /// A caller-defined strategy runs through the same batch machinery.
+    #[test]
+    fn custom_strategy_via_batch() {
+        struct FirstLocationOnly;
+        impl QueryStrategy for FirstLocationOnly {
+            fn name(&self) -> &'static str {
+                "first-location-only"
+            }
+            fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+                let narrowed = QuerySpec {
+                    locations: spec.locations[..1].to_vec(),
+                    ..spec.clone()
+                };
+                JOINT_EXACT.execute(engine, &narrowed)
+            }
+        }
+
+        let eng = engine();
+        let specs = specs();
+        let batch = eng.query_batch_with(&specs, &FirstLocationOnly, 4);
+        for out in &batch {
+            assert_eq!(out.result.location, 0, "restricted to the first location");
+        }
+    }
+}

@@ -11,16 +11,23 @@ use index::{IndexedObject, IndexedUser, MiurTree, PostingMode, StTree};
 use storage::IoStats;
 use text::{CorpusStats, TextScorer, WeightModel};
 
-use crate::select::baseline::baseline_select;
-use crate::select::location::{select_candidate, KeywordSelector};
+use crate::pipeline::{
+    QueryStrategy, BASELINE, JOINT_EXACT, JOINT_GREEDY, JOINT_GREEDY_PLUS, USER_INDEX_EXACT,
+    USER_INDEX_GREEDY,
+};
+use crate::select::location::KeywordSelector;
 use crate::select::CandidateContext;
 use crate::topk::baseline::all_users_topk_baseline;
 use crate::topk::individual::individual_topk;
 use crate::topk::joint::joint_topk;
-use crate::user_index::select_with_user_index;
 use crate::{ObjectData, QueryResult, QuerySpec, ScoreContext, UserData, UserGroup, UserTopk};
 
 /// Which end-to-end strategy answers the query.
+///
+/// Each variant is a thin handle resolving into a
+/// [`QueryStrategy`](crate::pipeline::QueryStrategy) implementation via
+/// [`Method::strategy`]; custom strategies bypass this enum entirely
+/// through [`Engine::query_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
     /// §4: per-user top-k on the IR-tree + exhaustive candidate scan.
@@ -36,6 +43,40 @@ pub enum Method {
     UserIndexGreedy,
     /// §7: MIUR-tree pipeline with exact keyword selection.
     UserIndexExact,
+}
+
+impl Method {
+    /// Every built-in method, in presentation order.
+    pub const ALL: [Method; 6] = [
+        Method::Baseline,
+        Method::JointGreedy,
+        Method::JointGreedyPlus,
+        Method::JointExact,
+        Method::UserIndexGreedy,
+        Method::UserIndexExact,
+    ];
+
+    /// Resolves the method into its strategy implementation.
+    pub fn strategy(self) -> &'static dyn QueryStrategy {
+        match self {
+            Method::Baseline => &BASELINE,
+            Method::JointGreedy => &JOINT_GREEDY,
+            Method::JointGreedyPlus => &JOINT_GREEDY_PLUS,
+            Method::JointExact => &JOINT_EXACT,
+            Method::UserIndexGreedy => &USER_INDEX_GREEDY,
+            Method::UserIndexExact => &USER_INDEX_EXACT,
+        }
+    }
+
+    /// Stable kebab-case name (delegates to the strategy).
+    pub fn name(self) -> &'static str {
+        self.strategy().name()
+    }
+
+    /// Whether this method needs [`Engine::with_user_index`].
+    pub fn requires_user_index(self) -> bool {
+        self.strategy().requires_user_index()
+    }
 }
 
 /// A ready-to-query MaxBRSTkNN system: scorer + indexes + data.
@@ -172,43 +213,15 @@ impl Engine {
 
     /// Answers a `MaxBRSTkNN` query with the chosen method.
     ///
+    /// Resolves `method` into its [`QueryStrategy`] and executes it; batch
+    /// workloads should prefer [`Engine::query_batch`], which fans specs
+    /// out across threads and reports per-query costs.
+    ///
     /// # Panics
     /// Panics when a user-index method is requested without
     /// [`Engine::with_user_index`].
     pub fn query(&self, spec: &QuerySpec, method: Method) -> QueryResult {
-        match method {
-            Method::Baseline => {
-                let tks = self.baseline_user_topk(spec.k);
-                let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
-                let cc = CandidateContext::new(&self.ctx, spec, &self.users, &rsk);
-                baseline_select(&cc)
-            }
-            Method::JointGreedy | Method::JointGreedyPlus | Method::JointExact => {
-                let su = self.super_user();
-                let out = joint_topk(&self.mir, &su, spec.k, &self.ctx, &self.io);
-                let tks = individual_topk(&self.users, &out, spec.k, &self.ctx);
-                let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
-                let cc = CandidateContext::new(&self.ctx, spec, &self.users, &rsk);
-                let sel = match method {
-                    Method::JointGreedy => KeywordSelector::Greedy,
-                    Method::JointGreedyPlus => KeywordSelector::GreedyPlus,
-                    _ => KeywordSelector::Exact,
-                };
-                select_candidate(&cc, &su, out.rsk_us, sel)
-            }
-            Method::UserIndexGreedy | Method::UserIndexExact => {
-                let miur = self
-                    .miur
-                    .as_ref()
-                    .expect("call with_user_index() before querying with a user-index method");
-                let sel = if method == Method::UserIndexGreedy {
-                    KeywordSelector::Greedy
-                } else {
-                    KeywordSelector::Exact
-                };
-                select_with_user_index(miur, &self.mir, spec, &self.ctx, sel, &self.io).result
-            }
-        }
+        self.query_with(spec, method.strategy())
     }
 }
 
@@ -321,7 +334,9 @@ mod tests {
         let top = eng.query_top_l(&s, KeywordSelector::Exact, 3);
         assert!(!top.is_empty());
         assert_eq!(top[0].cardinality(), single.cardinality());
-        assert!(top.windows(2).all(|w| w[0].cardinality() >= w[1].cardinality()));
+        assert!(top
+            .windows(2)
+            .all(|w| w[0].cardinality() >= w[1].cardinality()));
     }
 
     #[test]
@@ -372,8 +387,8 @@ mod tests {
                 doc: Document::from_terms([t(i % 3), t(3)]),
             })
             .collect();
-        let eng = Engine::build_with_fanout(objects, users, WeightModel::lm(), 0.5, 4)
-            .with_user_index();
+        let eng =
+            Engine::build_with_fanout(objects, users, WeightModel::lm(), 0.5, 4).with_user_index();
         let s = QuerySpec {
             ox_doc: Document::new(),
             locations: vec![Point::new(2.0, 2.0), Point::new(5.0, 4.0)],

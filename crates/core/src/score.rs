@@ -37,7 +37,13 @@ impl ScoreContext {
     /// Callers that score one user against many objects should compute
     /// `n_u` once; that is why it is a parameter rather than derived here.
     #[inline]
-    pub fn sts(&self, obj_point: &Point, obj_weights: &WeightedDoc, user: &UserData, n_u: f64) -> f64 {
+    pub fn sts(
+        &self,
+        obj_point: &Point,
+        obj_weights: &WeightedDoc,
+        user: &UserData,
+        n_u: f64,
+    ) -> f64 {
         let ss = self.spatial.ss_points(obj_point, &user.point);
         let ts = if n_u > 0.0 {
             obj_weights.dot_terms(&user.doc) / n_u

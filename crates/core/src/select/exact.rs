@@ -91,11 +91,13 @@ pub fn exact_keywords(cc: &CandidateContext<'_>, loc_idx: usize, lu: &[usize]) -
     let certain: Vec<usize> = lu
         .iter()
         .copied()
-        .filter(|&u| {
-            cc.users[u].doc.overlaps(&cc.spec.ox_doc) && cc.lbl_user(loc, u) >= cc.rsk[u]
-        })
+        .filter(|&u| cc.users[u].doc.overlaps(&cc.spec.ox_doc) && cc.lbl_user(loc, u) >= cc.rsk[u])
         .collect();
-    let uncertain: Vec<usize> = lu.iter().copied().filter(|u| !certain.contains(u)).collect();
+    let uncertain: Vec<usize> = lu
+        .iter()
+        .copied()
+        .filter(|u| !certain.contains(u))
+        .collect();
 
     let mut best_count = 0usize;
     let mut best: Vec<TermId> = Vec::new();
@@ -120,7 +122,12 @@ pub fn exact_keywords(cc: &CandidateContext<'_>, loc_idx: usize, lu: &[usize]) -
 
 /// Exact BRSTkNN cardinality for a fixed tuple (used by tests and the
 /// approximation-ratio metric): counts qualifying users among `lu`.
-pub fn count_for(cc: &CandidateContext<'_>, loc_idx: usize, keywords: &[TermId], lu: &[usize]) -> usize {
+pub fn count_for(
+    cc: &CandidateContext<'_>,
+    loc_idx: usize,
+    keywords: &[TermId],
+    lu: &[usize],
+) -> usize {
     let cand = cc.with_keywords(keywords);
     cc.brstknn(&cc.spec.locations[loc_idx], &cand, lu).len()
 }

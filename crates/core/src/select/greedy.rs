@@ -19,7 +19,11 @@ use crate::select::CandidateContext;
 
 /// Builds `LUW_w` for every candidate keyword, restricted to the users of
 /// `lu` (indices into `cc.users`).
-pub fn build_luw(cc: &CandidateContext<'_>, loc_idx: usize, lu: &[usize]) -> Vec<(TermId, Vec<usize>)> {
+pub fn build_luw(
+    cc: &CandidateContext<'_>,
+    loc_idx: usize,
+    lu: &[usize],
+) -> Vec<(TermId, Vec<usize>)> {
     let loc = &cc.spec.locations[loc_idx];
     let mut out: Vec<(TermId, Vec<usize>)> = Vec::with_capacity(cc.spec.keywords.len());
     for &w in &cc.spec.keywords {

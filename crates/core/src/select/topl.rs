@@ -119,7 +119,9 @@ mod tests {
         let su = UserGroup::from_users(&f.users, &f.ctx.text);
         let top = select_top_l(&cc, &su, f64::NEG_INFINITY, KeywordSelector::Exact, 2);
         assert!(top.len() <= 2);
-        assert!(top.windows(2).all(|w| w[0].cardinality() >= w[1].cardinality()));
+        assert!(top
+            .windows(2)
+            .all(|w| w[0].cardinality() >= w[1].cardinality()));
         let mut locs: Vec<usize> = top.iter().map(|r| r.location).collect();
         locs.dedup();
         assert_eq!(locs.len(), top.len());

@@ -29,7 +29,10 @@ pub fn individual_topk_user(
 
     for obj in &out.lo {
         let s = ctx.sts(&obj.point, &obj.weights, user, n_u);
-        hu.push(Reverse(ByKey { key: s, item: obj.id }));
+        hu.push(Reverse(ByKey {
+            key: s,
+            item: obj.id,
+        }));
         if hu.len() > k {
             hu.pop();
         }
@@ -44,7 +47,10 @@ pub fn individual_topk_user(
         }
         let s = ctx.sts(&obj.point, &obj.weights, user, n_u);
         if hu.len() < k || s >= rsk {
-            hu.push(Reverse(ByKey { key: s, item: obj.id }));
+            hu.push(Reverse(ByKey {
+                key: s,
+                item: obj.id,
+            }));
             if hu.len() > k {
                 hu.pop();
             }
@@ -130,9 +136,7 @@ mod tests {
 
     fn fixture(model: WeightModel, alpha: f64) -> Fix {
         let docs: Vec<Document> = (0..40)
-            .map(|i| {
-                Document::from_pairs([(t(i % 4), 1 + i % 2), (t(4), 1), (t(5 + i % 2), 2)])
-            })
+            .map(|i| Document::from_pairs([(t(i % 4), 1 + i % 2), (t(4), 1), (t(5 + i % 2), 2)]))
             .collect();
         let text = TextScorer::from_docs(model, &docs);
         let objects: Vec<IndexedObject> = docs

@@ -138,7 +138,11 @@ pub fn joint_topk(
     // RO must descend by UB for Algorithm 2's early break.
     ro.sort_by(|a, b| b.ub.total_cmp(&a.ub));
     let lo: Vec<ScoredObject> = lo.into_iter().map(|r| r.0.item).collect();
-    let rsk_us = if lo.len() == k { rsk_us } else { f64::NEG_INFINITY };
+    let rsk_us = if lo.len() == k {
+        rsk_us
+    } else {
+        f64::NEG_INFINITY
+    };
     TopkOutcome { lo, ro, rsk_us }
 }
 
@@ -156,7 +160,12 @@ mod tests {
 
     /// 30 objects on a 6×5 grid with three rotating terms plus a common
     /// term, 5 users clustered near the middle.
-    fn fixture() -> (Vec<Document>, Vec<IndexedObject>, Vec<UserData>, ScoreContext) {
+    fn fixture() -> (
+        Vec<Document>,
+        Vec<IndexedObject>,
+        Vec<UserData>,
+        ScoreContext,
+    ) {
         let docs: Vec<Document> = (0..30)
             .map(|i| Document::from_terms([t(i % 3), t(3)]))
             .collect();
@@ -210,12 +219,8 @@ mod tests {
             let group = UserGroup::from_users(&users, &ctx.text);
             let out = joint_topk(&tree, &group, k, &ctx, &io);
             assert_eq!(out.lo.len(), k);
-            let kept: std::collections::HashSet<u32> = out
-                .lo
-                .iter()
-                .chain(out.ro.iter())
-                .map(|o| o.id)
-                .collect();
+            let kept: std::collections::HashSet<u32> =
+                out.lo.iter().chain(out.ro.iter()).map(|o| o.id).collect();
             for u in &users {
                 for (oid, _) in brute_topk(&docs, &objects, u, k, &ctx) {
                     assert!(

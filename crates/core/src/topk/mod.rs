@@ -89,9 +89,18 @@ mod tests {
     #[test]
     fn bykey_is_a_max_heap_key() {
         let mut h = BinaryHeap::new();
-        h.push(ByKey { key: 0.3, item: "a" });
-        h.push(ByKey { key: 0.9, item: "b" });
-        h.push(ByKey { key: 0.5, item: "c" });
+        h.push(ByKey {
+            key: 0.3,
+            item: "a",
+        });
+        h.push(ByKey {
+            key: 0.9,
+            item: "b",
+        });
+        h.push(ByKey {
+            key: 0.5,
+            item: "c",
+        });
         assert_eq!(h.pop().unwrap().item, "b");
         assert_eq!(h.pop().unwrap().item, "c");
         assert_eq!(h.pop().unwrap().item, "a");

@@ -94,7 +94,11 @@ pub fn select_with_user_index(
         !spec.locations.is_empty(),
         "MaxBRSTkNN requires at least one candidate location"
     );
-    assert_eq!(mir.mode(), PostingMode::MaxMin, "object index must be a MIR-tree");
+    assert_eq!(
+        mir.mode(),
+        PostingMode::MaxMin,
+        "object index must be a MIR-tree"
+    );
 
     // --- Root as super-user. ---
     let root = miur.read_node(miur.root(), io);
@@ -102,8 +106,11 @@ pub fn select_with_user_index(
         let mbr = geo::Rect::bounding_rects(root.entries.iter().map(|e| e.rect))
             .expect("MIUR root with no entries");
         let uni: Vec<text::TermId> = {
-            let mut v: Vec<text::TermId> =
-                root.entries.iter().flat_map(|e| e.uni.iter().copied()).collect();
+            let mut v: Vec<text::TermId> = root
+                .entries
+                .iter()
+                .flat_map(|e| e.uni.iter().copied())
+                .collect();
             v.sort_unstable();
             v.dedup();
             v
@@ -116,8 +123,16 @@ pub fn select_with_user_index(
             acc
         };
         let count: usize = root.entries.iter().map(|e| e.count as usize).sum();
-        let n_min = root.entries.iter().map(|e| e.norm_min).fold(f64::INFINITY, f64::min);
-        let n_max = root.entries.iter().map(|e| e.norm_max).fold(0.0f64, f64::max);
+        let n_min = root
+            .entries
+            .iter()
+            .map(|e| e.norm_min)
+            .fold(f64::INFINITY, f64::min);
+        let n_max = root
+            .entries
+            .iter()
+            .map(|e| e.norm_max)
+            .fold(0.0f64, f64::max);
         UserGroup::from_node_entry(mbr, &uni, &int, count, n_min, n_max)
     };
     let total_users = root_group.count;
@@ -255,7 +270,7 @@ pub fn select_with_user_index(
             // Expand once globally (at most one disk access per node).
             expanded.entry(node).or_insert_with(|| {
                 let view = miur.read_node(node, io);
-                
+
                 materialize(&view, &mut elems, &mut users_scored)
             });
             let children = expanded[&node].clone();
@@ -302,9 +317,7 @@ pub fn select_with_user_index(
 
         // LBL shortcut, as in Algorithm 3.
         let keywords = if !spec.ox_doc.is_empty()
-            && lu
-                .iter()
-                .all(|&u| local.qualifies(&loc, &spec.ox_doc, u))
+            && lu.iter().all(|&u| local.qualifies(&loc, &spec.ox_doc, u))
         {
             Vec::new()
         } else {
@@ -460,7 +473,14 @@ mod tests {
     fn greedy_variant_bounded_by_exact() {
         let f = fixture(24);
         let io = IoStats::new();
-        let e = select_with_user_index(&f.miur, &f.mir, &f.spec, &f.ctx, KeywordSelector::Exact, &io);
+        let e = select_with_user_index(
+            &f.miur,
+            &f.mir,
+            &f.spec,
+            &f.ctx,
+            KeywordSelector::Exact,
+            &io,
+        );
         let g = select_with_user_index(
             &f.miur,
             &f.mir,
@@ -476,7 +496,14 @@ mod tests {
     fn miur_nodes_read_at_most_once() {
         let f = fixture(40);
         let io = IoStats::new();
-        select_with_user_index(&f.miur, &f.mir, &f.spec, &f.ctx, KeywordSelector::Exact, &io);
+        select_with_user_index(
+            &f.miur,
+            &f.mir,
+            &f.spec,
+            &f.ctx,
+            KeywordSelector::Exact,
+            &io,
+        );
         // 40 users, fanout 4 → ≤ 10 leaves + 3 inner + root + margin; each
         // read at most once plus the root read.
         assert!(io.snapshot().node_visits < 60);

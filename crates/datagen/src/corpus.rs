@@ -1,9 +1,8 @@
 //! Object-collection generators: Flickr-like and Yelp-like.
 
+use crate::rng::{Rng, SeedableRng, StdRng};
 use geo::{Point, Rect};
 use mbrstk_core::ObjectData;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use text::{Document, TermId};
 
 use crate::Zipf;

@@ -15,10 +15,11 @@
 //! distribution. The pool doubles as the candidate keyword set `W`, and
 //! candidate locations are drawn uniformly from the window.
 
-mod zipf;
 mod corpus;
-mod users;
+pub mod rng;
 mod stats;
+mod users;
+mod zipf;
 
 pub use corpus::{generate_objects, CorpusConfig};
 pub use stats::{dataset_stats, DatasetStats};

@@ -10,11 +10,9 @@
 //! > distribution of keywords of `Ou`. [...] The set of keywords `UW` is
 //! > used as the set of candidate keywords."
 
+use crate::rng::{Rng, SeedableRng, SliceRandom, StdRng};
 use geo::{Point, Rect};
 use mbrstk_core::{ObjectData, UserData};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use text::{Document, TermId};
 
 /// Configuration of one generated user set / query workload.
@@ -82,12 +80,14 @@ pub fn generate_workload(objects: &[ObjectData], cfg: &UserGenConfig) -> Workloa
     let space = Rect::bounding(objects.iter().map(|o| o.point)).unwrap();
     let anchor = objects[rng.gen_range(0..objects.len())].point;
     let half = cfg.area / 2.0;
-    let cx = anchor
-        .x
-        .clamp(space.min.x + half, (space.max.x - half).max(space.min.x + half));
-    let cy = anchor
-        .y
-        .clamp(space.min.y + half, (space.max.y - half).max(space.min.y + half));
+    let cx = anchor.x.clamp(
+        space.min.x + half,
+        (space.max.x - half).max(space.min.x + half),
+    );
+    let cy = anchor.y.clamp(
+        space.min.y + half,
+        (space.max.y - half).max(space.min.y + half),
+    );
     let window = Rect::new(
         Point::new(cx - half, cy - half),
         Point::new(cx + half, cy + half),
@@ -130,12 +130,7 @@ pub fn generate_workload(objects: &[ObjectData], cfg: &UserGenConfig) -> Workloa
     // distribution of keywords of Ou".
     let weights: Vec<f64> = pool
         .iter()
-        .map(|&t| {
-            1.0 + ou
-                .iter()
-                .filter(|o| o.doc.contains(t))
-                .count() as f64
-        })
+        .map(|&t| 1.0 + ou.iter().filter(|o| o.doc.contains(t)).count() as f64)
         .collect();
     let total_w: f64 = weights.iter().sum();
 
@@ -268,7 +263,13 @@ mod tests {
     fn larger_area_spreads_users() {
         let objs = objects();
         let tight = generate_workload(&objs, &UserGenConfig { area: 2.0, ..cfg() });
-        let wide = generate_workload(&objs, &UserGenConfig { area: 30.0, ..cfg() });
+        let wide = generate_workload(
+            &objs,
+            &UserGenConfig {
+                area: 30.0,
+                ..cfg()
+            },
+        );
         let spread = |w: &Workload| {
             Rect::bounding(w.users.iter().map(|u| u.point))
                 .unwrap()

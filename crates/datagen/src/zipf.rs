@@ -5,7 +5,7 @@
 //! precomputes the CDF once and draws by binary search, so sampling is
 //! O(log n) with no per-draw allocation.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Zipf distribution over ranks `0..n` with exponent `s`:
 /// `P(rank = i) ∝ 1 / (i + 1)^s`.
@@ -55,8 +55,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::{SeedableRng, StdRng};
 
     #[test]
     fn samples_are_in_range() {

@@ -14,12 +14,12 @@
 //! normalized into `[0, 1]`, higher meaning *more* relevant.
 
 mod point;
-mod rect;
 mod proximity;
+mod rect;
 
 pub use point::Point;
-pub use rect::Rect;
 pub use proximity::SpatialContext;
+pub use rect::Rect;
 
 /// Relative tolerance used when comparing floating-point scores in tests and
 /// debug assertions throughout the workspace.

@@ -189,8 +189,12 @@ impl Rect {
     /// two rectangles. `MaxSS(E.l, us.l)` in §5.3 is computed from this.
     #[inline]
     pub fn max_dist_rect(&self, other: &Rect) -> f64 {
-        let dx = (self.max.x - other.min.x).abs().max((other.max.x - self.min.x).abs());
-        let dy = (self.max.y - other.min.y).abs().max((other.max.y - self.min.y).abs());
+        let dx = (self.max.x - other.min.x)
+            .abs()
+            .max((other.max.x - self.min.x).abs());
+        let dy = (self.max.y - other.min.y)
+            .abs()
+            .max((other.max.y - self.min.y).abs());
         (dx * dx + dy * dy).sqrt()
     }
 

@@ -197,7 +197,10 @@ impl MiurTree {
             let count: u32 = entries.iter().map(|e| e.count).sum();
             let uni = union_sorted(entries.iter().map(|e| e.uni.as_slice()));
             let int = intersect_sorted(entries.iter().map(|e| e.int.as_slice()));
-            let nmin = entries.iter().map(|e| e.norm_min).fold(f64::INFINITY, f64::min);
+            let nmin = entries
+                .iter()
+                .map(|e| e.norm_min)
+                .fold(f64::INFINITY, f64::min);
             let nmax = entries.iter().map(|e| e.norm_max).fold(0.0f64, f64::max);
             done.insert(n, (node_rec, count, uni, int, nmin, nmax));
         }

@@ -145,15 +145,14 @@ impl BuildTree {
         Ok(())
     }
 
-    fn check_node(
-        &self,
-        n: usize,
-        items: &[BuildItem],
-        seen: &mut [bool],
-    ) -> Result<(), String> {
+    fn check_node(&self, n: usize, items: &[BuildItem], seen: &mut [bool]) -> Result<(), String> {
         let node = &self.nodes[n];
         if node.len() > self.max_entries {
-            return Err(format!("node {n} has {} > max {} entries", node.len(), self.max_entries));
+            return Err(format!(
+                "node {n} has {} > max {} entries",
+                node.len(),
+                self.max_entries
+            ));
         }
         if node.is_empty() {
             return Err(format!("node {n} is empty"));
@@ -305,8 +304,12 @@ impl RTreeBuilder {
                 .min_by(|&a, &b| {
                     let ea = self.nodes[a].rect.enlargement(&target);
                     let eb = self.nodes[b].rect.enlargement(&target);
-                    ea.total_cmp(&eb)
-                        .then_with(|| self.nodes[a].rect.area().total_cmp(&self.nodes[b].rect.area()))
+                    ea.total_cmp(&eb).then_with(|| {
+                        self.nodes[a]
+                            .rect
+                            .area()
+                            .total_cmp(&self.nodes[b].rect.area())
+                    })
                 })
                 .expect("inner node with no children");
             n = best;
@@ -452,8 +455,16 @@ impl RTreeBuilder {
             .iter()
             .map(|d| BuildNode {
                 rect: d.rect,
-                children: if d.level > 0 { d.entries.clone() } else { Vec::new() },
-                items: if d.level == 0 { d.entries.clone() } else { Vec::new() },
+                children: if d.level > 0 {
+                    d.entries.clone()
+                } else {
+                    Vec::new()
+                },
+                items: if d.level == 0 {
+                    d.entries.clone()
+                } else {
+                    Vec::new()
+                },
                 level: d.level,
             })
             .collect();

@@ -115,11 +115,7 @@ impl StTree {
     ///
     /// # Panics
     /// Panics when `objects` is empty.
-    pub fn build_with_fanout(
-        objects: &[IndexedObject],
-        mode: PostingMode,
-        fanout: usize,
-    ) -> Self {
+    pub fn build_with_fanout(objects: &[IndexedObject], mode: PostingMode, fanout: usize) -> Self {
         let items: Vec<BuildItem> = objects
             .iter()
             .enumerate()
@@ -142,11 +138,7 @@ impl StTree {
     /// centers). Leaves get coherent vocabularies — smaller per-node
     /// inverted files and sharper `MaxTS` bounds — at the cost of looser
     /// MBRs. The `figures -- ablation` harness quantifies the trade-off.
-    pub fn build_text_first(
-        objects: &[IndexedObject],
-        mode: PostingMode,
-        fanout: usize,
-    ) -> Self {
+    pub fn build_text_first(objects: &[IndexedObject], mode: PostingMode, fanout: usize) -> Self {
         assert!(!objects.is_empty(), "cannot index an empty object set");
         assert!(fanout >= 2, "fanout must be at least 2");
         let items: Vec<BuildItem> = objects
@@ -273,7 +265,12 @@ impl StTree {
                 };
 
             let inv_rec = invfiles.put(&serialize_invfile(&entry_aggs, mode));
-            let node_rec = nodes.put(&serialize_node(node.is_leaf(), inv_rec, &entry_refs, &entry_rects));
+            let node_rec = nodes.put(&serialize_node(
+                node.is_leaf(),
+                inv_rec,
+                &entry_refs,
+                &entry_rects,
+            ));
             let node_agg = TermAgg::merge_entries(&entry_aggs);
             done.insert(n, (node_rec, node_agg));
         }
@@ -419,7 +416,9 @@ impl StTree {
         } else {
             // Underflow: dissolve the leaf, reinsert its survivors later.
             for (r, (rc, agg)) in refs.iter().zip(rects.iter().zip(aggs.iter())) {
-                let ChildRef::Object(oid) = *r else { unreachable!() };
+                let ChildRef::Object(oid) = *r else {
+                    unreachable!()
+                };
                 orphans.push(IndexedObject {
                     id: oid,
                     point: rc.min,
@@ -497,11 +496,7 @@ impl StTree {
     ) -> Option<NodeView> {
         let node = self.read_node_quiet(node_rec);
         if node.is_leaf {
-            if node
-                .entries
-                .iter()
-                .any(|e| e.child == ChildRef::Object(id))
-            {
+            if node.entries.iter().any(|e| e.child == ChildRef::Object(id)) {
                 return Some(node);
             }
             return None;
@@ -660,7 +655,10 @@ impl StTree {
     /// (which must be sorted ascending). Charges ⌈file bytes / 4096⌉
     /// simulated I/Os — the paper's inverted-file rule.
     pub fn read_postings(&self, node: &NodeView, terms: &[TermId], io: &IoStats) -> Postings {
-        debug_assert!(terms.windows(2).all(|w| w[0] < w[1]), "terms must be sorted");
+        debug_assert!(
+            terms.windows(2).all(|w| w[0] < w[1]),
+            "terms must be sorted"
+        );
         let payload = self.invfiles.get(node.invfile);
         io.charge_invfile_keyed(invfile_cache_key(self.mode, node.invfile), payload.len());
         deserialize_postings(payload, self.mode, terms, node.entries.len())
@@ -739,12 +737,7 @@ impl TermAgg {
 //   concatenated lists: list_len × { u32 entry_idx, f64 max [, f64 min] }
 // ---------------------------------------------------------------------
 
-fn serialize_node(
-    is_leaf: bool,
-    invfile: RecordId,
-    refs: &[ChildRef],
-    rects: &[Rect],
-) -> Vec<u8> {
+fn serialize_node(is_leaf: bool, invfile: RecordId, refs: &[ChildRef], rects: &[Rect]) -> Vec<u8> {
     let mut w = Writer::with_capacity(9 + refs.len() * 36);
     w.put_u8(u8::from(is_leaf));
     w.put_u32(invfile.0);
@@ -1025,7 +1018,9 @@ mod tests {
             if node.is_leaf {
                 let p = tree.read_postings(&node, &all_terms, &io);
                 for (i, e) in node.entries.iter().enumerate() {
-                    let ChildRef::Object(oid) = e.child else { panic!() };
+                    let ChildRef::Object(oid) = e.child else {
+                        panic!()
+                    };
                     let doc = &objects[oid as usize].doc;
                     let got: Vec<(TermId, f64)> =
                         p.per_entry[i].iter().map(|&(t, mx, _)| (t, mx)).collect();
@@ -1259,7 +1254,10 @@ mod tests {
         for obj in &objects[4..] {
             tree.insert(obj);
         }
-        assert!(tree.height() > h0, "20 objects at fanout 4 need more levels");
+        assert!(
+            tree.height() > h0,
+            "20 objects at fanout 4 need more levels"
+        );
         let io = IoStats::new();
         assert_eq!(collect_objects(&tree, &io).len(), 20);
     }

@@ -1,26 +1,42 @@
-//! Property-based tests of the index family on random data.
+//! Randomized-property tests of the index family on random data.
+//!
+//! Cases come from a seeded SplitMix64 stream (no `proptest` dependency —
+//! the registry is unavailable in the build environment), so runs are
+//! deterministic and failures reproduce exactly.
 
 use geo::{Point, Rect};
 use index::{
     BuildItem, BuildTree, ChildRef, IndexedObject, IndexedUser, MiurTree, PostingMode,
     RTreeBuilder, StTree, UserRef,
 };
-use proptest::prelude::*;
 use storage::IoStats;
 use text::{Document, TermId, TextScorer, WeightModel, WeightedDoc};
 
-prop_compose! {
-    fn point()(x in -50.0f64..50.0, y in -50.0f64..50.0) -> Point {
-        Point::new(x, y)
-    }
+const CASES: usize = 32;
+
+use splitmix::SplitMix64 as Gen;
+
+/// Domain-specific case generators on the shared SplitMix64 core.
+trait GenExt {
+    fn point(&mut self) -> Point;
+    /// 1–79 objects: a point plus 1–4 terms from an 8-term vocabulary.
+    fn objects(&mut self) -> Vec<(Point, Vec<TermId>)>;
 }
 
-prop_compose! {
-    fn objects()(pts in prop::collection::vec((point(), prop::collection::vec(0u32..8, 1..5)), 1..80))
-        -> Vec<(Point, Vec<TermId>)>
-    {
-        pts.into_iter()
-            .map(|(p, ts)| (p, ts.into_iter().map(TermId).collect()))
+impl GenExt for Gen {
+    fn point(&mut self) -> Point {
+        Point::new(self.unit() * 100.0 - 50.0, self.unit() * 100.0 - 50.0)
+    }
+
+    fn objects(&mut self) -> Vec<(Point, Vec<TermId>)> {
+        let n = 1 + self.below(79) as usize;
+        (0..n)
+            .map(|_| {
+                let p = self.point();
+                let k = 1 + self.below(4) as usize;
+                let ts = (0..k).map(|_| TermId(self.below(8) as u32)).collect();
+                (p, ts)
+            })
             .collect()
     }
 }
@@ -57,7 +73,10 @@ fn collect_all(tree: &StTree, io: &IoStats) -> Vec<(u32, Point, WeightedDoc)> {
                 ChildRef::Node(c) => stack.push(c),
                 ChildRef::Object(oid) => {
                     let w = WeightedDoc::from_pairs(
-                        postings.per_entry[i].iter().map(|&(t, mx, _)| (t, mx)).collect(),
+                        postings.per_entry[i]
+                            .iter()
+                            .map(|&(t, mx, _)| (t, mx))
+                            .collect(),
                     );
                     out.push((oid, node.entry_point(i), w));
                 }
@@ -68,84 +87,93 @@ fn collect_all(tree: &StTree, io: &IoStats) -> Vec<(u32, Point, WeightedDoc)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every object written is read back bit-exactly (location + weights).
-    #[test]
-    fn sttree_roundtrip(data in objects(), fanout in 2usize..10) {
+/// Every object written is read back bit-exactly (location + weights).
+#[test]
+fn sttree_roundtrip() {
+    let mut g = Gen(31);
+    for _ in 0..CASES {
+        let data = g.objects();
+        let fanout = (2 + g.below(8) as usize).max(2);
         let (objs, _) = build_indexed(&data);
-        let tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, fanout.max(2));
+        let tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, fanout);
         let io = IoStats::new();
         let got = collect_all(&tree, &io);
-        prop_assert_eq!(got.len(), objs.len());
+        assert_eq!(got.len(), objs.len());
         for (g, o) in got.iter().zip(&objs) {
-            prop_assert_eq!(g.0, o.id);
-            prop_assert_eq!(g.1, o.point);
-            prop_assert_eq!(&g.2, &o.doc);
+            assert_eq!(g.0, o.id);
+            assert_eq!(g.1, o.point);
+            assert_eq!(&g.2, &o.doc);
+        }
+    }
+}
+
+/// Inner-node posting maxima dominate every leaf weight below them and
+/// MBRs contain every descendant point.
+#[test]
+fn sttree_bounds_dominate() {
+    fn check(
+        tree: &StTree,
+        node_rec: storage::RecordId,
+        objs: &[IndexedObject],
+        all_terms: &[TermId],
+        io: &IoStats,
+    ) {
+        let node = tree.read_node(node_rec, io);
+        let postings = tree.read_postings(&node, all_terms, io);
+        for (i, e) in node.entries.iter().enumerate() {
+            if let ChildRef::Node(c) = e.child {
+                // Gather descendant objects of c.
+                let mut descs = Vec::new();
+                let mut stack = vec![c];
+                while let Some(id) = stack.pop() {
+                    let nv = tree.read_node(id, io);
+                    for ee in &nv.entries {
+                        match ee.child {
+                            ChildRef::Node(cc) => stack.push(cc),
+                            ChildRef::Object(o) => descs.push(o),
+                        }
+                    }
+                }
+                for &oid in &descs {
+                    let obj = &objs[oid as usize];
+                    assert!(e.rect.contains_point(&obj.point));
+                    for &(t, w) in &obj.doc.entries {
+                        let row = &postings.per_entry[i];
+                        let posted = row
+                            .iter()
+                            .find(|&&(pt, _, _)| pt == t)
+                            .map(|&(_, mx, _)| mx)
+                            .unwrap_or(0.0);
+                        assert!(
+                            posted >= w - 1e-12,
+                            "max posting must dominate descendant weight"
+                        );
+                    }
+                }
+                check(tree, c, objs, all_terms, io);
+            }
         }
     }
 
-    /// Inner-node posting maxima dominate every leaf weight below them and
-    /// MBRs contain every descendant point.
-    #[test]
-    fn sttree_bounds_dominate(data in objects(), fanout in 3usize..8) {
+    let mut g = Gen(32);
+    for _ in 0..CASES {
+        let data = g.objects();
+        let fanout = 3 + g.below(5) as usize;
         let (objs, _) = build_indexed(&data);
         let tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, fanout);
         let io = IoStats::new();
         let all_terms: Vec<TermId> = (0..16).map(TermId).collect();
-
-        fn check(
-            tree: &StTree,
-            node_rec: storage::RecordId,
-            objs: &[IndexedObject],
-            all_terms: &[TermId],
-            io: &IoStats,
-        ) -> Result<(), TestCaseError> {
-            let node = tree.read_node(node_rec, io);
-            let postings = tree.read_postings(&node, all_terms, io);
-            for (i, e) in node.entries.iter().enumerate() {
-                if let ChildRef::Node(c) = e.child {
-                    // Gather descendant objects of c.
-                    let mut descs = Vec::new();
-                    let mut stack = vec![c];
-                    while let Some(id) = stack.pop() {
-                        let nv = tree.read_node(id, io);
-                        for ee in &nv.entries {
-                            match ee.child {
-                                ChildRef::Node(cc) => stack.push(cc),
-                                ChildRef::Object(o) => descs.push(o),
-                            }
-                        }
-                    }
-                    for &oid in &descs {
-                        let obj = &objs[oid as usize];
-                        prop_assert!(e.rect.contains_point(&obj.point));
-                        for &(t, w) in &obj.doc.entries {
-                            let row = &postings.per_entry[i];
-                            let posted = row
-                                .iter()
-                                .find(|&&(pt, _, _)| pt == t)
-                                .map(|&(_, mx, _)| mx)
-                                .unwrap_or(0.0);
-                            prop_assert!(
-                                posted >= w - 1e-12,
-                                "max posting must dominate descendant weight"
-                            );
-                        }
-                    }
-                    check(tree, c, objs, all_terms, io)?;
-                }
-            }
-            Ok(())
-        }
-        check(&tree, tree.root(), &objs, &all_terms, &io)?;
+        check(&tree, tree.root(), &objs, &all_terms, &io);
     }
+}
 
-    /// Insertion-built trees hold the R-tree invariants and serialize to a
-    /// queryable StTree containing every object.
-    #[test]
-    fn insertion_tree_roundtrips(data in objects()) {
+/// Insertion-built trees hold the R-tree invariants and serialize to a
+/// queryable StTree containing every object.
+#[test]
+fn insertion_tree_roundtrips() {
+    let mut g = Gen(33);
+    for _ in 0..CASES {
+        let data = g.objects();
         let (objs, _) = build_indexed(&data);
         let mut b = RTreeBuilder::new(4);
         for (pos, o) in objs.iter().enumerate() {
@@ -158,13 +186,19 @@ proptest! {
         tree.check_invariants(&items).unwrap();
         let st = StTree::from_build_tree(&tree, &items, &objs, PostingMode::MaxMin, 4);
         let io = IoStats::new();
-        prop_assert_eq!(collect_all(&st, &io).len(), objs.len());
+        assert_eq!(collect_all(&st, &io).len(), objs.len());
     }
+}
 
-    /// Dynamic insertion yields a complete, bit-exact object set no matter
-    /// how the build is split between bulk load and inserts.
-    #[test]
-    fn dynamic_insert_completeness(data in objects(), split_pct in 10usize..90, fanout in 4usize..10) {
+/// Dynamic insertion yields a complete, bit-exact object set no matter how
+/// the build is split between bulk load and inserts.
+#[test]
+fn dynamic_insert_completeness() {
+    let mut g = Gen(34);
+    for _ in 0..CASES {
+        let data = g.objects();
+        let split_pct = 10 + g.below(80) as usize;
+        let fanout = 4 + g.below(6) as usize;
         let (objs, _) = build_indexed(&data);
         let split = (objs.len() * split_pct / 100).max(1);
         let mut tree = StTree::build_with_fanout(&objs[..split], PostingMode::MaxMin, fanout);
@@ -173,48 +207,67 @@ proptest! {
         }
         let io = IoStats::new();
         let got = collect_all(&tree, &io);
-        prop_assert_eq!(got.len(), objs.len());
+        assert_eq!(got.len(), objs.len());
         for (g, o) in got.iter().zip(&objs) {
-            prop_assert_eq!(g.0, o.id);
-            prop_assert_eq!(g.1, o.point);
-            prop_assert_eq!(&g.2, &o.doc);
+            assert_eq!(g.0, o.id);
+            assert_eq!(g.1, o.point);
+            assert_eq!(&g.2, &o.doc);
         }
     }
+}
 
-    /// Random deletions leave exactly the surviving objects, queryable.
-    #[test]
-    fn dynamic_remove_completeness(data in objects(), kill_pct in 10usize..90, fanout in 4usize..10) {
+/// Random deletions leave exactly the surviving objects, queryable.
+#[test]
+fn dynamic_remove_completeness() {
+    let mut g = Gen(35);
+    for _ in 0..CASES {
+        let data = g.objects();
+        let kill_pct = 10 + g.below(80) as usize;
+        let fanout = 4 + g.below(6) as usize;
         let (objs, _) = build_indexed(&data);
         let mut tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, fanout);
         let kill = (objs.len() * kill_pct / 100).min(objs.len());
         for o in &objs[..kill] {
-            prop_assert!(tree.remove(o.id, o.point));
+            assert!(tree.remove(o.id, o.point));
         }
         let io = IoStats::new();
         let got = collect_all(&tree, &io);
-        prop_assert_eq!(got.len(), objs.len() - kill);
+        assert_eq!(got.len(), objs.len() - kill);
         for (g, o) in got.iter().zip(&objs[kill..]) {
-            prop_assert_eq!(g.0, o.id);
-            prop_assert_eq!(g.1, o.point);
-            prop_assert_eq!(&g.2, &o.doc);
+            assert_eq!(g.0, o.id);
+            assert_eq!(g.1, o.point);
+            assert_eq!(&g.2, &o.doc);
         }
     }
+}
 
-    /// Bulk-loaded trees hold the invariants for any fanout.
-    #[test]
-    fn bulk_load_invariants(data in objects(), fanout in 2usize..12) {
+/// Bulk-loaded trees hold the invariants for any fanout.
+#[test]
+fn bulk_load_invariants() {
+    let mut g = Gen(36);
+    for _ in 0..CASES {
+        let data = g.objects();
+        let fanout = (2 + g.below(10) as usize).max(2);
         let items: Vec<BuildItem> = data
             .iter()
             .enumerate()
-            .map(|(i, (p, _))| BuildItem { id: i as u32, rect: Rect::from_point(*p) })
+            .map(|(i, (p, _))| BuildItem {
+                id: i as u32,
+                rect: Rect::from_point(*p),
+            })
             .collect();
-        let tree = BuildTree::bulk_load(&items, fanout.max(2));
+        let tree = BuildTree::bulk_load(&items, fanout);
         tree.check_invariants(&items).unwrap();
     }
+}
 
-    /// MIUR IntUni vectors bound every descendant's keyword set.
-    #[test]
-    fn miur_intuni_sound(data in objects(), fanout in 3usize..8) {
+/// MIUR IntUni vectors bound every descendant's keyword set.
+#[test]
+fn miur_intuni_sound() {
+    let mut g = Gen(37);
+    for _ in 0..CASES {
+        let data = g.objects();
+        let fanout = 3 + g.below(5) as usize;
         let users: Vec<IndexedUser> = data
             .iter()
             .enumerate()
@@ -250,14 +303,14 @@ proptest! {
                         out
                     }
                 };
-                prop_assert_eq!(descs.len(), e.count as usize);
+                assert_eq!(descs.len(), e.count as usize);
                 for d in descs {
                     let doc = &users[d as usize].doc;
                     for t in doc.terms() {
-                        prop_assert!(e.uni.contains(&t));
+                        assert!(e.uni.contains(&t));
                     }
                     for &t in &e.int {
-                        prop_assert!(doc.contains(t));
+                        assert!(doc.contains(t));
                     }
                 }
             }

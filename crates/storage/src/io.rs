@@ -1,9 +1,18 @@
 //! Simulated I/O accounting (§8 "Setup").
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::cache::LruSet;
+
+thread_local! {
+    // Per-thread mirrors of the global counters, so concurrent queries can
+    // each measure their own I/O delta without tearing the shared totals
+    // apart (see [`IoStats::scoped`]). Every charge lands in both.
+    static THREAD_NODE_VISITS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_INVFILE_BLOCKS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// The simulated I/O counter.
 ///
@@ -53,6 +62,22 @@ impl std::ops::Sub for IoSnapshot {
     }
 }
 
+impl std::ops::Add for IoSnapshot {
+    type Output = IoSnapshot;
+    fn add(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            node_visits: self.node_visits + rhs.node_visits,
+            invfile_blocks: self.invfile_blocks + rhs.invfile_blocks,
+        }
+    }
+}
+
+impl std::iter::Sum for IoSnapshot {
+    fn sum<I: Iterator<Item = IoSnapshot>>(iter: I) -> IoSnapshot {
+        iter.fold(IoSnapshot::default(), std::ops::Add::add)
+    }
+}
+
 impl IoStats {
     /// A fresh counter at zero (cold model — no cache).
     pub fn new() -> Self {
@@ -72,6 +97,7 @@ impl IoStats {
     #[inline]
     pub fn charge_node_visit(&self) {
         self.node_visits.fetch_add(1, Ordering::Relaxed);
+        THREAD_NODE_VISITS.with(|c| c.set(c.get() + 1));
     }
 
     /// Charge a node visit identified by `key`; free on a cache hit.
@@ -88,10 +114,7 @@ impl IoStats {
     /// Charge an inverted-file load of `bytes` bytes (⌈bytes / 4096⌉ blocks).
     #[inline]
     pub fn charge_invfile(&self, bytes: usize) {
-        let blocks = crate::blocks_for(bytes);
-        if blocks > 0 {
-            self.invfile_blocks.fetch_add(blocks, Ordering::Relaxed);
-        }
+        self.charge_blocks(crate::blocks_for(bytes));
     }
 
     /// Charge an inverted-file load identified by `key`; free on a cache
@@ -107,7 +130,7 @@ impl IoStats {
                 return;
             }
         }
-        self.invfile_blocks.fetch_add(blocks, Ordering::Relaxed);
+        self.charge_blocks(blocks);
     }
 
     /// Charge a pre-computed number of inverted-file blocks.
@@ -115,7 +138,36 @@ impl IoStats {
     pub fn charge_blocks(&self, blocks: u64) {
         if blocks > 0 {
             self.invfile_blocks.fetch_add(blocks, Ordering::Relaxed);
+            THREAD_INVFILE_BLOCKS.with(|c| c.set(c.get() + blocks));
         }
+    }
+
+    /// The calling thread's cumulative charges (across every `IoStats`
+    /// instance the thread has touched — in practice one engine's).
+    ///
+    /// Unlike [`IoStats::snapshot`], deltas of this counter are exact per
+    /// *query* even when other threads charge the same `IoStats`
+    /// concurrently, because a query's work happens entirely on one
+    /// thread. This is what makes per-query accounting in
+    /// `Engine::query_batch` possible.
+    pub fn thread_snapshot() -> IoSnapshot {
+        IoSnapshot {
+            node_visits: THREAD_NODE_VISITS.with(Cell::get),
+            invfile_blocks: THREAD_INVFILE_BLOCKS.with(Cell::get),
+        }
+    }
+
+    /// Runs `f` and returns its result together with the simulated I/O the
+    /// calling thread charged while inside it.
+    ///
+    /// The delta is taken from the thread-local mirror, so it is accurate
+    /// under concurrency as long as `f` only charges this thread (true for
+    /// all query algorithms — they are single-threaded internally, as in
+    /// the paper).
+    pub fn scoped<T>(&self, f: impl FnOnce() -> T) -> (T, IoSnapshot) {
+        let before = Self::thread_snapshot();
+        let out = f();
+        (out, Self::thread_snapshot() - before)
     }
 
     /// Current counter values.
@@ -216,6 +268,57 @@ mod tests {
         io.reset();
         io.charge_node_visit_keyed(1); // cold again
         assert_eq!(io.snapshot().node_visits, 1);
+    }
+
+    #[test]
+    fn scoped_measures_only_the_closure() {
+        let io = IoStats::new();
+        io.charge_node_visit(); // outside the scope
+        let ((), delta) = io.scoped(|| {
+            io.charge_node_visit();
+            io.charge_invfile(PAGE_SIZE + 1);
+        });
+        assert_eq!(delta.node_visits, 1);
+        assert_eq!(delta.invfile_blocks, 2);
+        assert_eq!(io.total(), 4);
+    }
+
+    #[test]
+    fn scoped_nests() {
+        let io = IoStats::new();
+        let ((inner_delta,), outer) = io.scoped(|| {
+            io.charge_node_visit();
+            let ((), d) = io.scoped(|| io.charge_node_visit());
+            io.charge_node_visit();
+            (d,)
+        });
+        assert_eq!(inner_delta.total(), 1);
+        assert_eq!(outer.total(), 3);
+    }
+
+    #[test]
+    fn scoped_is_per_thread_under_concurrency() {
+        let io = IoStats::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (1..=4u64)
+                .map(|n| {
+                    let io = &io;
+                    s.spawn(move || {
+                        let ((), delta) = io.scoped(|| {
+                            for _ in 0..n * 10 {
+                                io.charge_node_visit();
+                            }
+                        });
+                        delta
+                    })
+                })
+                .collect();
+            for (n, h) in (1..=4u64).zip(handles) {
+                assert_eq!(h.join().unwrap().node_visits, n * 10);
+            }
+        });
+        // The global counter saw everyone.
+        assert_eq!(io.snapshot().node_visits, 100);
     }
 
     #[test]

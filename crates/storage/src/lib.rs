@@ -16,8 +16,8 @@
 //! Queries in the evaluation are *cold*: the substrate deliberately has no
 //! buffer pool, so every node visit is charged.
 
-pub mod codec;
 mod cache;
+pub mod codec;
 mod file;
 mod io;
 mod store;

@@ -1,34 +1,59 @@
-//! Property-based tests of the storage substrate.
+//! Randomized-property tests of the storage substrate.
+//!
+//! Cases come from a seeded SplitMix64 stream (no `proptest` dependency —
+//! the registry is unavailable in the build environment), so runs are
+//! deterministic and failures reproduce exactly.
 
-use proptest::prelude::*;
 use storage::codec::{Reader, Writer};
 use storage::{blocks_for, BlockFile, IoStats, LruSet, PAGE_SIZE};
 
-proptest! {
-    /// Arbitrary record sequences round-trip through the block file.
-    #[test]
-    fn blockfile_roundtrip(payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..40)) {
+const CASES: usize = 256;
+
+use splitmix::SplitMix64 as Gen;
+
+/// Domain-specific case generators on the shared SplitMix64 core.
+trait GenExt {
+    fn bytes(&mut self, max_len: usize) -> Vec<u8>;
+}
+
+impl GenExt for Gen {
+    fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        let n = self.below(max_len as u64 + 1) as usize;
+        (0..n).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+/// Arbitrary record sequences round-trip through the block file.
+#[test]
+fn blockfile_roundtrip() {
+    let mut g = Gen(21);
+    for _ in 0..CASES {
+        let payloads: Vec<Vec<u8>> = (0..1 + g.below(39)).map(|_| g.bytes(199)).collect();
         let mut f = BlockFile::new();
         let ids: Vec<_> = payloads.iter().map(|p| f.put(p)).collect();
         for (id, p) in ids.iter().zip(&payloads) {
-            prop_assert_eq!(f.get(*id), p.as_slice());
-            prop_assert_eq!(f.record_len(*id), p.len());
+            assert_eq!(f.get(*id), p.as_slice());
+            assert_eq!(f.record_len(*id), p.len());
         }
         let total: u64 = payloads.iter().map(|p| p.len() as u64).sum();
-        prop_assert_eq!(f.bytes(), total);
+        assert_eq!(f.bytes(), total);
     }
+}
 
-    /// The codec round-trips any interleaving of primitive values.
-    #[test]
-    fn codec_roundtrip(vals in prop::collection::vec(
-        prop_oneof![
-            any::<u8>().prop_map(|v| (0u8, v as u64, 0.0)),
-            any::<u32>().prop_map(|v| (1u8, v as u64, 0.0)),
-            any::<u64>().prop_map(|v| (2u8, v, 0.0)),
-            any::<f64>().prop_map(|v| (3u8, 0, v)),
-        ],
-        0..60,
-    )) {
+/// The codec round-trips any interleaving of primitive values.
+#[test]
+fn codec_roundtrip() {
+    let mut g = Gen(22);
+    for _ in 0..CASES {
+        let vals: Vec<(u8, u64, f64)> = (0..g.below(60))
+            .map(|_| match g.below(4) {
+                0 => (0u8, g.next_u64() & 0xFF, 0.0),
+                1 => (1u8, g.next_u64() & 0xFFFF_FFFF, 0.0),
+                2 => (2u8, g.next_u64(), 0.0),
+                // Includes NaNs/infinities on some draws via raw bits.
+                _ => (3u8, 0, f64::from_bits(g.next_u64())),
+            })
+            .collect();
         let mut w = Writer::new();
         for &(kind, i, f) in &vals {
             match kind {
@@ -42,51 +67,68 @@ proptest! {
         let mut r = Reader::new(&bytes);
         for &(kind, i, f) in &vals {
             match kind {
-                0 => prop_assert_eq!(r.get_u8(), i as u8),
-                1 => prop_assert_eq!(r.get_u32(), i as u32),
-                2 => prop_assert_eq!(r.get_u64(), i),
+                0 => assert_eq!(r.get_u8(), i as u8),
+                1 => assert_eq!(r.get_u32(), i as u32),
+                2 => assert_eq!(r.get_u64(), i),
                 _ => {
                     let got = r.get_f64();
-                    prop_assert!(got == f || (got.is_nan() && f.is_nan()));
+                    assert!(got == f || (got.is_nan() && f.is_nan()));
                 }
             }
         }
-        prop_assert!(r.is_exhausted());
+        assert!(r.is_exhausted());
     }
+}
 
-    /// Block accounting: ⌈bytes/4096⌉, never off by one.
-    #[test]
-    fn block_accounting(bytes in 0usize..200_000) {
+/// Block accounting: ⌈bytes/4096⌉, never off by one.
+#[test]
+fn block_accounting() {
+    let mut g = Gen(23);
+    for _ in 0..CASES {
+        let bytes = g.below(200_000) as usize;
         let blocks = blocks_for(bytes);
-        prop_assert!(blocks as usize * PAGE_SIZE >= bytes);
+        assert!(blocks as usize * PAGE_SIZE >= bytes);
         if blocks > 0 {
-            prop_assert!((blocks as usize - 1) * PAGE_SIZE < bytes);
+            assert!((blocks as usize - 1) * PAGE_SIZE < bytes);
         } else {
-            prop_assert_eq!(bytes, 0);
+            assert_eq!(bytes, 0);
         }
     }
+}
 
-    /// The LRU cache never holds more than its capacity, and an uncached
-    /// IoStats charges exactly the sum of accesses.
-    #[test]
-    fn lru_capacity_respected(ops in prop::collection::vec((0u64..30, 1u64..5), 1..200), cap in 1u64..20) {
+/// The LRU cache never holds more than its capacity.
+#[test]
+fn lru_capacity_respected() {
+    let mut g = Gen(24);
+    for _ in 0..CASES {
+        let cap = 1 + g.below(19);
+        let ops: Vec<(u64, u64)> = (0..1 + g.below(199))
+            .map(|_| (g.below(30), 1 + g.below(4)))
+            .collect();
         let mut lru = LruSet::new(cap);
         for &(key, blocks) in &ops {
             lru.access(key, blocks);
-            prop_assert!(lru.held_blocks() <= cap);
+            assert!(lru.held_blocks() <= cap);
         }
     }
+}
 
-    /// A cached counter never charges more than an uncached one replaying
-    /// the same access trace.
-    #[test]
-    fn cache_only_reduces_io(ops in prop::collection::vec((0u64..30, 0usize..20_000), 1..100), cap in 1u64..50) {
+/// A cached counter never charges more than an uncached one replaying the
+/// same access trace.
+#[test]
+fn cache_only_reduces_io() {
+    let mut g = Gen(25);
+    for _ in 0..CASES {
+        let cap = 1 + g.below(49);
+        let ops: Vec<(u64, usize)> = (0..1 + g.below(99))
+            .map(|_| (g.below(30), g.below(20_000) as usize))
+            .collect();
         let cold = IoStats::new();
         let warm = IoStats::with_cache(cap);
         for &(key, bytes) in &ops {
             cold.charge_invfile_keyed(key, bytes);
             warm.charge_invfile_keyed(key, bytes);
         }
-        prop_assert!(warm.total() <= cold.total());
+        assert!(warm.total() <= cold.total());
     }
 }

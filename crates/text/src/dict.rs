@@ -38,9 +38,8 @@ impl Dictionary {
         if let Some(&id) = self.by_name.get(term) {
             return id;
         }
-        let id = TermId(
-            u32::try_from(self.terms.len()).expect("dictionary exceeds u32::MAX terms"),
-        );
+        let id =
+            TermId(u32::try_from(self.terms.len()).expect("dictionary exceeds u32::MAX terms"));
         self.terms.push(term.to_owned());
         self.by_name.insert(term.to_owned(), id);
         id

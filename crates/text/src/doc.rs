@@ -134,10 +134,7 @@ impl Document {
 }
 
 /// True if the two ascending iterators share an element.
-fn merge_any(
-    a: impl Iterator<Item = TermId>,
-    b: impl Iterator<Item = TermId>,
-) -> bool {
+fn merge_any(a: impl Iterator<Item = TermId>, b: impl Iterator<Item = TermId>) -> bool {
     let mut a = a.peekable();
     let mut b = b.peekable();
     while let (Some(&x), Some(&y)) = (a.peek(), b.peek()) {

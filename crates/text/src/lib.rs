@@ -27,9 +27,9 @@
 //! models ([`WeightModel`]), and the [`TextScorer`] that precomputes per-term
 //! maxima and evaluates `TS`.
 
+mod corpus;
 mod dict;
 mod doc;
-mod corpus;
 mod relevance;
 
 pub use corpus::CorpusStats;

@@ -44,8 +44,7 @@ impl WeightModel {
             WeightModel::TfIdf => f64::from(tf) * stats.idf(t),
             WeightModel::LanguageModel { lambda } => {
                 debug_assert!(doc_len > 0);
-                (1.0 - lambda) * f64::from(tf) / doc_len as f64
-                    + lambda * stats.background(t)
+                (1.0 - lambda) * f64::from(tf) / doc_len as f64 + lambda * stats.background(t)
             }
             WeightModel::KeywordOverlap => 1.0,
         }

@@ -1,18 +1,35 @@
-//! Property-based tests of the text substrate: the invariants every index
-//! bound in the paper leans on.
+//! Randomized-property tests of the text substrate: the invariants every
+//! index bound in the paper leans on.
+//!
+//! Cases come from a seeded SplitMix64 stream (no `proptest` dependency —
+//! the registry is unavailable in the build environment), so runs are
+//! deterministic and failures reproduce exactly.
 
-use proptest::prelude::*;
 use text::{CorpusStats, Document, TermId, TextScorer, WeightModel};
 
-prop_compose! {
-    fn doc()(pairs in prop::collection::vec((0u32..12, 1u32..5), 1..8)) -> Document {
-        Document::from_pairs(pairs.into_iter().map(|(t, f)| (TermId(t), f)))
-    }
+const CASES: usize = 64;
+
+use splitmix::SplitMix64 as Gen;
+
+/// Domain-specific case generators on the shared SplitMix64 core.
+trait GenExt {
+    /// 1–7 term/tf pairs over a 12-term vocabulary, tf in 1..5.
+    fn doc(&mut self) -> Document;
+    /// 1–29 random documents.
+    fn corpus(&mut self) -> Vec<Document>;
 }
 
-prop_compose! {
-    fn corpus()(docs in prop::collection::vec(doc(), 1..30)) -> Vec<Document> {
-        docs
+impl GenExt for Gen {
+    fn doc(&mut self) -> Document {
+        let n = 1 + self.below(7) as usize;
+        Document::from_pairs(
+            (0..n).map(|_| (TermId(self.below(12) as u32), 1 + self.below(4) as u32)),
+        )
+    }
+
+    fn corpus(&mut self) -> Vec<Document> {
+        let n = 1 + self.below(29) as usize;
+        (0..n).map(|_| self.doc()).collect()
     }
 }
 
@@ -24,93 +41,122 @@ fn models() -> [WeightModel; 3] {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// TS is always normalized, for every model.
-    #[test]
-    fn ts_in_unit_interval(docs in corpus(), user in doc()) {
+/// TS is always normalized, for every model.
+#[test]
+fn ts_in_unit_interval() {
+    let mut g = Gen(11);
+    for _ in 0..CASES {
+        let docs = g.corpus();
+        let user = g.doc();
         for model in models() {
             let s = TextScorer::from_docs(model, &docs);
             for d in &docs {
                 let ts = s.ts(d, &user);
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&ts), "{model:?}: {ts}");
+                assert!((0.0..=1.0 + 1e-9).contains(&ts), "{model:?}: {ts}");
             }
         }
     }
+}
 
-    /// wmax really is the maximum: no document weight exceeds it.
-    #[test]
-    fn wmax_dominates(docs in corpus()) {
+/// wmax really is the maximum: no document weight exceeds it.
+#[test]
+fn wmax_dominates() {
+    let mut g = Gen(12);
+    for _ in 0..CASES {
+        let docs = g.corpus();
         for model in models() {
             let s = TextScorer::from_docs(model, &docs);
             for d in &docs {
                 for &(t, w) in &s.weigh(d).entries {
-                    prop_assert!(w <= s.max_weight(t) + 1e-12);
+                    assert!(w <= s.max_weight(t) + 1e-12);
                 }
             }
         }
     }
+}
 
-    /// Candidate weights never exceed wmax either (Lemma 3's premise).
-    #[test]
-    fn candidate_weight_dominated(docs in corpus(), ref_len in 1u64..10) {
+/// Candidate weights never exceed wmax either (Lemma 3's premise).
+#[test]
+fn candidate_weight_dominated() {
+    let mut g = Gen(13);
+    for _ in 0..CASES {
+        let docs = g.corpus();
+        let ref_len = 1 + g.below(9);
         for model in models() {
             let s = TextScorer::from_docs(model, &docs);
             for t in 0..12u32 {
-                prop_assert!(
+                assert!(
                     s.candidate_weight(TermId(t), ref_len) <= s.max_weight(TermId(t)) + 1e-12,
                     "{model:?} term {t} ref_len {ref_len}"
                 );
             }
         }
     }
+}
 
-    /// Candidate TS is monotone in added keywords — the property the
-    /// greedy (1−1/e) argument requires.
-    #[test]
-    fn candidate_ts_monotone(docs in corpus(), user in doc(), extra in 0u32..12) {
+/// Candidate TS is monotone in added keywords — the property the greedy
+/// (1−1/e) argument requires.
+#[test]
+fn candidate_ts_monotone() {
+    let mut g = Gen(14);
+    for _ in 0..CASES {
+        let docs = g.corpus();
+        let user = g.doc();
+        let extra = g.below(12) as u32;
         for model in models() {
             let s = TextScorer::from_docs(model, &docs);
             let base = Document::from_terms([TermId(0)]);
             let bigger = base.with_terms([TermId(extra)]);
             let ref_len = 4;
-            prop_assert!(
+            assert!(
                 s.candidate_ts(&bigger, &user, ref_len)
                     >= s.candidate_ts(&base, &user, ref_len) - 1e-12
             );
         }
     }
+}
 
-    /// TS only grows when an object gains terms the user also has.
-    #[test]
-    fn ts_monotone_in_overlap(docs in corpus(), user in doc()) {
+/// TS only grows when an object gains terms the user also has.
+#[test]
+fn ts_monotone_in_overlap() {
+    let mut g = Gen(15);
+    for _ in 0..CASES {
+        let docs = g.corpus();
+        let user = g.doc();
         let s = TextScorer::from_docs(WeightModel::KeywordOverlap, &docs);
         for d in &docs {
             let richer = d.union(&user);
-            prop_assert!(s.ts(&richer, &user) >= s.ts(d, &user) - 1e-12);
+            assert!(s.ts(&richer, &user) >= s.ts(d, &user) - 1e-12);
         }
     }
+}
 
-    /// Corpus statistics are consistent: df ≤ |O|, Σ background ≈ 1.
-    #[test]
-    fn stats_consistency(docs in corpus()) {
+/// Corpus statistics are consistent: df ≤ |O|, Σ background ≈ 1.
+#[test]
+fn stats_consistency() {
+    let mut g = Gen(16);
+    for _ in 0..CASES {
+        let docs = g.corpus();
         let stats = CorpusStats::build(docs.iter());
         let mut bg = 0.0;
         for t in 0..stats.vocab_len() as u32 {
-            prop_assert!(u64::from(stats.df(TermId(t))) <= stats.num_docs());
+            assert!(u64::from(stats.df(TermId(t))) <= stats.num_docs());
             bg += stats.background(TermId(t));
         }
-        prop_assert!((bg - 1.0).abs() < 1e-9);
+        assert!((bg - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Document identities: union is commutative; overlap symmetric.
-    #[test]
-    fn document_algebra(a in doc(), b in doc()) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
-        prop_assert_eq!(a.overlap_count(&b), b.overlap_count(&a));
+/// Document identities: union is commutative; overlap symmetric.
+#[test]
+fn document_algebra() {
+    let mut g = Gen(17);
+    for _ in 0..CASES {
+        let (a, b) = (g.doc(), g.doc());
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        assert_eq!(a.overlap_count(&b), b.overlap_count(&a));
         // Union length = sum of lengths (tf semantics).
-        prop_assert_eq!(a.union(&b).len(), a.len() + b.len());
+        assert_eq!(a.union(&b).len(), a.len() + b.len());
     }
 }

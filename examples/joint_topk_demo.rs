@@ -55,7 +55,11 @@ fn main() {
         assert!((b.rsk - j.rsk).abs() < 1e-9, "user {} differs", b.user);
     }
 
-    println!("top-{k} for {} users over {} objects:", joint_results.len(), 20_000);
+    println!(
+        "top-{k} for {} users over {} objects:",
+        joint_results.len(),
+        20_000
+    );
     println!("  baseline : {base_ms:8.1} ms, {base_io:8} simulated I/Os");
     println!("  joint    : {joint_ms:8.1} ms, {joint_io:8} simulated I/Os");
     println!(
@@ -80,5 +84,9 @@ fn main() {
 
     // Show one user's feed.
     let u = &joint_results[0];
-    println!("  sample — user {} top-{k}: {:?}", u.user, &u.topk[..k.min(u.topk.len())]);
+    println!(
+        "  sample — user {} top-{k}: {:?}",
+        u.user,
+        &u.topk[..k.min(u.topk.len())]
+    );
 }

@@ -15,18 +15,58 @@ fn main() {
     let coffee = dict.intern("coffee");
 
     let objects = vec![
-        ObjectData { id: 0, point: Point::new(1.0, 1.0), doc: Document::from_terms([sushi, seafood]) },
-        ObjectData { id: 1, point: Point::new(9.0, 9.0), doc: Document::from_terms([noodles]) },
-        ObjectData { id: 2, point: Point::new(5.0, 5.0), doc: Document::from_terms([coffee]) },
-        ObjectData { id: 3, point: Point::new(2.0, 8.0), doc: Document::from_terms([noodles, coffee]) },
+        ObjectData {
+            id: 0,
+            point: Point::new(1.0, 1.0),
+            doc: Document::from_terms([sushi, seafood]),
+        },
+        ObjectData {
+            id: 1,
+            point: Point::new(9.0, 9.0),
+            doc: Document::from_terms([noodles]),
+        },
+        ObjectData {
+            id: 2,
+            point: Point::new(5.0, 5.0),
+            doc: Document::from_terms([coffee]),
+        },
+        ObjectData {
+            id: 3,
+            point: Point::new(2.0, 8.0),
+            doc: Document::from_terms([noodles, coffee]),
+        },
     ];
     let users = vec![
-        UserData { id: 0, point: Point::new(1.5, 1.5), doc: Document::from_terms([sushi]) },
-        UserData { id: 1, point: Point::new(2.0, 1.0), doc: Document::from_terms([sushi, seafood]) },
-        UserData { id: 2, point: Point::new(8.5, 9.0), doc: Document::from_terms([noodles]) },
-        UserData { id: 3, point: Point::new(5.0, 4.5), doc: Document::from_terms([coffee]) },
-        UserData { id: 4, point: Point::new(2.5, 2.0), doc: Document::from_terms([seafood, noodles]) },
-        UserData { id: 5, point: Point::new(1.0, 2.5), doc: Document::from_terms([sushi, coffee]) },
+        UserData {
+            id: 0,
+            point: Point::new(1.5, 1.5),
+            doc: Document::from_terms([sushi]),
+        },
+        UserData {
+            id: 1,
+            point: Point::new(2.0, 1.0),
+            doc: Document::from_terms([sushi, seafood]),
+        },
+        UserData {
+            id: 2,
+            point: Point::new(8.5, 9.0),
+            doc: Document::from_terms([noodles]),
+        },
+        UserData {
+            id: 3,
+            point: Point::new(5.0, 4.5),
+            doc: Document::from_terms([coffee]),
+        },
+        UserData {
+            id: 4,
+            point: Point::new(2.5, 2.0),
+            doc: Document::from_terms([seafood, noodles]),
+        },
+        UserData {
+            id: 5,
+            point: Point::new(1.0, 2.5),
+            doc: Document::from_terms([sushi, coffee]),
+        },
     ];
 
     // Build scorer + disk-resident indexes in one call.
@@ -49,7 +89,11 @@ fn main() {
     for method in [Method::JointExact, Method::JointGreedy, Method::Baseline] {
         engine.io.reset();
         let ans = engine.query(&spec, method);
-        let kws: Vec<&str> = ans.keywords.iter().map(|&t| dict.name(t).unwrap()).collect();
+        let kws: Vec<&str> = ans
+            .keywords
+            .iter()
+            .map(|&t| dict.name(t).unwrap())
+            .collect();
         println!(
             "{method:?}: place at location #{} with menu {:?} → wins {} customers {:?} \
              ({} simulated I/Os)",

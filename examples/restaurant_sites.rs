@@ -22,14 +22,38 @@ fn main() {
     // Geometry mirroring Figure 1: u1,u2,u3 cluster on the left around l1,
     // u4 sits to the right next to o2; o1 is below the cluster.
     let objects = vec![
-        ObjectData { id: 0, point: Point::new(2.0, 1.0), doc: Document::from_terms([sushi]) }, // o1
-        ObjectData { id: 1, point: Point::new(8.0, 4.0), doc: Document::from_terms([noodles]) }, // o2
+        ObjectData {
+            id: 0,
+            point: Point::new(2.0, 1.0),
+            doc: Document::from_terms([sushi]),
+        }, // o1
+        ObjectData {
+            id: 1,
+            point: Point::new(8.0, 4.0),
+            doc: Document::from_terms([noodles]),
+        }, // o2
     ];
     let users = vec![
-        UserData { id: 0, point: Point::new(1.0, 4.0), doc: Document::from_terms([sushi, seafood]) }, // u1
-        UserData { id: 1, point: Point::new(2.0, 5.0), doc: Document::from_terms([sushi]) },          // u2
-        UserData { id: 2, point: Point::new(3.0, 4.0), doc: Document::from_terms([sushi, noodles]) }, // u3
-        UserData { id: 3, point: Point::new(7.0, 4.5), doc: Document::from_terms([noodles]) },        // u4
+        UserData {
+            id: 0,
+            point: Point::new(1.0, 4.0),
+            doc: Document::from_terms([sushi, seafood]),
+        }, // u1
+        UserData {
+            id: 1,
+            point: Point::new(2.0, 5.0),
+            doc: Document::from_terms([sushi]),
+        }, // u2
+        UserData {
+            id: 2,
+            point: Point::new(3.0, 4.0),
+            doc: Document::from_terms([sushi, noodles]),
+        }, // u3
+        UserData {
+            id: 3,
+            point: Point::new(7.0, 4.5),
+            doc: Document::from_terms([noodles]),
+        }, // u4
     ];
 
     let engine = Engine::build(objects, users, WeightModel::KeywordOverlap, 0.5);
@@ -48,13 +72,20 @@ fn main() {
     };
 
     let ans = engine.query(&spec, Method::JointExact);
-    let menu: Vec<&str> = ans.keywords.iter().map(|&t| dict.name(t).unwrap()).collect();
+    let menu: Vec<&str> = ans
+        .keywords
+        .iter()
+        .map(|&t| dict.name(t).unwrap())
+        .collect();
     println!(
         "Best site: l{} — menu {:?} — top-1 restaurant for {} users: {:?}",
         ans.location + 1,
         menu,
         ans.cardinality(),
-        ans.brstknn.iter().map(|u| format!("u{}", u + 1)).collect::<Vec<_>>(),
+        ans.brstknn
+            .iter()
+            .map(|u| format!("u{}", u + 1))
+            .collect::<Vec<_>>(),
     );
 
     assert_eq!(ans.location, 0, "the paper's answer is l1");

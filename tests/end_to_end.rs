@@ -16,8 +16,7 @@ fn build(seed: u64, model: WeightModel, alpha: f64) -> (Engine, QuerySpec) {
             seed: seed + 1,
         },
     );
-    let engine =
-        Engine::build_with_fanout(objects, wl.users, model, alpha, 8).with_user_index();
+    let engine = Engine::build_with_fanout(objects, wl.users, model, alpha, 8).with_user_index();
     let spec = QuerySpec {
         ox_doc: Document::new(),
         locations: wl.candidate_locations,
@@ -77,7 +76,11 @@ fn greedy_holds_its_quality_bound() {
 fn results_are_deterministic() {
     let (engine1, spec1) = build(42, WeightModel::lm(), 0.5);
     let (engine2, spec2) = build(42, WeightModel::lm(), 0.5);
-    for m in [Method::JointExact, Method::JointGreedy, Method::UserIndexGreedy] {
+    for m in [
+        Method::JointExact,
+        Method::JointGreedy,
+        Method::UserIndexGreedy,
+    ] {
         let a = engine1.query(&spec1, m);
         let b = engine2.query(&spec2, m);
         assert_eq!(a.location, b.location, "{m:?}");
@@ -159,7 +162,9 @@ fn ox_with_existing_text_description() {
         .iter()
         .filter(|usr| {
             usr.doc.overlaps(&spec.ox_doc)
-                && engine.ctx.sts_candidate(&loc, &spec.ox_doc, spec.ref_len(), usr)
+                && engine
+                    .ctx
+                    .sts_candidate(&loc, &spec.ox_doc, spec.ref_len(), usr)
                     >= topk[usr.id as usize].rsk
         })
         .count();

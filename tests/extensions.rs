@@ -39,7 +39,9 @@ fn top_l_is_consistent_with_per_location_exact() {
     let top = engine.query_top_l(&spec, KeywordSelector::Exact, 4);
     assert!(!top.is_empty());
     // Ordered, distinct locations, head = global optimum.
-    assert!(top.windows(2).all(|w| w[0].cardinality() >= w[1].cardinality()));
+    assert!(top
+        .windows(2)
+        .all(|w| w[0].cardinality() >= w[1].cardinality()));
     let single = engine.query(&spec, Method::JointExact);
     assert_eq!(top[0].cardinality(), single.cardinality());
     let mut locs: Vec<usize> = top.iter().map(|r| r.location).collect();
@@ -75,7 +77,11 @@ fn warm_cache_collapses_baseline_io_but_not_joint() {
     for io in [&cold, &warm] {
         for u in &engine.users {
             maxbrstknn::mbrstk_core::topk::baseline::user_topk_baseline(
-                &engine.ir, u, spec.k, &engine.ctx, io,
+                &engine.ir,
+                u,
+                spec.k,
+                &engine.ctx,
+                io,
             );
         }
     }
@@ -126,7 +132,6 @@ fn text_first_tree_gives_identical_topk_results() {
         );
     }
 }
-
 
 #[test]
 fn dynamically_inserted_objects_are_queryable_end_to_end() {

@@ -1,12 +1,16 @@
-//! Property-based cross-validation of the full pipeline against brute
-//! force on random small instances.
+//! Randomized cross-validation of the full pipeline against brute force on
+//! random small instances.
 //!
 //! These are the strongest correctness tests in the repository: every
 //! pruning rule in Algorithms 1–4 must survive arbitrary geometry, keyword
-//! assignments and thresholds.
+//! assignments and thresholds. Instances come from the workspace's own
+//! seeded generator ([`datagen::rng`]) instead of `proptest` (the registry
+//! is unavailable in the build environment), so failures reproduce exactly.
 
+use datagen::rng::{Rng, SeedableRng, StdRng};
 use maxbrstknn::prelude::*;
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 #[derive(Debug, Clone)]
 struct Instance {
@@ -19,48 +23,46 @@ struct Instance {
     alpha: f64,
 }
 
-prop_compose! {
-    fn point()(x in 0.0f64..20.0, y in 0.0f64..20.0) -> Point {
-        Point::new(x, y)
-    }
+fn point(rng: &mut StdRng) -> Point {
+    Point::new(rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0))
 }
 
-prop_compose! {
-    fn doc(max_term: u32)(terms in prop::collection::vec(0..max_term, 1..4)) -> Document {
-        Document::from_terms(terms.into_iter().map(TermId))
-    }
+fn doc(rng: &mut StdRng, max_term: u32) -> Document {
+    let n = rng.gen_range(1..4usize);
+    Document::from_terms((0..n).map(|_| TermId(rng.gen_range(0..max_term as usize) as u32)))
 }
 
-prop_compose! {
-    fn instance()(
-        objs in prop::collection::vec((point(), doc(6)), 6..40),
-        usrs in prop::collection::vec((point(), doc(6)), 2..12),
-        locs in prop::collection::vec(point(), 1..5),
-        kws in prop::collection::vec(0u32..6, 1..5),
-        ws in 1usize..3,
-        k in 1usize..5,
-        alpha in 0.1f64..0.9,
-    ) -> Instance {
-        let mut keywords: Vec<TermId> = kws.into_iter().map(TermId).collect();
-        keywords.sort_unstable();
-        keywords.dedup();
-        Instance {
-            objects: objs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (p, d))| ObjectData { id: i as u32, point: p, doc: d })
-                .collect(),
-            users: usrs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (p, d))| UserData { id: i as u32, point: p, doc: d })
-                .collect(),
-            locations: locs,
-            keywords,
-            ws,
-            k,
-            alpha,
-        }
+fn instance(rng: &mut StdRng) -> Instance {
+    let objects = (0..rng.gen_range(6..40usize))
+        .enumerate()
+        .map(|(i, _)| ObjectData {
+            id: i as u32,
+            point: point(rng),
+            doc: doc(rng, 6),
+        })
+        .collect();
+    let users = (0..rng.gen_range(2..12usize))
+        .enumerate()
+        .map(|(i, _)| UserData {
+            id: i as u32,
+            point: point(rng),
+            doc: doc(rng, 6),
+        })
+        .collect();
+    let locations = (0..rng.gen_range(1..5usize)).map(|_| point(rng)).collect();
+    let mut keywords: Vec<TermId> = (0..rng.gen_range(1..5usize))
+        .map(|_| TermId(rng.gen_range(0..6usize) as u32))
+        .collect();
+    keywords.sort_unstable();
+    keywords.dedup();
+    Instance {
+        objects,
+        users,
+        locations,
+        keywords,
+        ws: rng.gen_range(1..3usize),
+        k: rng.gen_range(1..5usize),
+        alpha: rng.gen_range(0.1..0.9),
     }
 }
 
@@ -116,8 +118,7 @@ fn brute_optimum(engine: &Engine, spec: &QuerySpec, rsk: &[f64]) -> usize {
                 .iter()
                 .zip(rsk)
                 .filter(|(u, &r)| {
-                    u.doc.overlaps(&cand)
-                        && engine.ctx.sts_candidate(loc, &cand, ref_len, u) >= r
+                    u.doc.overlaps(&cand) && engine.ctx.sts_candidate(loc, &cand, ref_len, u) >= r
                 })
                 .count();
             best = best.max(count);
@@ -126,12 +127,12 @@ fn brute_optimum(engine: &Engine, spec: &QuerySpec, rsk: &[f64]) -> usize {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Joint top-k thresholds equal brute force on random instances.
-    #[test]
-    fn joint_topk_matches_brute_force(inst in instance()) {
+/// Joint top-k thresholds equal brute force on random instances.
+#[test]
+fn joint_topk_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for case in 0..CASES {
+        let inst = instance(&mut rng);
         let engine = Engine::build_with_fanout(
             inst.objects.clone(),
             inst.users.clone(),
@@ -143,23 +144,34 @@ proptest! {
         let (got, _) = engine.joint_user_topk(inst.k);
         for (g, w) in got.iter().zip(&want) {
             if w.is_finite() {
-                prop_assert!((g.rsk - w).abs() < 1e-9, "user {}: {} vs {}", g.user, g.rsk, w);
+                assert!(
+                    (g.rsk - w).abs() < 1e-9,
+                    "case {case} user {}: {} vs {}",
+                    g.user,
+                    g.rsk,
+                    w
+                );
             } else {
-                prop_assert!(g.rsk == f64::NEG_INFINITY);
+                assert!(g.rsk == f64::NEG_INFINITY, "case {case}");
             }
         }
     }
+}
 
-    /// The exact pipeline finds the true optimum cardinality.
-    #[test]
-    fn exact_query_matches_brute_force(inst in instance()) {
+/// The exact pipeline finds the true optimum cardinality.
+#[test]
+fn exact_query_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for case in 0..CASES {
+        let inst = instance(&mut rng);
         let engine = Engine::build_with_fanout(
             inst.objects.clone(),
             inst.users.clone(),
             WeightModel::lm(),
             inst.alpha,
             4,
-        ).with_user_index();
+        )
+        .with_user_index();
         let spec = QuerySpec {
             ox_doc: Document::new(),
             locations: inst.locations.clone(),
@@ -170,14 +182,26 @@ proptest! {
         let rsk = brute_rsk(&engine, inst.k);
         let want = brute_optimum(&engine, &spec, &rsk);
         let got = engine.query(&spec, Method::JointExact);
-        prop_assert_eq!(got.cardinality(), want, "joint-exact vs brute force");
+        assert_eq!(
+            got.cardinality(),
+            want,
+            "case {case}: joint-exact vs brute force"
+        );
         let got_ui = engine.query(&spec, Method::UserIndexExact);
-        prop_assert_eq!(got_ui.cardinality(), want, "user-index-exact vs brute force");
+        assert_eq!(
+            got_ui.cardinality(),
+            want,
+            "case {case}: user-index-exact vs brute force"
+        );
     }
+}
 
-    /// Greedy never exceeds exact and its result always verifies.
-    #[test]
-    fn greedy_result_is_sound(inst in instance()) {
+/// Greedy never exceeds exact and its result always verifies.
+#[test]
+fn greedy_result_is_sound() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for case in 0..CASES {
+        let inst = instance(&mut rng);
         let engine = Engine::build_with_fanout(
             inst.objects.clone(),
             inst.users.clone(),
@@ -194,7 +218,7 @@ proptest! {
         };
         let e = engine.query(&spec, Method::JointExact);
         let g = engine.query(&spec, Method::JointGreedy);
-        prop_assert!(g.cardinality() <= e.cardinality());
+        assert!(g.cardinality() <= e.cardinality(), "case {case}");
         // Every reported user genuinely qualifies.
         let rsk = brute_rsk(&engine, inst.k);
         let loc = spec.locations[g.location];
@@ -202,8 +226,8 @@ proptest! {
         for &uid in &g.brstknn {
             let u = &engine.users[uid as usize];
             let sts = engine.ctx.sts_candidate(&loc, &cand, spec.ref_len(), u);
-            prop_assert!(sts >= rsk[uid as usize] - 1e-9);
-            prop_assert!(u.doc.overlaps(&cand));
+            assert!(sts >= rsk[uid as usize] - 1e-9, "case {case}");
+            assert!(u.doc.overlaps(&cand), "case {case}");
         }
     }
 }
