@@ -718,6 +718,83 @@ pub fn batch(p: &Params) {
     }
 }
 
+/// Serving-cache experiment (beyond the paper): batch throughput of
+/// same-`k` queries under the four cache configurations —
+///
+/// * **cold** — the paper's model, every access charged;
+/// * **warm-sharded** — an OS-page-cache stand-in: the lock-striped
+///   [`ShardedLru`](storage::ShardedLru) attached to the engine's
+///   [`IoStats`](storage::IoStats);
+/// * **threshold** — the cross-query top-k
+///   [`ThresholdCache`](mbrstk_core::ThresholdCache): the batch pays the
+///   `(engine, k)`-dependent top-k phase once;
+/// * **both** — the two combined.
+///
+/// Expected shape: answers are identical in all four rows; warm-sharded
+/// cuts batch I/O (reported hit rate grows with capacity); the threshold
+/// cache collapses joint-strategy batch I/O to a single query's worth and
+/// wins the most wall-clock, since it skips the top-k *computation*, not
+/// just its charges.
+pub fn cache(p: &Params) {
+    use mbrstk_core::ThresholdCache;
+    use storage::IoStats;
+
+    const BATCH: usize = 24;
+    const THREADS: usize = 4;
+    const WARM_BLOCKS: u64 = 1 << 15;
+
+    let mut sc = Scenario::build(p, 0);
+    let specs = sc.batch_specs(BATCH);
+    for method in [
+        Method::JointGreedy,
+        Method::JointExact,
+        Method::UserIndexGreedy,
+    ] {
+        let mut t = Table::new(
+            &format!(
+                "Cache — {} × {BATCH} same-k queries, {THREADS} threads",
+                method.name()
+            ),
+            &["config", "wall ms", "QPS", "batch I/O", "page hit %"],
+        );
+        let mut reference: Option<Vec<usize>> = None;
+        for config in ["cold", "warm-sharded", "threshold", "both"] {
+            let warm = config == "warm-sharded" || config == "both";
+            let thresh = config == "threshold" || config == "both";
+            sc.engine.io = if warm {
+                IoStats::with_cache(WARM_BLOCKS)
+            } else {
+                IoStats::new()
+            };
+            sc.engine.thresholds = thresh.then(ThresholdCache::new);
+            let m = measure_query_batch(&sc, &specs, method, THREADS);
+            let cards = m.cardinalities.clone();
+            match &reference {
+                None => reference = Some(cards),
+                Some(want) => assert_eq!(
+                    &cards, want,
+                    "cache configuration must not change any answer"
+                ),
+            }
+            let snap = sc.engine.io.snapshot();
+            let probes = snap.cache_hits + snap.cache_misses;
+            let hit_pct = if probes > 0 {
+                100.0 * snap.cache_hits as f64 / probes as f64
+            } else {
+                f64::NAN
+            };
+            t.row(vec![
+                config.into(),
+                fmt(m.wall_ms),
+                fmt(m.qps),
+                m.total_io.to_string(),
+                fmt(hit_pct),
+            ]);
+        }
+        t.print();
+    }
+}
+
 /// Ablations beyond the paper's figures: design-choice experiments listed
 /// in DESIGN.md.
 ///
@@ -741,10 +818,14 @@ pub fn ablation(p: &Params) {
     let sc = Scenario::build(p, 0);
     for blocks in [0u64, 1024, 8192, 65536] {
         sc.engine.io.reset();
+        // Single shard: this ablation is single-threaded and sweeps the
+        // behavior of *one* global LRU of the stated capacity; striping
+        // would change what the row measures (per-shard eviction,
+        // per-shard oversize bypass).
         let io = if blocks == 0 {
             IoStats::new()
         } else {
-            IoStats::with_cache(blocks)
+            IoStats::with_cache_sharded(blocks, 1)
         };
         // Baseline with the cache: replay every user's traversal.
         let b_io = {

@@ -1,0 +1,276 @@
+//! Cross-query top-k threshold cache — the serving-side complement of the
+//! paper's per-query algorithms.
+//!
+//! Every built-in [`QueryStrategy`](crate::pipeline::QueryStrategy) starts
+//! by computing per-user `RSk` thresholds (the top-k phase: `joint_topk` +
+//! `individual_topk`, or the §4 baseline, or the §7 root traversal). Those
+//! thresholds depend only on the engine and `k` — not on the query's
+//! candidate locations or keywords — yet a naive server recomputes them
+//! for every query. [`ThresholdCache`] memoizes them per `k` so a batch of
+//! same-`k` queries pays the top-k phase (and its simulated I/O) exactly
+//! once.
+//!
+//! The cache is opt-in ([`Engine::with_threshold_cache`]) because it
+//! changes what the paper's *cold* experiments measure: with it enabled,
+//! only the first query of a given `k` charges top-k I/O. Entries are
+//! filled through a blocking once-cell per `k`, so concurrent batch
+//! workers asking for the same `k` compute it exactly once — the unlucky
+//! first worker is charged the I/O, everyone else waits and gets it free
+//! (see the warm-accounting note on
+//! [`Engine::query_batch`](crate::Engine::query_batch)).
+//!
+//! [`Engine::with_threshold_cache`]: crate::Engine::with_threshold_cache
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::topk::{TopkOutcome, UserTopk};
+use crate::user_index::UserIndexSeed;
+use crate::UserGroup;
+
+/// The joint top-k phase output shared by the §5+§6 strategies: the
+/// super-user, the Algorithm-1 traversal outcome and every user's
+/// Algorithm-2 refinement.
+#[derive(Debug)]
+pub struct JointThresholds {
+    /// The super-user the traversal ran for (carried so consumers don't
+    /// recompute the O(users) group summary).
+    pub su: Arc<UserGroup>,
+    /// `LO`, `RO` and `RSk(us)` from the Algorithm-1 traversal.
+    pub out: TopkOutcome,
+    /// Per-user top-k results (Algorithm 2), in user-table order.
+    pub tks: Vec<UserTopk>,
+    /// `RSk(u)` per user, in user-table order (extracted from `tks`).
+    pub rsk: Vec<f64>,
+}
+
+/// A per-`k` map of blocking once-cells: the first caller computes, every
+/// concurrent caller for the same `k` blocks on the cell and shares the
+/// `Arc`.
+#[derive(Debug)]
+struct KeyedOnce<T> {
+    map: RwLock<HashMap<usize, Arc<OnceLock<Arc<T>>>>>,
+}
+
+impl<T> KeyedOnce<T> {
+    fn new() -> Self {
+        KeyedOnce {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_compute(
+        &self,
+        k: usize,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        compute: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let cell = {
+            let read = self.map.read().unwrap();
+            read.get(&k).cloned()
+        };
+        let cell = match cell {
+            Some(c) => c,
+            None => self
+                .map
+                .write()
+                .unwrap()
+                .entry(k)
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone(),
+        };
+        let mut computed = false;
+        let value = cell
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(compute())
+            })
+            .clone();
+        if computed {
+            misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    fn clear(&self) {
+        self.map.write().unwrap().clear();
+    }
+}
+
+/// Thread-safe memo of the `(engine, k)`-dependent top-k phase outputs.
+/// See the module docs for semantics and opt-in.
+#[derive(Debug)]
+pub struct ThresholdCache {
+    joint: KeyedOnce<JointThresholds>,
+    baseline: KeyedOnce<Vec<UserTopk>>,
+    user_index: KeyedOnce<UserIndexSeed>,
+    su: RwLock<Option<Arc<UserGroup>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ThresholdCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ThresholdCache {
+            joint: KeyedOnce::new(),
+            baseline: KeyedOnce::new(),
+            user_index: KeyedOnce::new(),
+            su: RwLock::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Lookups served from the cache so far (across all three maps).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute (across all three maps).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached entry, including the memoized super-user (the
+    /// counters keep running). Required after any future mutation of the
+    /// engine's data — see ROADMAP "Open items" on invalidation.
+    pub fn clear(&self) {
+        self.joint.clear();
+        self.baseline.clear();
+        self.user_index.clear();
+        *self.su.write().unwrap() = None;
+    }
+
+    pub(crate) fn joint(
+        &self,
+        k: usize,
+        compute: impl FnOnce() -> JointThresholds,
+    ) -> Arc<JointThresholds> {
+        self.joint
+            .get_or_compute(k, &self.hits, &self.misses, compute)
+    }
+
+    pub(crate) fn baseline(
+        &self,
+        k: usize,
+        compute: impl FnOnce() -> Vec<UserTopk>,
+    ) -> Arc<Vec<UserTopk>> {
+        self.baseline
+            .get_or_compute(k, &self.hits, &self.misses, compute)
+    }
+
+    pub(crate) fn user_index(
+        &self,
+        k: usize,
+        compute: impl FnOnce() -> UserIndexSeed,
+    ) -> Arc<UserIndexSeed> {
+        self.user_index
+            .get_or_compute(k, &self.hits, &self.misses, compute)
+    }
+
+    pub(crate) fn super_user(&self, compute: impl FnOnce() -> UserGroup) -> Arc<UserGroup> {
+        if let Some(su) = self.su.read().unwrap().clone() {
+            return su;
+        }
+        let mut slot = self.su.write().unwrap();
+        if let Some(su) = &*slot {
+            return su.clone();
+        }
+        // Computed under the write lock: the group summary is CPU-only
+        // (no I/O charges), so briefly serializing racers is fine and
+        // guarantees a single computation.
+        let su = Arc::new(compute());
+        *slot = Some(su.clone());
+        su
+    }
+}
+
+impl Default for ThresholdCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_value() {
+        let tc = ThresholdCache::new();
+        let a = tc.baseline(3, Vec::new);
+        let b = tc.baseline(3, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(tc.hits(), 1);
+        assert_eq!(tc.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_k_compute_independently() {
+        let tc = ThresholdCache::new();
+        tc.baseline(1, Vec::new);
+        tc.baseline(2, Vec::new);
+        assert_eq!(tc.misses(), 2);
+        assert_eq!(tc.hits(), 0);
+    }
+
+    #[test]
+    fn clear_forces_recompute() {
+        let tc = ThresholdCache::new();
+        tc.baseline(1, Vec::new);
+        tc.clear();
+        tc.baseline(1, Vec::new);
+        assert_eq!(tc.misses(), 2);
+    }
+
+    fn dummy_group() -> UserGroup {
+        UserGroup::from_node_entry(
+            geo::Rect::new(geo::Point::new(0.0, 0.0), geo::Point::new(1.0, 1.0)),
+            &[],
+            &[],
+            1,
+            1.0,
+            1.0,
+        )
+    }
+
+    /// `clear` must drop the memoized super-user too — a stale group after
+    /// a (future) data mutation would silently corrupt pruning bounds.
+    #[test]
+    fn clear_drops_memoized_super_user() {
+        let tc = ThresholdCache::new();
+        let a = tc.super_user(dummy_group);
+        let b = tc.super_user(|| panic!("memoized"));
+        assert!(Arc::ptr_eq(&a, &b));
+        tc.clear();
+        let c = tc.super_user(dummy_group);
+        assert!(!Arc::ptr_eq(&a, &c), "cleared cell must recompute");
+    }
+
+    /// Concurrent same-k lookups compute exactly once: every other worker
+    /// blocks on the once-cell and shares the Arc.
+    #[test]
+    fn concurrent_lookups_compute_exactly_once() {
+        let tc = ThresholdCache::new();
+        let computes = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (tc, computes) = (&tc, &computes);
+                s.spawn(move || {
+                    tc.baseline(7, || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        Vec::new()
+                    });
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1);
+        assert_eq!(tc.misses(), 1);
+        assert_eq!(tc.hits(), 7);
+    }
+}

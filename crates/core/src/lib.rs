@@ -25,6 +25,7 @@
 //! separately (and the joint top-k is of independent interest).
 
 mod bounds;
+mod cache;
 mod data;
 mod group;
 pub mod pipeline;
@@ -34,9 +35,11 @@ pub mod select;
 pub mod topk;
 pub mod user_index;
 
+pub use cache::{JointThresholds, ThresholdCache};
 pub use data::{ObjectData, QueryResult, QuerySpec, UserData};
 pub use group::UserGroup;
 pub use pipeline::{BatchOutcome, QueryStats, QueryStrategy};
 pub use query::{Engine, Method};
 pub use score::ScoreContext;
 pub use topk::{ScoredObject, TopkOutcome, UserTopk};
+pub use user_index::UserIndexSeed;

@@ -3,7 +3,7 @@
 //! The paper evaluates six end-to-end ways of answering a `MaxBRSTkNN`
 //! query. Each one is a [`QueryStrategy`]: a stateless, thread-safe plan
 //! that takes the [`Engine`] and a [`QuerySpec`] and produces a
-//! [`QueryResult`]. [`Method`](crate::Method) stays the convenient public
+//! [`QueryResult`]. [`Method`] stays the convenient public
 //! handle — it is now a thin resolver into the strategy table below — and
 //! callers that want behaviour outside the built-in six (custom pruning,
 //! different selection, instrumentation) can implement the trait themselves
@@ -42,9 +42,7 @@ use storage::IoSnapshot;
 use crate::select::baseline::baseline_select;
 use crate::select::location::{select_candidate, KeywordSelector};
 use crate::select::CandidateContext;
-use crate::topk::individual::individual_topk;
-use crate::topk::joint::joint_topk;
-use crate::user_index::select_with_user_index;
+use crate::user_index::{select_with_user_index, select_with_user_index_seeded};
 use crate::{Engine, Method, QueryResult, QuerySpec};
 
 /// One end-to-end way of answering a `MaxBRSTkNN` query.
@@ -81,7 +79,7 @@ impl QueryStrategy for BaselineScan {
     }
 
     fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
-        let tks = engine.baseline_user_topk(spec.k);
+        let tks = engine.baseline_thresholds(spec.k);
         let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
         let cc = CandidateContext::new(&engine.ctx, spec, &engine.users, &rsk);
         baseline_select(&cc)
@@ -106,12 +104,9 @@ impl QueryStrategy for JointPipeline {
     }
 
     fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
-        let su = engine.super_user();
-        let out = joint_topk(&engine.mir, &su, spec.k, &engine.ctx, &engine.io);
-        let tks = individual_topk(&engine.users, &out, spec.k, &engine.ctx);
-        let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
-        let cc = CandidateContext::new(&engine.ctx, spec, &engine.users, &rsk);
-        select_candidate(&cc, &su, out.rsk_us, self.selector)
+        let jt = engine.joint_thresholds(spec.k);
+        let cc = CandidateContext::new(&engine.ctx, spec, &engine.users, &jt.rsk);
+        select_candidate(&cc, &jt.su, jt.out.rsk_us, self.selector)
     }
 }
 
@@ -140,15 +135,24 @@ impl QueryStrategy for UserIndexPipeline {
             .miur
             .as_ref()
             .expect("call with_user_index() before querying with a user-index method");
-        select_with_user_index(
-            miur,
-            &engine.mir,
-            spec,
-            &engine.ctx,
-            self.selector,
-            &engine.io,
-        )
-        .result
+        if engine.thresholds.is_some() {
+            // Cached mode: the k-dependent prefix (root super-user + joint
+            // MIR traversal) comes from the threshold cache; only the
+            // location-dependent MIUR expansion runs per query.
+            let seed = engine.user_index_seed(spec.k);
+            select_with_user_index_seeded(miur, spec, &engine.ctx, self.selector, &engine.io, &seed)
+                .result
+        } else {
+            select_with_user_index(
+                miur,
+                &engine.mir,
+                spec,
+                &engine.ctx,
+                self.selector,
+                &engine.io,
+            )
+            .result
+        }
     }
 }
 
@@ -186,6 +190,11 @@ pub struct QueryStats {
     /// custom strategy that charges a *different* `IoStats` instance during
     /// `execute` would fold those charges in too; the built-in strategies
     /// only ever touch their engine's counter.
+    ///
+    /// With a page cache attached the snapshot also carries this query's
+    /// cache hits and misses. Note that *which* query of a batch gets the
+    /// miss (and its charge) is interleaving-dependent — see the warm-cache
+    /// note on [`Engine::query_batch`].
     pub io: IoSnapshot,
 }
 
@@ -226,8 +235,20 @@ impl Engine {
     /// [`Engine::query`] sequentially: every strategy is deterministic and
     /// only reads the engine. Per-query [`QueryStats`] come from the
     /// storage layer's per-thread accounting, so each query's I/O delta is
-    /// exact even though all workers share one [`IoStats`]; the engine-level
-    /// counter still accumulates the batch total.
+    /// exact even though all workers share one
+    /// [`IoStats`](storage::IoStats); the engine-level counter still
+    /// accumulates the batch total.
+    ///
+    /// **Warm-cache accounting caveat.** With a page cache
+    /// ([`Engine::with_page_cache`]) or a threshold cache
+    /// ([`Engine::with_threshold_cache`]) attached, the *result payloads*
+    /// are still bit-identical to sequential execution, but the
+    /// per-query I/O split is interleaving-dependent: which worker takes
+    /// the cache miss (and its charge) depends on thread scheduling, as
+    /// does which same-`k` query fills the threshold cache. Only the batch
+    /// *total* is meaningful under warm caches, and it is at most the cold
+    /// total. Pin down nothing about individual warm `QueryStats.io`
+    /// values in tests.
     pub fn query_batch(&self, specs: &[QuerySpec], method: Method) -> Vec<BatchOutcome> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -440,6 +461,41 @@ mod tests {
         }];
         let eng = Engine::build(objects, users, WeightModel::lm(), 0.5);
         eng.query_batch_threads(&specs()[..1], Method::UserIndexExact, 2);
+    }
+
+    /// With the threshold cache enabled, batch answers stay bit-identical
+    /// to a cold engine's for every method, and a same-`k` batch charges
+    /// less engine I/O than the cold run (the top-k phase is paid once).
+    #[test]
+    fn threshold_cached_batch_matches_cold_results() {
+        let cold = engine();
+        let cached = engine().with_threshold_cache();
+        let specs = specs();
+        for m in Method::ALL {
+            let want: Vec<_> = specs.iter().map(|s| cold.query(s, m)).collect();
+            let got = cached.query_batch_threads(&specs, m, 4);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(&g.result, w, "{m:?}");
+            }
+        }
+        let tc = cached.thresholds.as_ref().unwrap();
+        assert!(tc.hits() > 0, "repeat (method, k) lookups must hit");
+    }
+
+    /// Same-`k` queries after the first charge zero top-k I/O; the joint
+    /// strategies' selection stage is in-memory, so their second query
+    /// charges nothing at all.
+    #[test]
+    fn threshold_cache_eliminates_repeat_topk_io() {
+        let eng = engine().with_threshold_cache();
+        let spec = &specs()[0];
+        for m in [Method::Baseline, Method::JointExact] {
+            let _ = eng.query(spec, m); // fills the cache for (m, k)
+            let before = eng.io.snapshot();
+            let _ = eng.query(spec, m);
+            let delta = eng.io.snapshot() - before;
+            assert_eq!(delta.total(), 0, "{m:?} second query charged I/O");
+        }
     }
 
     /// A caller-defined strategy runs through the same batch machinery.

@@ -6,11 +6,14 @@
 //! (like the benchmark harness) that need to time pipeline stages
 //! separately.
 
+use std::sync::Arc;
+
 use geo::{Rect, SpatialContext};
 use index::{IndexedObject, IndexedUser, MiurTree, PostingMode, StTree};
 use storage::IoStats;
 use text::{CorpusStats, TextScorer, WeightModel};
 
+use crate::cache::{JointThresholds, ThresholdCache};
 use crate::pipeline::{
     QueryStrategy, BASELINE, JOINT_EXACT, JOINT_GREEDY, JOINT_GREEDY_PLUS, USER_INDEX_EXACT,
     USER_INDEX_GREEDY,
@@ -20,6 +23,7 @@ use crate::select::CandidateContext;
 use crate::topk::baseline::all_users_topk_baseline;
 use crate::topk::individual::individual_topk;
 use crate::topk::joint::joint_topk;
+use crate::user_index::{compute_user_index_seed, UserIndexSeed};
 use crate::{ObjectData, QueryResult, QuerySpec, ScoreContext, UserData, UserGroup, UserTopk};
 
 /// Which end-to-end strategy answers the query.
@@ -94,8 +98,12 @@ pub struct Engine {
     pub ir: StTree,
     /// Optional MIUR-tree over the users (§7).
     pub miur: Option<MiurTree>,
-    /// Simulated I/O counter shared by every index access.
+    /// Simulated I/O counter shared by every index access. May carry a
+    /// sharded page cache ([`Engine::with_page_cache`]).
     pub io: IoStats,
+    /// Optional cross-query top-k threshold cache
+    /// ([`Engine::with_threshold_cache`]).
+    pub thresholds: Option<ThresholdCache>,
 }
 
 impl Engine {
@@ -156,6 +164,7 @@ impl Engine {
             ir,
             miur: None,
             io: IoStats::new(),
+            thresholds: None,
         }
     }
 
@@ -176,23 +185,117 @@ impl Engine {
         self
     }
 
+    /// Attaches a cross-query top-k threshold cache: per-user `RSk`
+    /// thresholds depend only on `(engine, k)`, so with the cache enabled
+    /// a batch of same-`k` queries pays the top-k phase (and its simulated
+    /// I/O) exactly once. Opt-in because it changes what the paper's
+    /// *cold* experiments measure — see [`ThresholdCache`].
+    pub fn with_threshold_cache(mut self) -> Self {
+        self.thresholds = Some(ThresholdCache::new());
+        self
+    }
+
+    /// Attaches a sharded LRU page cache of `capacity_blocks` 4 KB blocks
+    /// to the simulated I/O counter (warm-cache serving model; keyed index
+    /// accesses that hit it are free). Replaces the engine's counter, so
+    /// attach it before serving queries.
+    pub fn with_page_cache(mut self, capacity_blocks: u64) -> Self {
+        self.io = IoStats::with_cache(capacity_blocks);
+        self
+    }
+
     /// The super-user over the whole user table.
     pub fn super_user(&self) -> UserGroup {
         UserGroup::from_users(&self.users, &self.ctx.text)
     }
 
+    /// [`Engine::super_user`] behind the threshold cache: computed once
+    /// per engine when the cache is enabled, fresh otherwise.
+    pub fn super_user_shared(&self) -> Arc<UserGroup> {
+        match &self.thresholds {
+            Some(tc) => tc.super_user(|| self.super_user()),
+            None => Arc::new(self.super_user()),
+        }
+    }
+
+    /// The joint top-k phase (Algorithms 1+2) for `k`, served from the
+    /// threshold cache when one is attached (only the filling query
+    /// charges simulated I/O) and computed fresh otherwise. The result
+    /// carries the super-user it ran for, so consumers need no second
+    /// `O(users)` group computation.
+    pub fn joint_thresholds(&self, k: usize) -> Arc<JointThresholds> {
+        let compute = || {
+            let su = self.super_user_shared();
+            let out = joint_topk(&self.mir, &su, k, &self.ctx, &self.io);
+            let tks = individual_topk(&self.users, &out, k, &self.ctx);
+            let rsk = tks.iter().map(|t| t.rsk).collect();
+            JointThresholds { su, out, tks, rsk }
+        };
+        match &self.thresholds {
+            Some(tc) => tc.joint(k, compute),
+            None => Arc::new(compute()),
+        }
+    }
+
+    /// The §4 baseline top-k phase for `k`, served from the threshold
+    /// cache when one is attached and computed fresh otherwise.
+    pub fn baseline_thresholds(&self, k: usize) -> Arc<Vec<UserTopk>> {
+        match &self.thresholds {
+            Some(tc) => tc.baseline(k, || {
+                all_users_topk_baseline(&self.ir, &self.users, k, &self.ctx, &self.io)
+            }),
+            None => Arc::new(all_users_topk_baseline(
+                &self.ir,
+                &self.users,
+                k,
+                &self.ctx,
+                &self.io,
+            )),
+        }
+    }
+
+    /// The `k`-dependent prefix of the §7 pipeline (MIUR root as
+    /// super-user + joint MIR traversal), served from the threshold cache
+    /// when one is attached and computed fresh otherwise.
+    ///
+    /// # Panics
+    /// Panics when [`Engine::with_user_index`] was not called.
+    pub fn user_index_seed(&self, k: usize) -> Arc<UserIndexSeed> {
+        let miur = self
+            .miur
+            .as_ref()
+            .expect("call with_user_index() before querying with a user-index method");
+        let compute = || compute_user_index_seed(miur, &self.mir, k, &self.ctx, &self.io);
+        match &self.thresholds {
+            Some(tc) => tc.user_index(k, compute),
+            None => Arc::new(compute()),
+        }
+    }
+
     /// Computes every user's top-k with the joint algorithm (§5),
     /// returning the per-user results (including each `RSk(u)`).
     pub fn joint_user_topk(&self, k: usize) -> (Vec<UserTopk>, f64) {
-        let su = self.super_user();
-        let out = joint_topk(&self.mir, &su, k, &self.ctx, &self.io);
-        let tks = individual_topk(&self.users, &out, k, &self.ctx);
-        (tks, out.rsk_us)
+        match &self.thresholds {
+            Some(_) => {
+                let jt = self.joint_thresholds(k);
+                (jt.tks.clone(), jt.out.rsk_us)
+            }
+            // Uncached: compute by move, no Arc round trip or deep clone.
+            None => {
+                let su = self.super_user();
+                let out = joint_topk(&self.mir, &su, k, &self.ctx, &self.io);
+                let tks = individual_topk(&self.users, &out, k, &self.ctx);
+                (tks, out.rsk_us)
+            }
+        }
     }
 
     /// Computes every user's top-k with the §4 baseline.
     pub fn baseline_user_topk(&self, k: usize) -> Vec<UserTopk> {
-        all_users_topk_baseline(&self.ir, &self.users, k, &self.ctx, &self.io)
+        match &self.thresholds {
+            Some(_) => (*self.baseline_thresholds(k)).clone(),
+            None => all_users_topk_baseline(&self.ir, &self.users, k, &self.ctx, &self.io),
+        }
     }
 
     /// ℓ-MaxBRSTkNN: the `l` best ⟨location, keyword-set⟩ tuples (see
@@ -203,12 +306,9 @@ impl Engine {
         selector: KeywordSelector,
         l: usize,
     ) -> Vec<QueryResult> {
-        let su = self.super_user();
-        let out = joint_topk(&self.mir, &su, spec.k, &self.ctx, &self.io);
-        let tks = individual_topk(&self.users, &out, spec.k, &self.ctx);
-        let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
-        let cc = CandidateContext::new(&self.ctx, spec, &self.users, &rsk);
-        crate::select::topl::select_top_l(&cc, &su, out.rsk_us, selector, l)
+        let jt = self.joint_thresholds(spec.k);
+        let cc = CandidateContext::new(&self.ctx, spec, &self.users, &jt.rsk);
+        crate::select::topl::select_top_l(&cc, &jt.su, jt.out.rsk_us, selector, l)
     }
 
     /// Answers a `MaxBRSTkNN` query with the chosen method.

@@ -37,9 +37,27 @@ pub struct UserIndexOutcome {
     pub users_pruned: usize,
 }
 
+/// The `k`-dependent, location-independent prefix of the §7 pipeline: the
+/// MIUR root treated as super-user, the joint object traversal run for
+/// it, and the root's materialized elements. Memoized per `k` by
+/// [`crate::ThresholdCache`]; built by [`compute_user_index_seed`].
+#[derive(Debug, Clone)]
+pub struct UserIndexSeed {
+    /// Super-user summary of the whole MIUR root.
+    pub root_group: UserGroup,
+    /// Joint traversal outcome for `root_group`.
+    pub out: TopkOutcome,
+    /// Materialized root entries (subtree groups with `RSk` lower bounds,
+    /// concrete users with exact thresholds).
+    pub(crate) root_elems: Vec<Elem>,
+    /// Users scored while materializing the root (folded into every
+    /// query's `users_scored`).
+    pub(crate) root_scored: usize,
+}
+
 /// One element of a location's candidate list `LU_ℓ`.
 #[derive(Debug, Clone)]
-enum Elem {
+pub(crate) enum Elem {
     /// An unexpanded user subtree.
     Group {
         node: RecordId,
@@ -77,6 +95,125 @@ fn group_rsk_lb(out: &TopkOutcome, group: &UserGroup, k: usize, ctx: &ScoreConte
     lbs[k - 1]
 }
 
+/// Summarizes an already-read MIUR root node as the super-user group.
+fn group_from_root(root: &index::MiurNodeView) -> UserGroup {
+    let mbr = geo::Rect::bounding_rects(root.entries.iter().map(|e| e.rect))
+        .expect("MIUR root with no entries");
+    let uni: Vec<text::TermId> = {
+        let mut v: Vec<text::TermId> = root
+            .entries
+            .iter()
+            .flat_map(|e| e.uni.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let int: Vec<text::TermId> = {
+        let mut acc: Vec<text::TermId> = root.entries[0].int.clone();
+        for e in &root.entries[1..] {
+            acc.retain(|t| e.int.contains(t));
+        }
+        acc
+    };
+    let count: usize = root.entries.iter().map(|e| e.count as usize).sum();
+    let n_min = root
+        .entries
+        .iter()
+        .map(|e| e.norm_min)
+        .fold(f64::INFINITY, f64::min);
+    let n_max = root
+        .entries
+        .iter()
+        .map(|e| e.norm_max)
+        .fold(0.0f64, f64::max);
+    UserGroup::from_node_entry(mbr, &uni, &int, count, n_min, n_max)
+}
+
+/// Materializes a node view's entries into the element arena: subtrees
+/// become [`Elem::Group`]s with their `RSk` lower bounds, concrete users
+/// get their exact thresholds via Algorithm 2. Location-independent —
+/// everything derives from `(node, out, k)`.
+fn materialize_node(
+    node: &index::MiurNodeView,
+    out: &TopkOutcome,
+    k: usize,
+    ctx: &ScoreContext,
+    elems: &mut Vec<Elem>,
+    scored: &mut usize,
+) -> Vec<usize> {
+    node.entries
+        .iter()
+        .map(|e| {
+            let elem = match e.child {
+                UserRef::Node(rec) => {
+                    let g = UserGroup::from_node_entry(
+                        e.rect,
+                        &e.uni,
+                        &e.int,
+                        e.count as usize,
+                        e.norm_min,
+                        e.norm_max,
+                    );
+                    let rsk_lb = group_rsk_lb(out, &g, k, ctx);
+                    Elem::Group {
+                        node: rec,
+                        group: g,
+                        rsk_lb,
+                    }
+                }
+                UserRef::User(uid) => {
+                    let data = UserData {
+                        id: uid,
+                        point: e.rect.min,
+                        doc: Document::from_terms(e.uni.iter().copied()),
+                    };
+                    let tk = individual_topk_user(&data, out, k, ctx);
+                    *scored += 1;
+                    let n_u = ctx.text.normalizer(&data.doc);
+                    Elem::User {
+                        data,
+                        rsk: tk.rsk,
+                        n_u,
+                    }
+                }
+            };
+            elems.push(elem);
+            elems.len() - 1
+        })
+        .collect()
+}
+
+/// Computes the `(engine, k)`-dependent prefix of the §7 pipeline — the
+/// MIUR root as super-user, the joint object traversal for it, and the
+/// materialized root elements — which
+/// [`crate::ThresholdCache`] memoizes across queries.
+pub fn compute_user_index_seed(
+    miur: &MiurTree,
+    mir: &StTree,
+    k: usize,
+    ctx: &ScoreContext,
+    io: &IoStats,
+) -> UserIndexSeed {
+    assert_eq!(
+        mir.mode(),
+        PostingMode::MaxMin,
+        "object index must be a MIR-tree"
+    );
+    let root = miur.read_node(miur.root(), io);
+    let root_group = group_from_root(&root);
+    let out = joint_topk(mir, &root_group, k, ctx, io);
+    let mut root_elems = Vec::new();
+    let mut root_scored = 0usize;
+    materialize_node(&root, &out, k, ctx, &mut root_elems, &mut root_scored);
+    UserIndexSeed {
+        root_group,
+        out,
+        root_elems,
+        root_scored,
+    }
+}
+
 /// Runs the §7 pipeline.
 ///
 /// `mir` indexes the objects (MaxMin mode); `miur` indexes the users. The
@@ -94,103 +231,79 @@ pub fn select_with_user_index(
         !spec.locations.is_empty(),
         "MaxBRSTkNN requires at least one candidate location"
     );
-    assert_eq!(
-        mir.mode(),
-        PostingMode::MaxMin,
-        "object index must be a MIR-tree"
+    // Cold path: build the seed inline (one root read, one traversal, one
+    // root materialization — the same work as before the seed existed)
+    // and move its parts into the selection.
+    let seed = compute_user_index_seed(miur, mir, spec.k, ctx, io);
+    run_selection(
+        miur,
+        spec,
+        ctx,
+        selector,
+        io,
+        &seed.root_group,
+        &seed.out,
+        seed.root_elems,
+        seed.root_scored,
+    )
+}
+
+/// [`select_with_user_index`] with the top-k prefix supplied by a
+/// [`UserIndexSeed`] (typically from the engine's threshold cache): the
+/// MIUR root read, the joint MIR traversal and the root materialization
+/// are all skipped — only the location-dependent subtree expansion and
+/// keyword selection run, so a seeded query charges I/O solely for the
+/// nodes it expands.
+pub fn select_with_user_index_seeded(
+    miur: &MiurTree,
+    spec: &QuerySpec,
+    ctx: &ScoreContext,
+    selector: KeywordSelector,
+    io: &IoStats,
+    seed: &UserIndexSeed,
+) -> UserIndexOutcome {
+    assert!(
+        !spec.locations.is_empty(),
+        "MaxBRSTkNN requires at least one candidate location"
     );
+    run_selection(
+        miur,
+        spec,
+        ctx,
+        selector,
+        io,
+        &seed.root_group,
+        &seed.out,
+        seed.root_elems.clone(),
+        seed.root_scored,
+    )
+}
 
-    // --- Root as super-user. ---
-    let root = miur.read_node(miur.root(), io);
-    let root_group = {
-        let mbr = geo::Rect::bounding_rects(root.entries.iter().map(|e| e.rect))
-            .expect("MIUR root with no entries");
-        let uni: Vec<text::TermId> = {
-            let mut v: Vec<text::TermId> = root
-                .entries
-                .iter()
-                .flat_map(|e| e.uni.iter().copied())
-                .collect();
-            v.sort_unstable();
-            v.dedup();
-            v
-        };
-        let int: Vec<text::TermId> = {
-            let mut acc: Vec<text::TermId> = root.entries[0].int.clone();
-            for e in &root.entries[1..] {
-                acc.retain(|t| e.int.contains(t));
-            }
-            acc
-        };
-        let count: usize = root.entries.iter().map(|e| e.count as usize).sum();
-        let n_min = root
-            .entries
-            .iter()
-            .map(|e| e.norm_min)
-            .fold(f64::INFINITY, f64::min);
-        let n_max = root
-            .entries
-            .iter()
-            .map(|e| e.norm_max)
-            .fold(0.0f64, f64::max);
-        UserGroup::from_node_entry(mbr, &uni, &int, count, n_min, n_max)
-    };
+/// The location-dependent remainder of the §7 pipeline: per-location
+/// candidate lists, best-first subtree expansion and keyword selection.
+/// `elems` holds the materialized root entries (ids `0..elems.len()`), and
+/// `users_scored` starts at the count of users scored while materializing
+/// them.
+#[allow(clippy::too_many_arguments)]
+fn run_selection(
+    miur: &MiurTree,
+    spec: &QuerySpec,
+    ctx: &ScoreContext,
+    selector: KeywordSelector,
+    io: &IoStats,
+    root_group: &UserGroup,
+    out: &TopkOutcome,
+    mut elems: Vec<Elem>,
+    mut users_scored: usize,
+) -> UserIndexOutcome {
+    debug_assert!(!spec.locations.is_empty(), "checked at both entry points");
     let total_users = root_group.count;
-
-    // --- Joint object traversal for the root super-user. ---
-    let out = joint_topk(mir, &root_group, spec.k, ctx, io);
     let rsk_us = out.rsk_us;
 
     // Bounds-only candidate context (no user slice).
     let cc = CandidateContext::new(ctx, spec, &[], &[]);
 
-    // --- Element arena, seeded with the root's entries. ---
-    let mut elems: Vec<Elem> = Vec::new();
-    let mut users_scored = 0usize;
-    let materialize =
-        |node: &index::MiurNodeView, elems: &mut Vec<Elem>, scored: &mut usize| -> Vec<usize> {
-            node.entries
-                .iter()
-                .map(|e| {
-                    let elem = match e.child {
-                        UserRef::Node(rec) => {
-                            let g = UserGroup::from_node_entry(
-                                e.rect,
-                                &e.uni,
-                                &e.int,
-                                e.count as usize,
-                                e.norm_min,
-                                e.norm_max,
-                            );
-                            let rsk_lb = group_rsk_lb(&out, &g, spec.k, ctx);
-                            Elem::Group {
-                                node: rec,
-                                group: g,
-                                rsk_lb,
-                            }
-                        }
-                        UserRef::User(uid) => {
-                            let data = UserData {
-                                id: uid,
-                                point: e.rect.min,
-                                doc: Document::from_terms(e.uni.iter().copied()),
-                            };
-                            let tk = individual_topk_user(&data, &out, spec.k, ctx);
-                            *scored += 1;
-                            let n_u = ctx.text.normalizer(&data.doc);
-                            Elem::User {
-                                data,
-                                rsk: tk.rsk,
-                                n_u,
-                            }
-                        }
-                    };
-                    elems.push(elem);
-                    elems.len() - 1
-                })
-                .collect()
-        };
-    let root_elems = materialize(&root, &mut elems, &mut users_scored);
+    let root_elems: Vec<usize> = (0..elems.len()).collect();
 
     // Expansion memo: node record → element ids of its entries.
     let mut expanded: HashMap<RecordId, Vec<usize>> = HashMap::new();
@@ -212,7 +325,7 @@ pub fn select_with_user_index(
     let mut lu_lists: Vec<Vec<usize>> = Vec::with_capacity(spec.locations.len());
     let mut ql: BinaryHeap<ByKey<usize>> = BinaryHeap::new();
     for (li, loc) in spec.locations.iter().enumerate() {
-        let list: Vec<usize> = if cc.ubl_group(loc, &root_group) >= rsk_us {
+        let list: Vec<usize> = if cc.ubl_group(loc, root_group) >= rsk_us {
             root_elems
                 .iter()
                 .copied()
@@ -270,8 +383,7 @@ pub fn select_with_user_index(
             // Expand once globally (at most one disk access per node).
             expanded.entry(node).or_insert_with(|| {
                 let view = miur.read_node(node, io);
-
-                materialize(&view, &mut elems, &mut users_scored)
+                materialize_node(&view, out, spec.k, ctx, &mut elems, &mut users_scored)
             });
             let children = expanded[&node].clone();
             // Replace the group in every list that holds it.
@@ -490,6 +602,36 @@ mod tests {
             &io,
         );
         assert!(g.result.cardinality() <= e.result.cardinality());
+    }
+
+    /// Seeding the pipeline with a precomputed `(root group, joint
+    /// outcome)` must not change the answer or the pruning statistics —
+    /// only skip the MIR traversal I/O.
+    #[test]
+    fn seeded_pipeline_matches_unseeded() {
+        let f = fixture(40);
+        for selector in [KeywordSelector::Greedy, KeywordSelector::Exact] {
+            let io_cold = IoStats::new();
+            let cold = select_with_user_index(&f.miur, &f.mir, &f.spec, &f.ctx, selector, &io_cold);
+
+            let io_seed = IoStats::new();
+            let seed = compute_user_index_seed(&f.miur, &f.mir, f.spec.k, &f.ctx, &io_seed);
+            let seed_fill_io = io_seed.total();
+            let warm =
+                select_with_user_index_seeded(&f.miur, &f.spec, &f.ctx, selector, &io_seed, &seed);
+
+            assert_eq!(warm.result, cold.result, "{selector:?}");
+            assert_eq!(warm.users_scored, cold.users_scored);
+            assert_eq!(warm.users_pruned, cold.users_pruned);
+            // The seeded run itself charges only MIUR reads — strictly less
+            // than the cold run, which also pays the MIR traversal.
+            let warm_io = io_seed.total() - seed_fill_io;
+            assert!(
+                warm_io < io_cold.total(),
+                "{selector:?}: seeded {warm_io} vs cold {}",
+                io_cold.total()
+            );
+        }
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! A block-budgeted LRU set, for the warm-cache ablation.
+//! A block-budgeted LRU set, for warm-cache accounting.
 //!
 //! The paper evaluates *cold* queries and counts simulated I/O precisely
 //! because "multiple layers of cache exist between a Java application and
 //! the physical disk" (§8). [`LruSet`] lets the benchmark harness quantify
-//! that choice: when attached to [`crate::IoStats`], accesses that hit the
-//! LRU are not charged, modelling an OS page cache of a given size.
+//! that choice: when attached to [`crate::IoStats`] (via the sharded
+//! wrapper, [`crate::ShardedLru`]), accesses that hit the LRU are not
+//! charged, modelling an OS page cache of a given size.
 
 use std::collections::HashMap;
 
@@ -33,31 +34,55 @@ impl LruSet {
     /// Records an access of `key` costing `blocks`. Returns `true` on a
     /// cache hit (the caller should then skip the I/O charge).
     ///
-    /// Items larger than the whole capacity are never cached.
+    /// Items larger than the whole capacity are never cached. A key
+    /// re-accessed with a *different* size has its block accounting
+    /// reconciled on the spot (the stored size is replaced; the delta is
+    /// charged or refunded, evicting other entries if the growth
+    /// overflows the capacity) — before this reconciliation `held_blocks`
+    /// silently drifted. Whether the access is a hit follows one rule: a
+    /// cached copy serves a read only if it is at least as large, so
+    /// shrink/same-size re-accesses hit while growth is a miss (and
+    /// growth past the whole capacity additionally drops the entry).
     pub fn access(&mut self, key: u64, blocks: u64) -> bool {
         self.tick += 1;
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.1 = self.tick;
-            return true;
+        if let Some(&(stored, _)) = self.entries.get(&key) {
+            if blocks > self.capacity_blocks {
+                self.entries.remove(&key);
+                self.held_blocks -= stored;
+                return false;
+            }
+            // Reconcile the size change before refreshing recency, or
+            // `held_blocks` drifts and the capacity bound silently breaks.
+            self.entries.insert(key, (blocks, self.tick));
+            self.held_blocks = self.held_blocks - stored + blocks;
+            self.evict_to_fit(0, Some(key));
+            return blocks <= stored;
         }
         if blocks > self.capacity_blocks {
             return false;
         }
-        while self.held_blocks + blocks > self.capacity_blocks {
-            // Evict the least recently used entry. Linear scan is fine:
-            // ablation caches are small and eviction is not on the paper's
-            // measured path.
-            let (&victim, &(vb, _)) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, &(_, t))| t)
-                .expect("over capacity implies non-empty");
-            self.entries.remove(&victim);
-            self.held_blocks -= vb;
-        }
+        self.evict_to_fit(blocks, None);
         self.entries.insert(key, (blocks, self.tick));
         self.held_blocks += blocks;
         false
+    }
+
+    /// Evicts least-recently-used entries (never `protect`) until
+    /// `held_blocks + incoming` fits the capacity. Linear scan is fine:
+    /// per-shard caches are small and eviction is not on the paper's
+    /// measured path.
+    fn evict_to_fit(&mut self, incoming: u64, protect: Option<u64>) {
+        while self.held_blocks + incoming > self.capacity_blocks {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|&(&k, _)| Some(k) != protect)
+                .min_by_key(|(_, &(_, t))| t)
+                .map(|(&k, &(b, _))| (k, b));
+            let Some((k, b)) = victim else { break };
+            self.entries.remove(&k);
+            self.held_blocks -= b;
+        }
     }
 
     /// Number of cached entries.
@@ -73,6 +98,17 @@ impl LruSet {
     /// Blocks currently held.
     pub fn held_blocks(&self) -> u64 {
         self.held_blocks
+    }
+
+    /// The stored size of `key` in blocks, if cached. Does not touch
+    /// recency — safe for diagnostics and invariant checks.
+    pub fn blocks_of(&self, key: u64) -> Option<u64> {
+        self.entries.get(&key).map(|&(b, _)| b)
+    }
+
+    /// The configured capacity in 4 KB blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
     }
 
     /// Empties the cache (used between cold trials).
@@ -122,6 +158,49 @@ mod tests {
         assert!(!c.access(3, 4));
         assert!(c.held_blocks() <= 6);
         assert!(c.access(3, 4));
+    }
+
+    /// Regression: a key re-accessed with a different size must charge or
+    /// refund the block delta — before the fix `held_blocks` kept the stale
+    /// size and drifted away from the entries actually held. A grown read
+    /// is a miss (the smaller cached copy cannot serve it); a shrunk read
+    /// is a hit.
+    #[test]
+    fn resize_reconciles_held_blocks() {
+        let mut c = LruSet::new(8);
+        assert!(!c.access(1, 2));
+        assert!(!c.access(1, 5), "growth cannot be served from 2 blocks");
+        assert_eq!(c.held_blocks(), 5, "growth must be charged");
+        assert!(
+            c.access(1, 1),
+            "a smaller read is served by the 5-block copy"
+        );
+        assert_eq!(c.held_blocks(), 1, "shrinkage must be refunded");
+    }
+
+    /// Regression: growth on re-access evicts other entries rather than
+    /// silently exceeding the capacity (the entry itself is never evicted).
+    #[test]
+    fn resize_growth_evicts_within_capacity() {
+        let mut c = LruSet::new(8);
+        c.access(1, 4);
+        c.access(2, 4); // full
+        assert!(!c.access(1, 8), "miss: grows to the whole capacity");
+        assert_eq!(c.held_blocks(), 8);
+        assert_eq!(c.len(), 1, "2 was evicted to make room");
+        assert!(c.access(1, 8), "the resized entry itself survived");
+        assert!(!c.access(2, 4));
+    }
+
+    /// Regression: growth past the whole capacity drops the stale entry and
+    /// reports a miss, restoring the oversized-item rule.
+    #[test]
+    fn resize_beyond_capacity_drops_entry() {
+        let mut c = LruSet::new(4);
+        c.access(1, 2);
+        assert!(!c.access(1, 100), "cannot be served from a 2-block copy");
+        assert!(c.is_empty());
+        assert_eq!(c.held_blocks(), 0);
     }
 
     #[test]

@@ -2,9 +2,8 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
-use crate::cache::LruSet;
+use crate::sharded::ShardedLru;
 
 thread_local! {
     // Per-thread mirrors of the global counters, so concurrent queries can
@@ -12,6 +11,8 @@ thread_local! {
     // apart (see [`IoStats::scoped`]). Every charge lands in both.
     static THREAD_NODE_VISITS: Cell<u64> = const { Cell::new(0) };
     static THREAD_INVFILE_BLOCKS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_CACHE_MISSES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The simulated I/O counter.
@@ -21,18 +22,23 @@ thread_local! {
 /// file is loaded, the number of simulated I/Os is increased by the number
 /// of blocks (4 kB per block) for storing the list."*
 ///
-/// By default every access is charged — the paper's *cold* model. For the
-/// warm-cache ablation, [`IoStats::with_cache`] attaches an LRU page cache;
-/// keyed accesses that hit it are then free, modelling an OS page cache.
+/// By default every access is charged — the paper's *cold* model. For
+/// warm-cache serving, [`IoStats::with_cache`] attaches a sharded LRU page
+/// cache ([`ShardedLru`]); keyed accesses that hit it are then free,
+/// modelling an OS page cache, and the counter additionally tracks cache
+/// hits and misses (surfaced through [`IoSnapshot`]).
 ///
 /// Counters are atomic so a shared reference can be threaded through index
-/// and algorithm layers without interior-mutability plumbing; all query
-/// algorithms themselves are single-threaded, as in the paper.
+/// and algorithm layers without interior-mutability plumbing; the page
+/// cache is lock-striped so concurrent batch workers don't serialize on a
+/// single cache lock.
 #[derive(Debug, Default)]
 pub struct IoStats {
     node_visits: AtomicU64,
     invfile_blocks: AtomicU64,
-    cache: Option<Mutex<LruSet>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache: Option<ShardedLru>,
 }
 
 /// A point-in-time copy of [`IoStats`], used to measure deltas per query.
@@ -42,6 +48,11 @@ pub struct IoSnapshot {
     pub node_visits: u64,
     /// 4 KB blocks of inverted-file data loaded.
     pub invfile_blocks: u64,
+    /// Keyed accesses served by the attached page cache (0 without one).
+    /// Hits are free: they do not contribute to [`IoSnapshot::total`].
+    pub cache_hits: u64,
+    /// Keyed accesses that missed the attached page cache (0 without one).
+    pub cache_misses: u64,
 }
 
 impl IoSnapshot {
@@ -52,12 +63,22 @@ impl IoSnapshot {
     }
 }
 
+/// Component-wise difference of two snapshots.
+///
+/// Saturating: if [`IoStats::reset`] lands between the two snapshots the
+/// minuend can be smaller than the subtrahend, and a wrapping subtraction
+/// would panic in debug builds or produce garbage totals in release. The
+/// contract is that deltas are only meaningful when no reset intervened;
+/// when one did, saturation clamps the affected components to zero instead
+/// of wrapping.
 impl std::ops::Sub for IoSnapshot {
     type Output = IoSnapshot;
     fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
         IoSnapshot {
-            node_visits: self.node_visits - rhs.node_visits,
-            invfile_blocks: self.invfile_blocks - rhs.invfile_blocks,
+            node_visits: self.node_visits.saturating_sub(rhs.node_visits),
+            invfile_blocks: self.invfile_blocks.saturating_sub(rhs.invfile_blocks),
+            cache_hits: self.cache_hits.saturating_sub(rhs.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(rhs.cache_misses),
         }
     }
 }
@@ -68,6 +89,8 @@ impl std::ops::Add for IoSnapshot {
         IoSnapshot {
             node_visits: self.node_visits + rhs.node_visits,
             invfile_blocks: self.invfile_blocks + rhs.invfile_blocks,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+            cache_misses: self.cache_misses + rhs.cache_misses,
         }
     }
 }
@@ -84,13 +107,28 @@ impl IoStats {
         Self::default()
     }
 
-    /// A counter backed by an LRU page cache of `capacity_blocks` 4 KB
-    /// blocks (warm-cache ablation; see `figures -- ablation`).
+    /// A counter backed by a sharded LRU page cache of `capacity_blocks`
+    /// 4 KB blocks with the default shard count (warm-cache serving and
+    /// the `figures -- cache` experiment).
     pub fn with_cache(capacity_blocks: u64) -> Self {
         IoStats {
-            cache: Some(Mutex::new(LruSet::new(capacity_blocks))),
+            cache: Some(ShardedLru::new(capacity_blocks)),
             ..Self::default()
         }
+    }
+
+    /// [`IoStats::with_cache`] with an explicit shard count (rounded up to
+    /// a power of two).
+    pub fn with_cache_sharded(capacity_blocks: u64, shards: usize) -> Self {
+        IoStats {
+            cache: Some(ShardedLru::with_shards(capacity_blocks, shards)),
+            ..Self::default()
+        }
+    }
+
+    /// The attached page cache, if any.
+    pub fn cache(&self) -> Option<&ShardedLru> {
+        self.cache.as_ref()
     }
 
     /// Charge one node visit.
@@ -104,9 +142,11 @@ impl IoStats {
     #[inline]
     pub fn charge_node_visit_keyed(&self, key: u64) {
         if let Some(cache) = &self.cache {
-            if cache.lock().unwrap().access(key, 1) {
+            if cache.access(key, 1) {
+                self.note_cache_hit();
                 return;
             }
+            self.note_cache_miss();
         }
         self.charge_node_visit();
     }
@@ -126,9 +166,11 @@ impl IoStats {
             return;
         }
         if let Some(cache) = &self.cache {
-            if cache.lock().unwrap().access(key, blocks) {
+            if cache.access(key, blocks) {
+                self.note_cache_hit();
                 return;
             }
+            self.note_cache_miss();
         }
         self.charge_blocks(blocks);
     }
@@ -140,6 +182,18 @@ impl IoStats {
             self.invfile_blocks.fetch_add(blocks, Ordering::Relaxed);
             THREAD_INVFILE_BLOCKS.with(|c| c.set(c.get() + blocks));
         }
+    }
+
+    #[inline]
+    fn note_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        THREAD_CACHE_HITS.with(|c| c.set(c.get() + 1));
+    }
+
+    #[inline]
+    fn note_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        THREAD_CACHE_MISSES.with(|c| c.set(c.get() + 1));
     }
 
     /// The calling thread's cumulative charges (across every `IoStats`
@@ -154,6 +208,8 @@ impl IoStats {
         IoSnapshot {
             node_visits: THREAD_NODE_VISITS.with(Cell::get),
             invfile_blocks: THREAD_INVFILE_BLOCKS.with(Cell::get),
+            cache_hits: THREAD_CACHE_HITS.with(Cell::get),
+            cache_misses: THREAD_CACHE_MISSES.with(Cell::get),
         }
     }
 
@@ -175,6 +231,8 @@ impl IoStats {
         IoSnapshot {
             node_visits: self.node_visits.load(Ordering::Relaxed),
             invfile_blocks: self.invfile_blocks.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -183,13 +241,20 @@ impl IoStats {
         self.snapshot().total()
     }
 
-    /// Resets both counters to zero and empties any attached cache (cold
+    /// Resets every counter to zero and empties any attached cache (cold
     /// start for the next trial).
+    ///
+    /// Contract: snapshot deltas are only meaningful when no `reset`
+    /// happened between the two snapshots. A delta straddling a reset
+    /// saturates to zero per component (see the [`IoSnapshot`] `Sub` impl)
+    /// rather than wrapping.
     pub fn reset(&self) {
         self.node_visits.store(0, Ordering::Relaxed);
         self.invfile_blocks.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
-            cache.lock().unwrap().clear();
+            cache.clear();
         }
     }
 }
@@ -230,6 +295,23 @@ mod tests {
         assert_eq!(delta.total(), 2);
     }
 
+    /// Regression: a `reset` between two snapshots used to make the delta
+    /// panic in debug builds (unchecked `u64` subtraction) or wrap in
+    /// release. The subtraction now saturates to zero.
+    #[test]
+    fn snapshot_delta_saturates_across_reset() {
+        let io = IoStats::new();
+        io.charge_node_visit();
+        io.charge_invfile(PAGE_SIZE * 3);
+        let before = io.snapshot();
+        io.reset();
+        io.charge_node_visit(); // 1 < the 3 invfile blocks before the reset
+        let delta = io.snapshot() - before;
+        assert_eq!(delta.node_visits, 0);
+        assert_eq!(delta.invfile_blocks, 0);
+        assert_eq!(delta.total(), 0);
+    }
+
     #[test]
     fn keyed_charges_without_cache_always_count() {
         let io = IoStats::new();
@@ -239,6 +321,9 @@ mod tests {
         io.charge_invfile_keyed(2, 10);
         assert_eq!(io.snapshot().node_visits, 2);
         assert_eq!(io.snapshot().invfile_blocks, 2);
+        // No cache attached → no hit/miss bookkeeping.
+        assert_eq!(io.snapshot().cache_hits, 0);
+        assert_eq!(io.snapshot().cache_misses, 0);
     }
 
     #[test]
@@ -250,15 +335,19 @@ mod tests {
         io.charge_invfile_keyed(2, PAGE_SIZE * 2); // hit
         assert_eq!(io.snapshot().node_visits, 1);
         assert_eq!(io.snapshot().invfile_blocks, 2);
+        assert_eq!(io.snapshot().cache_hits, 2);
+        assert_eq!(io.snapshot().cache_misses, 2);
     }
 
     #[test]
     fn tiny_cache_still_charges_when_evicting() {
-        let io = IoStats::with_cache(1);
+        // One block, one shard: keys 1 and 2 contend for the same slot.
+        let io = IoStats::with_cache_sharded(1, 1);
         io.charge_node_visit_keyed(1);
         io.charge_node_visit_keyed(2); // evicts 1
         io.charge_node_visit_keyed(1); // miss again
         assert_eq!(io.snapshot().node_visits, 3);
+        assert_eq!(io.snapshot().cache_misses, 3);
     }
 
     #[test]
@@ -268,6 +357,8 @@ mod tests {
         io.reset();
         io.charge_node_visit_keyed(1); // cold again
         assert_eq!(io.snapshot().node_visits, 1);
+        assert_eq!(io.snapshot().cache_hits, 0);
+        assert_eq!(io.snapshot().cache_misses, 1);
     }
 
     #[test]
@@ -281,6 +372,19 @@ mod tests {
         assert_eq!(delta.node_visits, 1);
         assert_eq!(delta.invfile_blocks, 2);
         assert_eq!(io.total(), 4);
+    }
+
+    #[test]
+    fn scoped_sees_cache_hits_and_misses() {
+        let io = IoStats::with_cache(16);
+        io.charge_node_visit_keyed(9); // miss, outside the scope
+        let ((), delta) = io.scoped(|| {
+            io.charge_node_visit_keyed(9); // hit
+            io.charge_node_visit_keyed(10); // miss
+        });
+        assert_eq!(delta.cache_hits, 1);
+        assert_eq!(delta.cache_misses, 1);
+        assert_eq!(delta.node_visits, 1);
     }
 
     #[test]
@@ -319,6 +423,38 @@ mod tests {
         });
         // The global counter saw everyone.
         assert_eq!(io.snapshot().node_visits, 100);
+    }
+
+    /// Concurrent keyed accesses through the sharded cache never lose a
+    /// hit/miss: per-thread deltas sum to the global counters.
+    #[test]
+    fn sharded_cache_accounting_is_exact_under_concurrency() {
+        let io = IoStats::with_cache(1 << 12);
+        let deltas: Vec<IoSnapshot> = std::thread::scope(|s| {
+            (0..4u64)
+                .map(|t| {
+                    let io = &io;
+                    s.spawn(move || {
+                        let ((), d) = io.scoped(|| {
+                            for i in 0..200u64 {
+                                // Private keys: hit pattern is deterministic
+                                // per thread even under interleaving.
+                                io.charge_node_visit_keyed(t * 1_000 + (i % 50));
+                            }
+                        });
+                        d
+                    })
+                })
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let summed: IoSnapshot = deltas.iter().copied().sum();
+        assert_eq!(summed, io.snapshot());
+        // 50 distinct keys per thread → 50 misses, 150 hits each.
+        for d in &deltas {
+            assert_eq!(d.cache_misses, 50);
+            assert_eq!(d.cache_hits, 150);
+        }
     }
 
     #[test]

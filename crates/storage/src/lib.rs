@@ -14,17 +14,22 @@
 //!   crate to lay out nodes and inverted files byte-exactly.
 //!
 //! Queries in the evaluation are *cold*: the substrate deliberately has no
-//! buffer pool, so every node visit is charged.
+//! buffer pool, so every node visit is charged. For warm-cache serving
+//! (beyond the paper), [`IoStats::with_cache`] attaches a lock-striped LRU
+//! page cache ([`ShardedLru`]) so concurrent batch workers can probe it
+//! without serializing on a single lock.
 
 mod cache;
 pub mod codec;
 mod file;
 mod io;
+mod sharded;
 mod store;
 
 pub use cache::LruSet;
 pub use file::{load_blockfile, save_blockfile};
 pub use io::{IoSnapshot, IoStats};
+pub use sharded::{ShardedLru, DEFAULT_SHARDS, MIN_SHARD_BLOCKS};
 pub use store::{BlockFile, RecordId};
 
 /// Disk page size in bytes (§8: "the page size was fixed at 4 kB").

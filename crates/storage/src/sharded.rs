@@ -1,0 +1,218 @@
+//! A lock-striped LRU page cache for concurrent warm-cache serving.
+//!
+//! [`crate::IoStats`] is shared by every worker thread of a query batch.
+//! With a single `Mutex<LruSet>` every keyed access serializes on one lock
+//! and the warm-cache serving path leaves most of the hardware idle.
+//! [`ShardedLru`] stripes the cache across `N` independently locked
+//! [`LruSet`] shards: a key is routed to its shard by a SplitMix64-mixed
+//! hash, and the block capacity is split across the shards, so the total
+//! held blocks still never exceed the configured capacity.
+//!
+//! The trade-off is that LRU recency and the capacity bound are enforced
+//! *per shard*: an item can be evicted from a full shard while a globally
+//! tracked LRU would have kept it (and vice versa), and an item larger
+//! than its shard's share is never cached. Hit/miss totals therefore agree
+//! with a single [`LruSet`] of the same total capacity only up to this
+//! shard-boundary slack — exactly, in the no-eviction regime (see the
+//! `prop_storage` suite).
+
+use std::sync::Mutex;
+
+use crate::cache::LruSet;
+
+/// Default maximum shard count: enough stripes that a typical worker pool
+/// (one thread per core) rarely contends. [`ShardedLru::new`] uses fewer
+/// shards for small capacities (see [`MIN_SHARD_BLOCKS`]).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Minimum per-shard capacity [`ShardedLru::new`] aims for. Striping a
+/// small cache across many shards would make each share so small that
+/// multi-block items bypass it entirely, so the default shard count halves
+/// until every shard holds at least this many blocks (or one shard
+/// remains).
+pub const MIN_SHARD_BLOCKS: u64 = 64;
+
+/// A sharded, thread-safe LRU set of u64 keys (see the module docs).
+#[derive(Debug)]
+pub struct ShardedLru {
+    shards: Vec<Mutex<LruSet>>,
+}
+
+/// One SplitMix64 draw seeded by the key: decorrelates sequential keys
+/// (record ids are assigned consecutively) so they spread across shards.
+/// Reuses the workspace's canonical PRNG core rather than copying its
+/// constants.
+#[inline]
+fn mix(key: u64) -> u64 {
+    splitmix::SplitMix64(key).next_u64()
+}
+
+impl ShardedLru {
+    /// A cache of `capacity_blocks` 4 KB blocks striped across up to
+    /// [`DEFAULT_SHARDS`] shards, backing off to fewer shards when the
+    /// capacity is too small to give each shard [`MIN_SHARD_BLOCKS`].
+    pub fn new(capacity_blocks: u64) -> Self {
+        let mut shards = DEFAULT_SHARDS;
+        while shards > 1 && capacity_blocks / (shards as u64) < MIN_SHARD_BLOCKS {
+            shards /= 2;
+        }
+        Self::with_shards(capacity_blocks, shards)
+    }
+
+    /// A cache of `capacity_blocks` 4 KB blocks striped across `shards`
+    /// shards (rounded up to a power of two, minimum 1). The capacity is
+    /// split as evenly as possible: shard `i` gets
+    /// `capacity / shards (+1 for the first capacity % shards shards)`.
+    pub fn with_shards(capacity_blocks: u64, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two() as u64;
+        let base = capacity_blocks / n;
+        let extra = capacity_blocks % n;
+        ShardedLru {
+            shards: (0..n)
+                .map(|i| Mutex::new(LruSet::new(base + u64::from(i < extra))))
+                .collect(),
+        }
+    }
+
+    /// The shard index `key` routes to (exposed so tests and diagnostics
+    /// can model the cache as independent per-shard [`LruSet`]s).
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        (mix(key) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The capacity share of shard `i` in 4 KB blocks.
+    pub fn shard_capacity(&self, i: usize) -> u64 {
+        self.shards[i].lock().unwrap().capacity_blocks()
+    }
+
+    /// Records an access of `key` costing `blocks`, locking only the
+    /// owning shard. Returns `true` on a cache hit (the caller should then
+    /// skip the I/O charge). Size-change reconciliation and the
+    /// oversized-item rule follow [`LruSet::access`], per shard.
+    pub fn access(&self, key: u64, blocks: u64) -> bool {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap()
+            .access(key, blocks)
+    }
+
+    /// Total configured capacity across all shards.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().capacity_blocks())
+            .sum()
+    }
+
+    /// The stored size of `key` in blocks, if cached. Does not touch
+    /// recency.
+    pub fn blocks_of(&self, key: u64) -> Option<u64> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap()
+            .blocks_of(key)
+    }
+
+    /// Blocks currently held across all shards.
+    pub fn held_blocks(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().held_blocks())
+            .sum()
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().unwrap().is_empty())
+    }
+
+    /// Empties every shard (used between cold trials).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_splits_exactly_across_shards() {
+        let c = ShardedLru::with_shards(100, 8);
+        assert_eq!(c.num_shards(), 8);
+        assert_eq!(c.capacity_blocks(), 100);
+        let shares: Vec<u64> = (0..8).map(|i| c.shard_capacity(i)).collect();
+        assert_eq!(shares.iter().sum::<u64>(), 100);
+        assert!(shares.iter().all(|&s| s == 12 || s == 13));
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ShardedLru::with_shards(16, 3).num_shards(), 4);
+        assert_eq!(ShardedLru::with_shards(16, 0).num_shards(), 1);
+    }
+
+    #[test]
+    fn default_backs_off_for_small_capacities() {
+        assert_eq!(ShardedLru::new(16).num_shards(), 1);
+        assert_eq!(ShardedLru::new(MIN_SHARD_BLOCKS * 2).num_shards(), 2);
+        assert_eq!(
+            ShardedLru::new(MIN_SHARD_BLOCKS * DEFAULT_SHARDS as u64).num_shards(),
+            DEFAULT_SHARDS
+        );
+        assert_eq!(ShardedLru::new(1 << 20).num_shards(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn hit_after_insert_and_clear() {
+        let c = ShardedLru::with_shards(64, 4);
+        assert!(!c.access(7, 2));
+        assert!(c.access(7, 2));
+        assert_eq!(c.held_blocks(), 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.access(7, 2));
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let c = ShardedLru::with_shards(1 << 10, 8);
+        let mut seen = vec![false; c.num_shards()];
+        for key in 0..64u64 {
+            seen[c.shard_of(key)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "64 sequential keys must touch all 8 shards"
+        );
+    }
+
+    #[test]
+    fn concurrent_access_holds_capacity_bound() {
+        let c = ShardedLru::with_shards(32, 4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        c.access(t * 1000 + (i % 40), 1 + (i % 3));
+                    }
+                });
+            }
+        });
+        assert!(c.held_blocks() <= 32);
+    }
+}

@@ -5,7 +5,7 @@
 //! deterministic and failures reproduce exactly.
 
 use storage::codec::{Reader, Writer};
-use storage::{blocks_for, BlockFile, IoStats, LruSet, PAGE_SIZE};
+use storage::{blocks_for, BlockFile, IoStats, LruSet, ShardedLru, PAGE_SIZE};
 
 const CASES: usize = 256;
 
@@ -110,6 +110,131 @@ fn lru_capacity_respected() {
             lru.access(key, blocks);
             assert!(lru.held_blocks() <= cap);
         }
+    }
+}
+
+/// The LRU's block accounting stays exact under size-changing re-accesses
+/// (the drift regression): `held_blocks` always equals the sum of the
+/// entries' current sizes and never exceeds the capacity.
+#[test]
+fn lru_resize_accounting_never_drifts() {
+    let mut g = Gen(27);
+    const KEYS: u64 = 6;
+    for _ in 0..CASES {
+        let cap = 1 + g.below(19);
+        let mut lru = LruSet::new(cap);
+        for _ in 0..1 + g.below(199) {
+            // Few keys, varying sizes → frequent same-key resizes.
+            let key = g.below(KEYS);
+            let blocks = 1 + g.below(2 * cap);
+            let stored = lru.blocks_of(key);
+            let hit = lru.access(key, blocks);
+            assert_eq!(
+                hit,
+                matches!(stored, Some(s) if blocks <= s),
+                "hit iff a copy at least as large was cached"
+            );
+            // Complete accounting check over the whole (small) key domain:
+            // the counter must equal the sum of the stored entry sizes.
+            let actual: u64 = (0..KEYS).filter_map(|k| lru.blocks_of(k)).sum();
+            assert_eq!(lru.held_blocks(), actual, "held_blocks drifted");
+            assert!(lru.held_blocks() <= cap, "capacity bound broke");
+        }
+    }
+}
+
+/// A `ShardedLru` never exceeds its total capacity, and a key whose size
+/// fits every shard's share always hits right after it was inserted.
+#[test]
+fn sharded_lru_capacity_and_hit_after_insert() {
+    let mut g = Gen(28);
+    for _ in 0..CASES {
+        let shards = 1usize << g.below(4); // 1, 2, 4, 8
+        let cap = shards as u64 * (1 + g.below(15));
+        let c = ShardedLru::with_shards(cap, shards);
+        assert_eq!(c.capacity_blocks(), cap);
+        let min_share = (0..c.num_shards())
+            .map(|i| c.shard_capacity(i))
+            .min()
+            .unwrap();
+        for _ in 0..1 + g.below(199) {
+            let key = g.below(40);
+            let blocks = 1 + g.below(6);
+            let cached = !c.access(key, blocks) && blocks <= min_share;
+            assert!(c.held_blocks() <= cap, "capacity bound broke");
+            if cached {
+                assert!(c.access(key, blocks), "fresh insert must hit");
+            }
+        }
+    }
+}
+
+/// With a single shard, `ShardedLru` IS `LruSet`: identical hit/miss
+/// decisions on any access trace (the degenerate end of the
+/// shard-boundary-slack contract).
+#[test]
+fn sharded_lru_single_shard_equals_lru_set() {
+    let mut g = Gen(29);
+    for _ in 0..CASES {
+        let cap = 1 + g.below(24);
+        let c = ShardedLru::with_shards(cap, 1);
+        let mut model = LruSet::new(cap);
+        for _ in 0..1 + g.below(149) {
+            let key = g.below(20);
+            let blocks = 1 + g.below(4);
+            assert_eq!(c.access(key, blocks), model.access(key, blocks));
+            assert_eq!(c.held_blocks(), model.held_blocks());
+        }
+    }
+}
+
+/// Sharding agrees exactly with a bank of independent per-shard `LruSet`
+/// models fed through the public routing (`shard_of`) — eviction and all.
+#[test]
+fn sharded_lru_equals_per_shard_models() {
+    let mut g = Gen(30);
+    for _ in 0..CASES {
+        let shards = 1usize << (1 + g.below(3)); // 2, 4, 8
+        let cap = g.below(100);
+        let c = ShardedLru::with_shards(cap, shards);
+        let mut models: Vec<LruSet> = (0..c.num_shards())
+            .map(|i| LruSet::new(c.shard_capacity(i)))
+            .collect();
+        for _ in 0..1 + g.below(199) {
+            let key = g.below(50);
+            let blocks = 1 + g.below(5);
+            let want = models[c.shard_of(key)].access(key, blocks);
+            assert_eq!(c.access(key, blocks), want);
+        }
+        let model_held: u64 = models.iter().map(LruSet::held_blocks).sum();
+        assert_eq!(c.held_blocks(), model_held);
+        assert_eq!(c.len(), models.iter().map(LruSet::len).sum::<usize>());
+    }
+}
+
+/// In the no-eviction regime (capacity ≥ every shard's worst case), hit
+/// and miss totals of a sharded cache match a single `LruSet` exactly:
+/// shard-boundary slack is zero when nothing is ever evicted.
+#[test]
+fn sharded_lru_matches_single_lru_when_nothing_evicts() {
+    let mut g = Gen(31);
+    for _ in 0..CASES {
+        let shards = 1usize << (1 + g.below(3));
+        let keys = 1 + g.below(30);
+        let max_blocks = 4u64;
+        // Every shard could hold every key at max size → no evictions.
+        let cap = shards as u64 * keys * max_blocks;
+        let c = ShardedLru::with_shards(cap, shards);
+        let mut single = LruSet::new(cap);
+        let (mut hits_sharded, mut hits_single) = (0u64, 0u64);
+        for _ in 0..1 + g.below(199) {
+            let key = g.below(keys);
+            let blocks = 1 + g.below(max_blocks);
+            hits_sharded += u64::from(c.access(key, blocks));
+            hits_single += u64::from(single.access(key, blocks));
+        }
+        assert_eq!(hits_sharded, hits_single);
+        assert_eq!(c.held_blocks(), single.held_blocks());
     }
 }
 

@@ -5,7 +5,7 @@
 use datagen::{generate_objects, generate_workload, CorpusConfig, UserGenConfig};
 use maxbrstknn::mbrstk_core::QueryStats;
 use maxbrstknn::prelude::*;
-use maxbrstknn::storage::IoSnapshot;
+use maxbrstknn::storage::{IoSnapshot, IoStats};
 
 /// A seeded 1K-object engine plus a batch of derived query variants.
 fn workload() -> (Engine, Vec<QuerySpec>) {
@@ -85,6 +85,49 @@ fn per_query_stats_are_populated() {
     for QueryStats { elapsed, io } in batch.iter().map(|o| o.stats) {
         assert!(elapsed.as_nanos() > 0);
         assert!(io.total() > 0);
+    }
+}
+
+/// Warm-cache contract: with a sharded page cache attached, per-query
+/// `QueryStats.io` becomes interleaving-dependent (which worker takes a
+/// miss is racy — see the `Engine::query_batch` docs), so this test pins
+/// only what *is* deterministic: result payloads stay bit-identical to
+/// sequential cold execution, and the batch I/O total never exceeds the
+/// cold total.
+#[test]
+fn warm_cache_batch_payloads_identical_and_io_bounded() {
+    let (mut engine, specs) = workload();
+    for method in [
+        Method::Baseline,
+        Method::JointExact,
+        Method::UserIndexGreedy,
+    ] {
+        // Cold reference: sequential answers + cold batch I/O total.
+        engine.io = IoStats::new();
+        let sequential: Vec<QueryResult> = specs.iter().map(|s| engine.query(s, method)).collect();
+        engine.io.reset();
+        let cold_total: u64 = engine
+            .query_batch_threads(&specs, method, 4)
+            .iter()
+            .map(|o| o.stats.io.total())
+            .sum();
+
+        // Warm run: same engine data, page-cache-backed counter.
+        engine.io = IoStats::with_cache(1 << 15);
+        let warm = engine.query_batch_threads(&specs, method, 4);
+        for (i, (w, s)) in warm.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                &w.result, s,
+                "{method:?} query {i}: warm payload diverged from sequential"
+            );
+        }
+        let warm_total: u64 = warm.iter().map(|o| o.stats.io.total()).sum();
+        assert!(
+            warm_total <= cold_total,
+            "{method:?}: warm batch I/O {warm_total} exceeds cold {cold_total}"
+        );
+        let hits: u64 = warm.iter().map(|o| o.stats.io.cache_hits).sum();
+        assert!(hits > 0, "{method:?}: repeated index pages must hit");
     }
 }
 
