@@ -795,6 +795,142 @@ pub fn cache(p: &Params) {
     }
 }
 
+/// Churn experiment (beyond the paper): serving under dynamic updates.
+///
+/// Two questions, two tables per method:
+///
+/// 1. **Throughput vs update rate.** A mixed stream of queries and
+///    mutations ([`datagen::generate_churn`]) runs against one live
+///    engine with both caches attached. Expected shape: every mutation
+///    invalidates the `(engine, k)` threshold slots, so query I/O climbs
+///    with the update ratio (each mutated window re-pays the top-k
+///    phase) while answers stay exact — the cost of correctness under
+///    churn, quantified.
+/// 2. **Incremental maintenance vs rebuild.** Mean maintenance I/O per
+///    mutation against [`Engine::rebuild_io_cost`]. Expected shape: a
+///    root-to-leaf repair touches `O(height)` nodes, so the incremental
+///    path wins by orders of magnitude — the reason the subsystem exists.
+///
+/// [`Engine::rebuild_io_cost`]: mbrstk_core::Engine::rebuild_io_cost
+pub fn churn(p: &Params) {
+    use datagen::{generate_churn, ChurnConfig, ChurnOp};
+    use mbrstk_core::ThresholdCache;
+    use storage::IoStats;
+
+    const RATIOS: [f64; 4] = [0.0, 0.05, 0.2, 0.5];
+    const OPS: usize = 160;
+    const WARM_BLOCKS: u64 = 1 << 15;
+
+    for method in [Method::JointGreedy, Method::UserIndexGreedy] {
+        let mut t = Table::new(
+            &format!(
+                "Churn A — {} × {OPS} mixed ops vs update ratio",
+                method.name()
+            ),
+            &[
+                "upd %",
+                "queries",
+                "muts",
+                "wall ms",
+                "ops/s",
+                "query I/O",
+                "maint I/O",
+                "tc hit %",
+            ],
+        );
+        for ratio in RATIOS {
+            let mut sc = Scenario::build(p, 0);
+            sc.engine.io = IoStats::with_cache(WARM_BLOCKS);
+            sc.engine.thresholds = Some(ThresholdCache::new());
+            let stream = generate_churn(
+                &sc.engine.objects,
+                &sc.engine.users,
+                &sc.spec.keywords,
+                &ChurnConfig::new(OPS, ratio).with_seed(p.seed),
+            );
+            let specs = sc.batch_specs(8);
+            let guard = sc.engine.epoch_guard();
+            let (mut queries, mut mutations) = (0usize, 0usize);
+            let mut query_io = 0u64;
+            let mut maint = mbrstk_core::MaintenanceIo::default();
+            let start = std::time::Instant::now();
+            for op in stream {
+                match op {
+                    ChurnOp::Query => {
+                        let spec = &specs[queries % specs.len()];
+                        let ((), io) = sc.engine.io.scoped(|| {
+                            let _ = sc.engine.query(spec, method);
+                        });
+                        query_io += io.total();
+                        queries += 1;
+                    }
+                    ChurnOp::Mutate(m) => {
+                        let report = sc.engine.apply_batch([m]);
+                        maint += report.io;
+                        mutations += report.applied;
+                    }
+                }
+            }
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                sc.engine.epoch(),
+                guard.epoch() + mutations as u64,
+                "every applied mutation bumps the epoch exactly once"
+            );
+            let tc = sc.engine.thresholds.as_ref().unwrap();
+            let probes = tc.hits() + tc.misses();
+            let hit_pct = if probes > 0 {
+                100.0 * tc.hits() as f64 / probes as f64
+            } else {
+                f64::NAN
+            };
+            t.row(vec![
+                fmt(ratio * 100.0),
+                queries.to_string(),
+                mutations.to_string(),
+                fmt(wall_ms),
+                fmt((queries + mutations) as f64 / (wall_ms / 1e3).max(1e-9)),
+                query_io.to_string(),
+                maint.total().to_string(),
+                fmt(hit_pct),
+            ]);
+        }
+        t.print();
+    }
+
+    // --- B: incremental maintenance vs full rebuild. ---
+    let mut t = Table::new(
+        "Churn B — incremental maintenance I/O vs full rebuild",
+        &[
+            "|O|",
+            "rebuild I/O",
+            "mean maint I/O per op",
+            "rebuild / maint",
+        ],
+    );
+    let sc = Scenario::build(p, 0);
+    let mut eng = sc.engine;
+    let stream = generate_churn(
+        &eng.objects,
+        &eng.users,
+        &sc.spec.keywords,
+        &ChurnConfig::new(60, 1.0).with_seed(p.seed + 1),
+    );
+    let report = eng.apply_batch(stream.into_iter().filter_map(|op| match op {
+        ChurnOp::Mutate(m) => Some(m),
+        ChurnOp::Query => None,
+    }));
+    let mean_maint = report.io.total() as f64 / report.applied.max(1) as f64;
+    let rebuild = eng.rebuild_io_cost() as f64;
+    t.row(vec![
+        eng.objects.len().to_string(),
+        fmt(rebuild),
+        fmt(mean_maint),
+        fmt(rebuild / mean_maint.max(1e-9)),
+    ]);
+    t.print();
+}
+
 /// Ablations beyond the paper's figures: design-choice experiments listed
 /// in DESIGN.md.
 ///

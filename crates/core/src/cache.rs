@@ -19,6 +19,21 @@
 //! (see the warm-accounting note on
 //! [`Engine::query_batch`](crate::Engine::query_batch)).
 //!
+//! Two serving-side safeguards wrap the memo:
+//!
+//! * **Epoch stamps.** Every slot records the engine epoch it was filled
+//!   under. Mutations ([`crate::dynamic`]) bump the epoch, so a lookup
+//!   that presents a newer epoch treats the slot as stale and recomputes —
+//!   the invalidation signal works even if an eager clear was missed.
+//! * **An LRU bound on the per-`k` maps.** A serving system facing
+//!   adversarial `k` diversity must not retain a threshold set per
+//!   distinct `k` forever; each map keeps at most its configured capacity
+//!   ([`DEFAULT_K_CAPACITY`] unless [`ThresholdCache::with_capacity`])
+//!   and evicts the least-recently-used `k`. Eviction drops the slot's
+//!   once-cell from the map only — a worker blocked on (or computing
+//!   into) that cell holds its own `Arc` and completes normally; nothing
+//!   is poisoned.
+//!
 //! [`Engine::with_threshold_cache`]: crate::Engine::with_threshold_cache
 
 use std::collections::HashMap;
@@ -45,41 +60,96 @@ pub struct JointThresholds {
     pub rsk: Vec<f64>,
 }
 
-/// A per-`k` map of blocking once-cells: the first caller computes, every
-/// concurrent caller for the same `k` blocks on the cell and shares the
-/// `Arc`.
+/// Default bound on distinct `k` values retained per map (the paper
+/// sweeps `k ∈ {1, 5, 10, 20, 50}`; a serving mix rarely needs more live
+/// threshold sets than this at once).
+pub const DEFAULT_K_CAPACITY: usize = 16;
+
+/// One memo slot: the blocking once-cell plus the epoch it was filled
+/// under and its LRU recency.
+#[derive(Debug)]
+struct Slot<T> {
+    epoch: u64,
+    last_used: AtomicU64,
+    cell: Arc<OnceLock<Arc<T>>>,
+}
+
+/// A bounded per-`k` map of blocking once-cells: the first caller
+/// computes, every concurrent caller for the same `(k, epoch)` blocks on
+/// the cell and shares the `Arc`. Slots from older epochs are replaced on
+/// access; beyond `cap` distinct `k`s the least-recently-used slot is
+/// dropped (waiters keep their own `Arc` to the cell and are unaffected).
 #[derive(Debug)]
 struct KeyedOnce<T> {
-    map: RwLock<HashMap<usize, Arc<OnceLock<Arc<T>>>>>,
+    map: RwLock<HashMap<usize, Slot<T>>>,
+    cap: usize,
+    tick: AtomicU64,
 }
 
 impl<T> KeyedOnce<T> {
-    fn new() -> Self {
+    fn new(cap: usize) -> Self {
         KeyedOnce {
             map: RwLock::new(HashMap::new()),
+            cap: cap.max(1),
+            tick: AtomicU64::new(0),
         }
     }
 
     fn get_or_compute(
         &self,
         k: usize,
+        epoch: u64,
         hits: &AtomicU64,
         misses: &AtomicU64,
         compute: impl FnOnce() -> T,
     ) -> Arc<T> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        // Fast path: a current-epoch slot already exists.
         let cell = {
             let read = self.map.read().unwrap();
-            read.get(&k).cloned()
+            read.get(&k).and_then(|slot| {
+                (slot.epoch == epoch).then(|| {
+                    slot.last_used.store(now, Ordering::Relaxed);
+                    slot.cell.clone()
+                })
+            })
         };
         let cell = match cell {
             Some(c) => c,
-            None => self
-                .map
-                .write()
-                .unwrap()
-                .entry(k)
-                .or_insert_with(|| Arc::new(OnceLock::new()))
-                .clone(),
+            None => {
+                let mut map = self.map.write().unwrap();
+                // Re-check under the write lock (another worker may have
+                // installed the slot, or a stale one needs replacing).
+                let cell = match map.get(&k) {
+                    Some(slot) if slot.epoch == epoch => {
+                        slot.last_used.store(now, Ordering::Relaxed);
+                        slot.cell.clone()
+                    }
+                    _ => {
+                        let cell = Arc::new(OnceLock::new());
+                        map.insert(
+                            k,
+                            Slot {
+                                epoch,
+                                last_used: AtomicU64::new(now),
+                                cell: cell.clone(),
+                            },
+                        );
+                        cell
+                    }
+                };
+                // LRU bound: evict the coldest other `k`s past capacity.
+                while map.len() > self.cap {
+                    let victim = map
+                        .iter()
+                        .filter(|&(&key, _)| key != k)
+                        .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                        .map(|(&key, _)| key);
+                    let Some(victim) = victim else { break };
+                    map.remove(&victim);
+                }
+                cell
+            }
         };
         let mut computed = false;
         let value = cell
@@ -108,18 +178,28 @@ pub struct ThresholdCache {
     joint: KeyedOnce<JointThresholds>,
     baseline: KeyedOnce<Vec<UserTopk>>,
     user_index: KeyedOnce<UserIndexSeed>,
-    su: RwLock<Option<Arc<UserGroup>>>,
+    /// Memoized super-user, stamped with the *user* epoch it was built
+    /// under (user mutations clear it eagerly; the stamp is the lazy
+    /// safety net, like the per-`k` slots).
+    su: RwLock<Option<(u64, Arc<UserGroup>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ThresholdCache {
-    /// An empty cache.
+    /// An empty cache with the default per-`k` bound
+    /// ([`DEFAULT_K_CAPACITY`]).
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_K_CAPACITY)
+    }
+
+    /// An empty cache retaining at most `k_capacity` distinct `k` values
+    /// per map (minimum 1).
+    pub fn with_capacity(k_capacity: usize) -> Self {
         ThresholdCache {
-            joint: KeyedOnce::new(),
-            baseline: KeyedOnce::new(),
-            user_index: KeyedOnce::new(),
+            joint: KeyedOnce::new(k_capacity),
+            baseline: KeyedOnce::new(k_capacity),
+            user_index: KeyedOnce::new(k_capacity),
             su: RwLock::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -137,8 +217,9 @@ impl ThresholdCache {
     }
 
     /// Drops every cached entry, including the memoized super-user (the
-    /// counters keep running). Required after any future mutation of the
-    /// engine's data — see ROADMAP "Open items" on invalidation.
+    /// counters keep running). [`crate::dynamic`] calls this on user
+    /// mutations; the epoch stamps additionally invalidate lazily even
+    /// when nothing clears eagerly.
     pub fn clear(&self) {
         self.joint.clear();
         self.baseline.clear();
@@ -146,46 +227,66 @@ impl ThresholdCache {
         *self.su.write().unwrap() = None;
     }
 
+    /// Drops the object-dependent entries (all three per-`k` maps) but
+    /// keeps the memoized super-user, which depends on the user table
+    /// only. The eager half of object-mutation invalidation.
+    pub fn invalidate_objects(&self) {
+        self.joint.clear();
+        self.baseline.clear();
+        self.user_index.clear();
+    }
+
     pub(crate) fn joint(
         &self,
         k: usize,
+        epoch: u64,
         compute: impl FnOnce() -> JointThresholds,
     ) -> Arc<JointThresholds> {
         self.joint
-            .get_or_compute(k, &self.hits, &self.misses, compute)
+            .get_or_compute(k, epoch, &self.hits, &self.misses, compute)
     }
 
     pub(crate) fn baseline(
         &self,
         k: usize,
+        epoch: u64,
         compute: impl FnOnce() -> Vec<UserTopk>,
     ) -> Arc<Vec<UserTopk>> {
         self.baseline
-            .get_or_compute(k, &self.hits, &self.misses, compute)
+            .get_or_compute(k, epoch, &self.hits, &self.misses, compute)
     }
 
     pub(crate) fn user_index(
         &self,
         k: usize,
+        epoch: u64,
         compute: impl FnOnce() -> UserIndexSeed,
     ) -> Arc<UserIndexSeed> {
         self.user_index
-            .get_or_compute(k, &self.hits, &self.misses, compute)
+            .get_or_compute(k, epoch, &self.hits, &self.misses, compute)
     }
 
-    pub(crate) fn super_user(&self, compute: impl FnOnce() -> UserGroup) -> Arc<UserGroup> {
-        if let Some(su) = self.su.read().unwrap().clone() {
-            return su;
+    pub(crate) fn super_user(
+        &self,
+        user_epoch: u64,
+        compute: impl FnOnce() -> UserGroup,
+    ) -> Arc<UserGroup> {
+        if let Some((stamp, su)) = self.su.read().unwrap().clone() {
+            if stamp == user_epoch {
+                return su;
+            }
         }
         let mut slot = self.su.write().unwrap();
-        if let Some(su) = &*slot {
-            return su.clone();
+        if let Some((stamp, su)) = &*slot {
+            if *stamp == user_epoch {
+                return su.clone();
+            }
         }
         // Computed under the write lock: the group summary is CPU-only
         // (no I/O charges), so briefly serializing racers is fine and
         // guarantees a single computation.
         let su = Arc::new(compute());
-        *slot = Some(su.clone());
+        *slot = Some((user_epoch, su.clone()));
         su
     }
 }
@@ -203,8 +304,8 @@ mod tests {
     #[test]
     fn second_lookup_is_a_hit_and_shares_the_value() {
         let tc = ThresholdCache::new();
-        let a = tc.baseline(3, Vec::new);
-        let b = tc.baseline(3, || panic!("must not recompute"));
+        let a = tc.baseline(3, 0, Vec::new);
+        let b = tc.baseline(3, 0, || panic!("must not recompute"));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(tc.hits(), 1);
         assert_eq!(tc.misses(), 1);
@@ -213,8 +314,8 @@ mod tests {
     #[test]
     fn distinct_k_compute_independently() {
         let tc = ThresholdCache::new();
-        tc.baseline(1, Vec::new);
-        tc.baseline(2, Vec::new);
+        tc.baseline(1, 0, Vec::new);
+        tc.baseline(2, 0, Vec::new);
         assert_eq!(tc.misses(), 2);
         assert_eq!(tc.hits(), 0);
     }
@@ -222,10 +323,79 @@ mod tests {
     #[test]
     fn clear_forces_recompute() {
         let tc = ThresholdCache::new();
-        tc.baseline(1, Vec::new);
+        tc.baseline(1, 0, Vec::new);
         tc.clear();
-        tc.baseline(1, Vec::new);
+        tc.baseline(1, 0, Vec::new);
         assert_eq!(tc.misses(), 2);
+    }
+
+    /// A slot filled under an older epoch is stale: presenting a newer
+    /// epoch recomputes and replaces it, and the old `Arc` stays valid for
+    /// whoever still holds it.
+    #[test]
+    fn stale_epoch_slot_recomputes() {
+        let tc = ThresholdCache::new();
+        let old = tc.baseline(5, 1, Vec::new);
+        let new = tc.baseline(5, 2, Vec::new);
+        assert!(!Arc::ptr_eq(&old, &new), "stale slot must be replaced");
+        assert_eq!(tc.misses(), 2);
+        // Same epoch again: hit on the fresh slot.
+        let again = tc.baseline(5, 2, || panic!("current slot must hit"));
+        assert!(Arc::ptr_eq(&new, &again));
+        assert_eq!(tc.hits(), 1);
+    }
+
+    /// Older epochs never resurrect: after a newer fill, an old-epoch
+    /// lookup recomputes too (the stamp must match exactly).
+    #[test]
+    fn epoch_mismatch_is_symmetric() {
+        let tc = ThresholdCache::new();
+        tc.baseline(5, 2, Vec::new);
+        tc.baseline(5, 1, Vec::new);
+        assert_eq!(tc.misses(), 2);
+    }
+
+    /// The per-`k` map holds at most its capacity: the coldest `k` is
+    /// evicted, recently used ones survive.
+    #[test]
+    fn k_capacity_evicts_least_recently_used() {
+        let tc = ThresholdCache::with_capacity(2);
+        tc.baseline(1, 0, Vec::new);
+        tc.baseline(2, 0, Vec::new);
+        tc.baseline(1, 0, Vec::new); // touch 1 → 2 is coldest
+        tc.baseline(3, 0, Vec::new); // evicts 2
+        assert_eq!(tc.misses(), 3);
+        tc.baseline(1, 0, || panic!("1 was just used, must survive"));
+        tc.baseline(3, 0, || panic!("3 was just inserted, must survive"));
+        assert_eq!(tc.hits(), 3, "the earlier touch of 1 plus these two");
+        tc.baseline(2, 0, Vec::new); // recompute after eviction
+        assert_eq!(tc.misses(), 4);
+    }
+
+    /// Eviction drops the once-cell from the map without poisoning anyone
+    /// already holding it: concurrent fillers complete on their own Arc.
+    #[test]
+    fn eviction_does_not_poison_in_flight_waiters() {
+        use std::sync::mpsc;
+        let tc = Arc::new(ThresholdCache::with_capacity(1));
+        let (enter_tx, enter_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let tc2 = tc.clone();
+        let filler = std::thread::spawn(move || {
+            tc2.baseline(7, 0, move || {
+                enter_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+                vec![]
+            })
+        });
+        enter_rx.recv().unwrap(); // filler is inside compute for k=7
+        tc.baseline(8, 0, Vec::new); // capacity 1 → evicts the k=7 slot
+        release_tx.send(()).unwrap();
+        let filled = filler.join().unwrap();
+        assert!(filled.is_empty(), "evicted filler still completes");
+        // The k=7 slot is gone from the map: next lookup recomputes.
+        tc.baseline(7, 0, Vec::new);
+        assert_eq!(tc.misses(), 3, "filler, k=8, and the post-eviction refill");
     }
 
     fn dummy_group() -> UserGroup {
@@ -240,16 +410,28 @@ mod tests {
     }
 
     /// `clear` must drop the memoized super-user too — a stale group after
-    /// a (future) data mutation would silently corrupt pruning bounds.
+    /// a data mutation would silently corrupt pruning bounds.
     #[test]
     fn clear_drops_memoized_super_user() {
         let tc = ThresholdCache::new();
-        let a = tc.super_user(dummy_group);
-        let b = tc.super_user(|| panic!("memoized"));
+        let a = tc.super_user(0, dummy_group);
+        let b = tc.super_user(0, || panic!("memoized"));
         assert!(Arc::ptr_eq(&a, &b));
         tc.clear();
-        let c = tc.super_user(dummy_group);
+        let c = tc.super_user(0, dummy_group);
         assert!(!Arc::ptr_eq(&a, &c), "cleared cell must recompute");
+    }
+
+    /// The super-user memo is stamped with the user epoch: even without
+    /// an eager clear, presenting a newer generation recomputes.
+    #[test]
+    fn stale_user_epoch_recomputes_super_user() {
+        let tc = ThresholdCache::new();
+        let a = tc.super_user(1, dummy_group);
+        let b = tc.super_user(2, dummy_group);
+        assert!(!Arc::ptr_eq(&a, &b), "stale stamp must not serve");
+        let c = tc.super_user(2, || panic!("current stamp must serve"));
+        assert!(Arc::ptr_eq(&b, &c));
     }
 
     /// Concurrent same-k lookups compute exactly once: every other worker
@@ -262,7 +444,7 @@ mod tests {
             for _ in 0..8 {
                 let (tc, computes) = (&tc, &computes);
                 s.spawn(move || {
-                    tc.baseline(7, || {
+                    tc.baseline(7, 0, || {
                         computes.fetch_add(1, Ordering::Relaxed);
                         Vec::new()
                     });

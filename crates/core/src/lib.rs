@@ -27,6 +27,7 @@
 mod bounds;
 mod cache;
 mod data;
+pub mod dynamic;
 mod group;
 pub mod pipeline;
 mod query;
@@ -35,8 +36,9 @@ pub mod select;
 pub mod topk;
 pub mod user_index;
 
-pub use cache::{JointThresholds, ThresholdCache};
+pub use cache::{JointThresholds, ThresholdCache, DEFAULT_K_CAPACITY};
 pub use data::{ObjectData, QueryResult, QuerySpec, UserData};
+pub use dynamic::{BatchReport, EpochGuard, MaintenanceIo, Mutation};
 pub use group::UserGroup;
 pub use pipeline::{BatchOutcome, QueryStats, QueryStrategy};
 pub use query::{Engine, Method};

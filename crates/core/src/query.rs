@@ -104,6 +104,16 @@ pub struct Engine {
     /// Optional cross-query top-k threshold cache
     /// ([`Engine::with_threshold_cache`]).
     pub thresholds: Option<ThresholdCache>,
+    /// Generation counter bumped by every mutation (see
+    /// [`crate::dynamic`]); threshold-cache slots are stamped with it, so
+    /// stale epochs are the invalidation signal. Crate-private: an
+    /// external write could rewind the counter and resurrect stale cache
+    /// slots — read it through [`Engine::epoch`] / [`Engine::epoch_guard`].
+    pub(crate) epoch: u64,
+    /// Generation counter bumped only by *user* mutations; stamps the
+    /// memoized super-user (which depends on the user table alone), so a
+    /// missed eager clear can never serve a stale group summary.
+    pub(crate) user_epoch: u64,
 }
 
 impl Engine {
@@ -165,6 +175,8 @@ impl Engine {
             miur: None,
             io: IoStats::new(),
             thresholds: None,
+            epoch: 0,
+            user_epoch: 0,
         }
     }
 
@@ -195,6 +207,14 @@ impl Engine {
         self
     }
 
+    /// [`Engine::with_threshold_cache`] with an explicit bound on the
+    /// distinct `k` values retained per map (adversarial-`k` protection;
+    /// see [`ThresholdCache::with_capacity`]).
+    pub fn with_threshold_cache_capacity(mut self, k_capacity: usize) -> Self {
+        self.thresholds = Some(ThresholdCache::with_capacity(k_capacity));
+        self
+    }
+
     /// Attaches a sharded LRU page cache of `capacity_blocks` 4 KB blocks
     /// to the simulated I/O counter (warm-cache serving model; keyed index
     /// accesses that hit it are free). Replaces the engine's counter, so
@@ -210,10 +230,12 @@ impl Engine {
     }
 
     /// [`Engine::super_user`] behind the threshold cache: computed once
-    /// per engine when the cache is enabled, fresh otherwise.
+    /// per user-table generation when the cache is enabled, fresh
+    /// otherwise (the memo is stamped with the user epoch, so a stale
+    /// group can never be served even without an eager clear).
     pub fn super_user_shared(&self) -> Arc<UserGroup> {
         match &self.thresholds {
-            Some(tc) => tc.super_user(|| self.super_user()),
+            Some(tc) => tc.super_user(self.user_epoch, || self.super_user()),
             None => Arc::new(self.super_user()),
         }
     }
@@ -232,7 +254,7 @@ impl Engine {
             JointThresholds { su, out, tks, rsk }
         };
         match &self.thresholds {
-            Some(tc) => tc.joint(k, compute),
+            Some(tc) => tc.joint(k, self.epoch, compute),
             None => Arc::new(compute()),
         }
     }
@@ -241,7 +263,7 @@ impl Engine {
     /// cache when one is attached and computed fresh otherwise.
     pub fn baseline_thresholds(&self, k: usize) -> Arc<Vec<UserTopk>> {
         match &self.thresholds {
-            Some(tc) => tc.baseline(k, || {
+            Some(tc) => tc.baseline(k, self.epoch, || {
                 all_users_topk_baseline(&self.ir, &self.users, k, &self.ctx, &self.io)
             }),
             None => Arc::new(all_users_topk_baseline(
@@ -267,7 +289,7 @@ impl Engine {
             .expect("call with_user_index() before querying with a user-index method");
         let compute = || compute_user_index_seed(miur, &self.mir, k, &self.ctx, &self.io);
         match &self.thresholds {
-            Some(tc) => tc.user_index(k, compute),
+            Some(tc) => tc.user_index(k, self.epoch, compute),
             None => Arc::new(compute()),
         }
     }

@@ -15,12 +15,14 @@
 //! distribution. The pool doubles as the candidate keyword set `W`, and
 //! candidate locations are drawn uniformly from the window.
 
+mod churn;
 mod corpus;
 pub mod rng;
 mod stats;
 mod users;
 mod zipf;
 
+pub use churn::{generate_churn, ChurnConfig, ChurnOp};
 pub use corpus::{generate_objects, CorpusConfig};
 pub use stats::{dataset_stats, DatasetStats};
 pub use users::{generate_workload, UserGenConfig, Workload};

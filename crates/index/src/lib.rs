@@ -20,10 +20,12 @@
 //! time, and every query-time access deserializes a record and charges the
 //! paper's simulated I/O ([`storage::IoStats`]).
 
+mod edit;
 mod miurtree;
 mod rtree;
 mod sttree;
 
+pub use edit::TreeEdit;
 pub use miurtree::{IndexedUser, MiurEntryView, MiurNodeView, MiurTree, UserRef};
 pub use rtree::{BuildItem, BuildTree, RTreeBuilder, DEFAULT_MAX_ENTRIES};
 pub use sttree::{ChildRef, EntryView, IndexedObject, NodeView, PostingMode, Postings, StTree};

@@ -12,7 +12,8 @@ use storage::codec::{Reader, Writer};
 use storage::{BlockFile, IoStats, RecordId};
 use text::{Document, TermId};
 
-use crate::rtree::{BuildItem, BuildTree, DEFAULT_MAX_ENTRIES};
+use crate::rtree::{quadratic_partition, BuildItem, BuildTree, DEFAULT_MAX_ENTRIES};
+use crate::TreeEdit;
 
 /// A user ready for indexing.
 #[derive(Debug, Clone)]
@@ -77,6 +78,52 @@ pub struct MiurTree {
     root: RecordId,
     height: u32,
     num_users: usize,
+    fanout: usize,
+}
+
+/// Page-cache key of an MIUR node record (the `2 <<33` tag keeps the key
+/// space disjoint from the IR/MIR trees sharing one [`IoStats`] cache).
+fn miur_node_key(id: RecordId) -> u64 {
+    (2 << 33) | u64::from(id.0)
+}
+
+/// Page-cache key of an MIUR IntUni record.
+fn miur_intuni_key(id: RecordId) -> u64 {
+    (3 << 33) | u64::from(id.0)
+}
+
+/// Builds the leaf entry summarizing one user.
+fn leaf_entry(user: &IndexedUser) -> MiurEntryView {
+    let terms: Vec<TermId> = user.doc.terms().collect();
+    MiurEntryView {
+        rect: Rect::from_point(user.point),
+        child: UserRef::User(user.id),
+        count: 1,
+        uni: terms.clone(),
+        int: terms,
+        norm_min: user.norm,
+        norm_max: user.norm,
+    }
+}
+
+/// Aggregates a node's entries into the entry its parent stores for it:
+/// bounding MBR, union/intersection of the IntUni vectors, user count and
+/// the normalizer bracket — the §7 summary repair that must run along the
+/// whole affected root-to-leaf path on every mutation.
+fn aggregate_entries(entries: &[MiurEntryView], rec: RecordId) -> MiurEntryView {
+    debug_assert!(!entries.is_empty());
+    MiurEntryView {
+        rect: Rect::bounding_rects(entries.iter().map(|e| e.rect)).expect("non-empty"),
+        child: UserRef::Node(rec),
+        count: entries.iter().map(|e| e.count).sum(),
+        uni: union_sorted(entries.iter().map(|e| e.uni.as_slice())),
+        int: intersect_sorted(entries.iter().map(|e| e.int.as_slice())),
+        norm_min: entries
+            .iter()
+            .map(|e| e.norm_min)
+            .fold(f64::INFINITY, f64::min),
+        norm_max: entries.iter().map(|e| e.norm_max).fold(0.0f64, f64::max),
+    }
 }
 
 impl MiurTree {
@@ -100,122 +147,328 @@ impl MiurTree {
             .collect();
         let tree = BuildTree::bulk_load(&items, fanout);
 
-        let mut nodes = BlockFile::new();
-        let mut intuni = BlockFile::new();
-        // build index -> (record, count, uni, int, norm_min, norm_max)
-        #[allow(clippy::type_complexity)]
-        let mut done: std::collections::HashMap<
-            usize,
-            (RecordId, u32, Vec<TermId>, Vec<TermId>, f64, f64),
-        > = std::collections::HashMap::new();
+        let mut out = MiurTree {
+            nodes: BlockFile::new(),
+            intuni: BlockFile::new(),
+            root: RecordId(0),
+            height: tree.height,
+            num_users: users.len(),
+            fanout,
+        };
 
+        // build index -> the entry the parent stores for that node.
+        let mut done: std::collections::HashMap<usize, MiurEntryView> =
+            std::collections::HashMap::new();
         let mut order: Vec<usize> = (0..tree.nodes.len()).collect();
         order.sort_by_key(|&n| tree.nodes[n].level);
+        let mut scratch = TreeEdit::default();
 
         for n in order {
             let node = &tree.nodes[n];
-            struct E {
-                r: UserRef,
-                rect: Rect,
-                count: u32,
-                uni: Vec<TermId>,
-                int: Vec<TermId>,
-                norm_min: f64,
-                norm_max: f64,
-            }
-            let entries: Vec<E> = if node.is_leaf() {
+            let entries: Vec<MiurEntryView> = if node.is_leaf() {
                 node.items
                     .iter()
-                    .map(|&pos| {
-                        let u = &users[items[pos].id as usize];
-                        let terms: Vec<TermId> = u.doc.terms().collect();
-                        E {
-                            r: UserRef::User(u.id),
-                            rect: Rect::from_point(u.point),
-                            count: 1,
-                            uni: terms.clone(),
-                            int: terms,
-                            norm_min: u.norm,
-                            norm_max: u.norm,
-                        }
-                    })
+                    .map(|&pos| leaf_entry(&users[items[pos].id as usize]))
                     .collect()
             } else {
-                node.children
-                    .iter()
-                    .map(|&c| {
-                        let (rid, count, uni, int, nmin, nmax) = done[&c].clone();
-                        E {
-                            r: UserRef::Node(rid),
-                            rect: tree.nodes[c].rect,
-                            count,
-                            uni,
-                            int,
-                            norm_min: nmin,
-                            norm_max: nmax,
-                        }
-                    })
-                    .collect()
+                node.children.iter().map(|&c| done[&c].clone()).collect()
             };
+            let rec = out.write_node(node.is_leaf(), &entries, &mut scratch);
+            done.insert(n, aggregate_entries(&entries, rec));
+        }
 
-            // Serialize IntUni vectors (plus the normalizer bracket).
-            let mut w = Writer::new();
-            for e in &entries {
-                w.put_u32(e.uni.len() as u32);
-                for &t in &e.uni {
-                    w.put_u32(t.0);
-                }
-                w.put_u32(e.int.len() as u32);
-                for &t in &e.int {
-                    w.put_u32(t.0);
-                }
-                w.put_f64(e.norm_min);
-                w.put_f64(e.norm_max);
-            }
-            let iu_rec = intuni.put(&w.into_bytes());
+        let UserRef::Node(root) = done[&tree.root].child else {
+            unreachable!()
+        };
+        out.root = root;
+        out
+    }
 
-            // Serialize node record.
-            let mut w = Writer::new();
-            w.put_u8(u8::from(node.is_leaf()));
-            w.put_u32(iu_rec.0);
-            w.put_u32(entries.len() as u32);
-            for e in &entries {
-                let id = match e.r {
-                    UserRef::Node(rid) => rid.0,
-                    UserRef::User(uid) => uid,
-                };
-                w.put_u32(id);
-                w.put_f64(e.rect.min.x);
-                w.put_f64(e.rect.min.y);
-                w.put_f64(e.rect.max.x);
-                w.put_f64(e.rect.max.y);
-                w.put_u32(e.count);
-            }
-            let node_rec = nodes.put(&w.into_bytes());
-
-            // Parent aggregate.
-            let count: u32 = entries.iter().map(|e| e.count).sum();
-            let uni = union_sorted(entries.iter().map(|e| e.uni.as_slice()));
-            let int = intersect_sorted(entries.iter().map(|e| e.int.as_slice()));
-            let nmin = entries
+    /// Inserts one user into the disk-resident tree: least-enlargement
+    /// descent to a leaf, quadratic splits on overflow, and repair of
+    /// every IntUni vector, user count and normalizer bracket along the
+    /// affected root-to-leaf path. Copy-on-write like [`crate::StTree`]:
+    /// superseded records are freed and their page-cache keys reported in
+    /// the returned [`TreeEdit`].
+    pub fn insert(&mut self, user: &IndexedUser) -> TreeEdit {
+        let mut edit = TreeEdit::default();
+        let rect = Rect::from_point(user.point);
+        let mut path: Vec<(MiurNodeView, usize)> = Vec::new();
+        let mut current = self.read_node_tracked(self.root, &mut edit);
+        while !current.is_leaf {
+            let best = current
+                .entries
                 .iter()
-                .map(|e| e.norm_min)
-                .fold(f64::INFINITY, f64::min);
-            let nmax = entries.iter().map(|e| e.norm_max).fold(0.0f64, f64::max);
-            done.insert(n, (node_rec, count, uni, int, nmin, nmax));
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.rect
+                        .enlargement(&rect)
+                        .total_cmp(&b.rect.enlargement(&rect))
+                        .then(a.rect.area().total_cmp(&b.rect.area()))
+                })
+                .map(|(i, _)| i)
+                .expect("inner node with no entries");
+            let UserRef::Node(next) = current.entries[best].child else {
+                unreachable!("inner entries reference nodes")
+            };
+            path.push((current, best));
+            current = self.read_node_tracked(next, &mut edit);
         }
 
-        MiurTree {
-            nodes,
-            intuni,
-            root: done[&tree.root].0,
-            height: tree.height,
-            num_users: users.len(),
+        let mut entries = current.entries.clone();
+        entries.push(leaf_entry(user));
+        self.num_users += 1;
+        self.retire(&current, &mut edit);
+
+        let mut carry = self.write_level(true, entries, &mut edit);
+        for (node, child_idx) in path.into_iter().rev() {
+            let mut entries = node.entries.clone();
+            self.retire(&node, &mut edit);
+            let (first, rest) = carry.split_first().expect("at least one child");
+            entries[child_idx] = first.clone();
+            entries.extend(rest.iter().cloned());
+            carry = self.write_level(false, entries, &mut edit);
         }
+
+        if carry.len() == 1 {
+            let UserRef::Node(rec) = carry[0].child else {
+                unreachable!()
+            };
+            self.root = rec;
+        } else {
+            let top = self.write_level(false, carry, &mut edit);
+            assert_eq!(top.len(), 1, "root split produces one new root");
+            let UserRef::Node(rec) = top[0].child else {
+                unreachable!()
+            };
+            self.root = rec;
+            self.height += 1;
+        }
+        edit
+    }
+
+    /// Removes a user from the tree (CondenseTree, mirroring
+    /// [`crate::StTree::remove`]): underflowing nodes dissolve and their
+    /// surviving users are reinserted; a root with a single inner child
+    /// collapses. Returns `None` when no entry with that id exists at that
+    /// location.
+    pub fn remove(&mut self, id: u32, point: Point) -> Option<TreeEdit> {
+        let mut edit = TreeEdit::default();
+        let rect = Rect::from_point(point);
+        let mut path: Vec<(MiurNodeView, usize)> = Vec::new();
+        let leaf = self.find_leaf(self.root, id, &rect, &mut path, &mut edit)?;
+
+        let pos = leaf
+            .entries
+            .iter()
+            .position(|e| e.child == UserRef::User(id))
+            .expect("find_leaf verified membership");
+        let mut entries = leaf.entries.clone();
+        entries.remove(pos);
+        self.num_users -= 1;
+        self.retire(&leaf, &mut edit);
+
+        // Underflow threshold below the split fill (see the StTree remove
+        // docs): a freshly split node survives a following delete.
+        let min_fill = (self.fanout / 4).max(1);
+        let mut orphans: Vec<IndexedUser> = Vec::new();
+        let mut carry: Option<MiurEntryView> = None;
+        if entries.len() >= min_fill || path.is_empty() {
+            if entries.is_empty() {
+                self.write_empty_root(&mut edit);
+                return Some(edit);
+            }
+            let written = self.write_level(true, entries, &mut edit);
+            carry = Some(written.into_iter().next().expect("no split on delete"));
+        } else {
+            // Leaf entries carry the exact per-user summary (uni == the
+            // user's keyword set, norm_min == norm_max == N(u)), so the
+            // orphans reconstruct losslessly.
+            for e in &entries {
+                let UserRef::User(uid) = e.child else {
+                    unreachable!()
+                };
+                orphans.push(IndexedUser {
+                    id: uid,
+                    point: e.rect.min,
+                    doc: Document::from_terms(e.uni.iter().copied()),
+                    norm: e.norm_min,
+                });
+            }
+        }
+
+        for (node, child_idx) in path.into_iter().rev() {
+            let mut entries = node.entries.clone();
+            self.retire(&node, &mut edit);
+            match carry.take() {
+                Some(entry) => entries[child_idx] = entry,
+                None => {
+                    entries.remove(child_idx);
+                }
+            }
+            if entries.is_empty() {
+                continue; // dissolve this node too
+            }
+            let written = self.write_level(false, entries, &mut edit);
+            carry = Some(written.into_iter().next().expect("no split on delete"));
+        }
+
+        match carry {
+            Some(entry) => {
+                let UserRef::Node(rec) = entry.child else {
+                    unreachable!()
+                };
+                self.root = rec;
+                loop {
+                    let root = self.read_node_tracked(self.root, &mut edit);
+                    if root.is_leaf || root.entries.len() > 1 {
+                        break;
+                    }
+                    let UserRef::Node(only) = root.entries[0].child else {
+                        unreachable!()
+                    };
+                    self.retire(&root, &mut edit);
+                    self.root = only;
+                    self.height -= 1;
+                }
+            }
+            None => self.write_empty_root(&mut edit),
+        }
+
+        self.num_users -= orphans.len();
+        for u in &orphans {
+            let sub = self.insert(u);
+            edit.absorb(sub);
+        }
+        Some(edit)
+    }
+
+    /// Depth-first search for the leaf holding `(id, rect)`.
+    fn find_leaf(
+        &self,
+        node_rec: RecordId,
+        id: u32,
+        rect: &Rect,
+        path: &mut Vec<(MiurNodeView, usize)>,
+        edit: &mut TreeEdit,
+    ) -> Option<MiurNodeView> {
+        let node = self.read_node_tracked(node_rec, edit);
+        if node.is_leaf {
+            if node.entries.iter().any(|e| e.child == UserRef::User(id)) {
+                return Some(node);
+            }
+            return None;
+        }
+        for (i, e) in node.entries.iter().enumerate() {
+            if let UserRef::Node(c) = e.child {
+                if e.rect.intersects(rect) {
+                    path.push((node.clone(), i));
+                    if let Some(found) = self.find_leaf(c, id, rect, path, edit) {
+                        return Some(found);
+                    }
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Serializes one (possibly overfull) node level, splitting when
+    /// needed. Returns the parent entries of the written node(s).
+    fn write_level(
+        &mut self,
+        is_leaf: bool,
+        entries: Vec<MiurEntryView>,
+        edit: &mut TreeEdit,
+    ) -> Vec<MiurEntryView> {
+        let groups: Vec<Vec<usize>> = if entries.len() <= self.fanout {
+            vec![(0..entries.len()).collect()]
+        } else {
+            let rects: Vec<Rect> = entries.iter().map(|e| e.rect).collect();
+            let (a, b) = quadratic_partition(&rects, self.fanout / 2);
+            vec![a, b]
+        };
+        groups
+            .into_iter()
+            .map(|group| {
+                let g_entries: Vec<MiurEntryView> =
+                    group.iter().map(|&i| entries[i].clone()).collect();
+                let rec = self.write_node(is_leaf, &g_entries, edit);
+                aggregate_entries(&g_entries, rec)
+            })
+            .collect()
+    }
+
+    /// Serializes one node (IntUni record first, then the node record).
+    fn write_node(
+        &mut self,
+        is_leaf: bool,
+        entries: &[MiurEntryView],
+        edit: &mut TreeEdit,
+    ) -> RecordId {
+        let mut w = Writer::new();
+        for e in entries {
+            w.put_u32(e.uni.len() as u32);
+            for &t in &e.uni {
+                w.put_u32(t.0);
+            }
+            w.put_u32(e.int.len() as u32);
+            for &t in &e.int {
+                w.put_u32(t.0);
+            }
+            w.put_f64(e.norm_min);
+            w.put_f64(e.norm_max);
+        }
+        let iu_payload = w.into_bytes();
+        edit.payload_blocks += storage::blocks_for(iu_payload.len());
+        let iu_rec = self.intuni.put(&iu_payload);
+
+        let mut w = Writer::new();
+        w.put_u8(u8::from(is_leaf));
+        w.put_u32(iu_rec.0);
+        w.put_u32(entries.len() as u32);
+        for e in entries {
+            let id = match e.child {
+                UserRef::Node(rid) => rid.0,
+                UserRef::User(uid) => uid,
+            };
+            w.put_u32(id);
+            w.put_f64(e.rect.min.x);
+            w.put_f64(e.rect.min.y);
+            w.put_f64(e.rect.max.x);
+            w.put_f64(e.rect.max.y);
+            w.put_u32(e.count);
+        }
+        edit.node_writes += 1;
+        self.nodes.put(&w.into_bytes())
+    }
+
+    /// Frees a superseded node and its IntUni record.
+    fn retire(&mut self, node: &MiurNodeView, edit: &mut TreeEdit) {
+        let iu_rec = self.intuni_of(node.id);
+        edit.stale_keys.push(miur_node_key(node.id));
+        edit.stale_keys.push(miur_intuni_key(iu_rec));
+        self.nodes.free(node.id);
+        self.intuni.free(iu_rec);
+    }
+
+    /// The IntUni record a node record points at.
+    fn intuni_of(&self, id: RecordId) -> RecordId {
+        let mut r = Reader::new(self.nodes.get(id));
+        r.get_u8();
+        RecordId(r.get_u32())
+    }
+
+    /// Installs an empty leaf root (the tree just lost its last user).
+    fn write_empty_root(&mut self, edit: &mut TreeEdit) {
+        self.root = self.write_node(true, &[], edit);
+        self.height = 1;
     }
 
     /// Persists the tree to `dir` (`nodes.mbrs`, `intuni.mbrs`,
-    /// `meta.mbrs`); creates the directory when missing.
+    /// `meta.mbrs`); creates the directory when missing. As with
+    /// [`crate::StTree::save`], freed records persist as empty
+    /// placeholders.
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         storage::save_blockfile(&self.nodes, &dir.join("nodes.mbrs"))?;
@@ -224,6 +477,7 @@ impl MiurTree {
         w.put_u32(self.root.0);
         w.put_u32(self.height);
         w.put_u64(self.num_users as u64);
+        w.put_u32(self.fanout as u32);
         std::fs::write(dir.join("meta.mbrs"), w.into_bytes())
     }
 
@@ -239,6 +493,7 @@ impl MiurTree {
             root: RecordId(r.get_u32()),
             height: r.get_u32(),
             num_users: r.get_u64() as usize,
+            fanout: r.get_u32() as usize,
         })
     }
 
@@ -260,21 +515,48 @@ impl MiurTree {
         self.num_users
     }
 
-    /// Total bytes of node records.
+    /// Node capacity used during construction.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Total bytes of live node records.
     pub fn node_bytes(&self) -> u64 {
         self.nodes.bytes()
     }
 
-    /// Total bytes of IntUni records.
+    /// Total bytes of live IntUni records.
     pub fn intuni_bytes(&self) -> u64 {
         self.intuni.bytes()
+    }
+
+    /// Simulated I/O to write the whole live tree from scratch (see
+    /// [`crate::StTree::footprint_io`]).
+    pub fn footprint_io(&self) -> u64 {
+        self.nodes.live_records() as u64 + self.intuni.live_payload_blocks()
     }
 
     /// Reads a node with its IntUni vectors, charging one node visit plus
     /// the IntUni file's blocks (the paper's inverted-file rule applies to
     /// the textual payload of the node).
     pub fn read_node(&self, id: RecordId, io: &IoStats) -> MiurNodeView {
-        io.charge_node_visit_keyed((2 << 33) | u64::from(id.0));
+        io.charge_node_visit_keyed(miur_node_key(id));
+        let (view, iu_rec, iu_bytes) = self.parse_node(id);
+        io.charge_invfile_keyed(miur_intuni_key(iu_rec), iu_bytes);
+        view
+    }
+
+    /// Reads a node on the maintenance path (no [`IoStats`] charge; the
+    /// cost lands in the edit's counters).
+    fn read_node_tracked(&self, id: RecordId, edit: &mut TreeEdit) -> MiurNodeView {
+        let (view, _, iu_bytes) = self.parse_node(id);
+        edit.read_ios += 1 + storage::blocks_for(iu_bytes);
+        view
+    }
+
+    /// Deserializes a node and its IntUni payload.
+    fn parse_node(&self, id: RecordId) -> (MiurNodeView, RecordId, usize) {
         let payload = self.nodes.get(id);
         let mut r = Reader::new(payload);
         let is_leaf = r.get_u8() != 0;
@@ -282,7 +564,7 @@ impl MiurTree {
         let n = r.get_u32() as usize;
 
         let iu_payload = self.intuni.get(iu_rec);
-        io.charge_invfile_keyed((3 << 33) | u64::from(iu_rec.0), iu_payload.len());
+        let iu_bytes = iu_payload.len();
         let mut iu = Reader::new(iu_payload);
 
         let mut entries = Vec::with_capacity(n);
@@ -314,11 +596,15 @@ impl MiurTree {
             });
         }
         debug_assert!(r.is_exhausted() && iu.is_exhausted());
-        MiurNodeView {
-            id,
-            is_leaf,
-            entries,
-        }
+        (
+            MiurNodeView {
+                id,
+                is_leaf,
+                entries,
+            },
+            iu_rec,
+            iu_bytes,
+        )
     }
 }
 
@@ -493,6 +779,132 @@ mod tests {
         let snap = io.snapshot();
         assert_eq!(snap.node_visits, 1);
         assert!(snap.invfile_blocks >= 1);
+    }
+
+    /// Shared invariant check: every entry's IntUni vectors, count and
+    /// normalizer bracket must bound its descendants.
+    fn check_intuni_invariants(tree: &MiurTree, us: &[IndexedUser]) {
+        let io = IoStats::new();
+        fn descendants(tree: &MiurTree, id: RecordId, io: &IoStats) -> Vec<u32> {
+            let node = tree.read_node(id, io);
+            let mut out = Vec::new();
+            for e in &node.entries {
+                match e.child {
+                    UserRef::User(u) => out.push(u),
+                    UserRef::Node(c) => out.extend(descendants(tree, c, io)),
+                }
+            }
+            out
+        }
+        let by_id = |id: u32| us.iter().find(|u| u.id == id).expect("known user");
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, &io);
+            for e in &node.entries {
+                let descs = match e.child {
+                    UserRef::User(u) => vec![u],
+                    UserRef::Node(c) => {
+                        stack.push(c);
+                        descendants(tree, c, &io)
+                    }
+                };
+                assert_eq!(descs.len(), e.count as usize, "count repair failed");
+                for d in descs {
+                    let u = by_id(d);
+                    for term in u.doc.terms() {
+                        assert!(e.uni.contains(&term), "union misses descendant term");
+                    }
+                    for &term in &e.int {
+                        assert!(u.doc.contains(term), "intersection has non-shared term");
+                    }
+                    assert!(e.rect.contains_point(&u.point), "MBR containment");
+                    assert!(e.norm_min <= u.norm + 1e-12 && u.norm <= e.norm_max + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Incremental insertion repairs counts, IntUni vectors and norm
+    /// brackets along every affected path.
+    #[test]
+    fn dynamic_insert_preserves_invariants() {
+        let us = users();
+        let mut tree = MiurTree::build_with_fanout(&us[..3], 4);
+        for u in &us[3..] {
+            let edit = tree.insert(u);
+            assert!(edit.io_total() > 0);
+            assert!(!edit.stale_keys.is_empty());
+        }
+        assert_eq!(tree.num_users(), 12);
+        let io = IoStats::new();
+        assert_eq!(gather_users(&tree, &io), (0..12).collect::<Vec<_>>());
+        check_intuni_invariants(&tree, &us);
+    }
+
+    /// Removal dissolves underflowing nodes and repairs the summaries; the
+    /// survivors stay exactly queryable.
+    #[test]
+    fn dynamic_remove_preserves_invariants() {
+        let us = users();
+        let mut tree = MiurTree::build_with_fanout(&us, 4);
+        for u in us.iter().filter(|u| u.id % 3 == 0) {
+            assert!(tree.remove(u.id, u.point).is_some());
+        }
+        assert!(tree.remove(0, us[0].point).is_none(), "already gone");
+        let survivors: Vec<IndexedUser> = us.iter().filter(|u| u.id % 3 != 0).cloned().collect();
+        assert_eq!(tree.num_users(), survivors.len());
+        let io = IoStats::new();
+        let got = gather_users(&tree, &io);
+        assert_eq!(
+            got,
+            survivors.iter().map(|u| u.id).collect::<Vec<_>>(),
+            "surviving user set"
+        );
+        check_intuni_invariants(&tree, &survivors);
+    }
+
+    /// Byte accounting stays live across churn (no append-only drift),
+    /// and the height grows and shrinks with the population.
+    #[test]
+    fn churn_keeps_accounting_live() {
+        let us = users();
+        let mut tree = MiurTree::build_with_fanout(&us, 4);
+        let fresh_bytes = tree.node_bytes() + tree.intuni_bytes();
+        for u in &us {
+            tree.insert(&IndexedUser {
+                id: u.id + 100,
+                ..u.clone()
+            });
+        }
+        for u in &us {
+            tree.remove(u.id + 100, u.point).unwrap();
+        }
+        assert_eq!(tree.num_users(), 12);
+        let churned = tree.node_bytes() + tree.intuni_bytes();
+        assert!(
+            churned <= fresh_bytes * 3,
+            "churned {churned} vs fresh {fresh_bytes}: accounting drifted"
+        );
+        assert!(tree.footprint_io() > 0);
+    }
+
+    #[test]
+    fn save_load_keeps_fanout() {
+        let us = users();
+        let tree = MiurTree::build_with_fanout(&us, 4);
+        let dir = std::env::temp_dir().join(format!("mbrstk-miur-fan-{}", std::process::id()));
+        tree.save(&dir).unwrap();
+        let mut loaded = MiurTree::load(&dir).unwrap();
+        assert_eq!(loaded.fanout(), 4);
+        // A reopened tree keeps accepting mutations.
+        loaded.insert(&IndexedUser {
+            id: 99,
+            point: Point::new(3.3, 1.1),
+            doc: Document::from_terms([t(0)]),
+            norm: 2.0,
+        });
+        assert_eq!(loaded.num_users(), 13);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -217,6 +217,57 @@ fn str_tile<T: Copy>(
     groups
 }
 
+/// Quadratic-split partition of entry indices (Guttman): seeds are the
+/// pair wasting the most area together; remaining entries go to the group
+/// needing less enlargement, with a minimum-fill force-assignment. Shared
+/// by the disk-resident trees' insertion paths ([`crate::StTree`],
+/// [`crate::MiurTree`]).
+pub(crate) fn quadratic_partition(rects: &[Rect], min_fill: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut g1 = vec![s1];
+    let mut g2 = vec![s2];
+    let mut r1 = rects[s1];
+    let mut r2 = rects[s2];
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+    while let Some(i) = rest.pop() {
+        let remaining = rest.len() + 1;
+        if g1.len() + remaining <= min_fill {
+            for &x in std::iter::once(&i).chain(rest.iter()) {
+                g1.push(x);
+            }
+            break;
+        }
+        if g2.len() + remaining <= min_fill {
+            for &x in std::iter::once(&i).chain(rest.iter()) {
+                g2.push(x);
+            }
+            break;
+        }
+        let e1 = r1.enlargement(&rects[i]);
+        let e2 = r2.enlargement(&rects[i]);
+        if e1 < e2 || (e1 == e2 && r1.area() <= r2.area()) {
+            g1.push(i);
+            r1 = r1.union(&rects[i]);
+        } else {
+            g2.push(i);
+            r2 = r2.union(&rects[i]);
+        }
+    }
+    (g1, g2)
+}
+
 /// An incrementally-built R-tree using the classic Guttman insertion path
 /// with quadratic split.
 ///

@@ -21,7 +21,8 @@ use storage::codec::{Reader, Writer};
 use storage::{BlockFile, IoStats, RecordId};
 use text::{TermId, WeightedDoc};
 
-use crate::rtree::{BuildItem, BuildTree, DEFAULT_MAX_ENTRIES};
+use crate::rtree::{quadratic_partition, BuildItem, BuildTree, DEFAULT_MAX_ENTRIES};
+use crate::TreeEdit;
 
 /// Whether postings carry only maxima (IR-tree) or maxima and minima
 /// (MIR-tree).
@@ -294,15 +295,19 @@ impl StTree {
     ///
     /// Follows the classic least-enlargement descent with quadratic node
     /// splits. The affected root-to-leaf path is re-serialized as fresh
-    /// records (the block file is append-only, like a disk page
-    /// allocator); superseded records become garbage, which a rebuild
-    /// reclaims. No simulated I/O is charged: the paper's metrics measure
-    /// query I/O on static indexes, not maintenance.
-    pub fn insert(&mut self, obj: &IndexedObject) {
+    /// records (copy-on-write, like a disk page allocator) and the
+    /// superseded records are freed, so [`StTree::node_bytes`] /
+    /// [`StTree::invfile_bytes`] keep reporting the live footprint. The
+    /// returned [`TreeEdit`] carries the maintenance I/O and the
+    /// page-cache keys the caller must flush; the query-side
+    /// [`storage::IoStats`] is deliberately not charged (the paper's
+    /// metrics measure query I/O, not maintenance).
+    pub fn insert(&mut self, obj: &IndexedObject) -> TreeEdit {
+        let mut edit = TreeEdit::default();
         let rect = Rect::from_point(obj.point);
         // Descend by least enlargement, collecting the path.
         let mut path: Vec<(NodeView, usize)> = Vec::new(); // (node, chosen child idx)
-        let mut current = self.read_node_quiet(self.root);
+        let mut current = self.read_node_tracked(self.root, &mut edit);
         while !current.is_leaf {
             let best = current
                 .entries
@@ -320,24 +325,41 @@ impl StTree {
                 unreachable!("inner entries reference nodes")
             };
             path.push((current, best));
-            current = self.read_node_quiet(next);
+            current = self.read_node_tracked(next, &mut edit);
         }
 
         // Extend the leaf.
         let mut refs: Vec<ChildRef> = current.entries.iter().map(|e| e.child).collect();
         let mut rects: Vec<Rect> = current.entries.iter().map(|e| e.rect).collect();
-        let mut aggs = self.full_aggs(&current);
+        let mut aggs = self.full_aggs_tracked(&current, &mut edit);
+        let old_summary = level_summary(&rects, &aggs);
         refs.push(ChildRef::Object(obj.id));
         rects.push(rect);
         aggs.push(TermAgg::from_doc(&obj.doc));
         self.num_objects += 1;
+        self.retire(&current, &mut edit);
 
-        // Write the (possibly split) leaf, then walk back up.
-        let mut carry = self.write_level(true, refs, rects, aggs);
+        // Write the (possibly split) leaf, then walk back up. Once the
+        // rewritten child's summary (MBR + term aggregate) matches what
+        // its parent already stores, ancestors only need the fresh child
+        // record id spliced in — their inverted files are bit-identical
+        // and are reused untouched (the common case: a typical insert
+        // shifts no upper-level maxima, and minima are already poisoned
+        // to 0 up there). This is what keeps incremental maintenance an
+        // order of magnitude below a rebuild.
+        let mut carry = self.write_level(true, refs, rects, aggs, &mut edit);
+        let mut cheap = summary_unchanged(&carry, &old_summary);
         for (node, child_idx) in path.into_iter().rev() {
+            if cheap {
+                let rec = self.splice_child(&node, child_idx, carry[0].0, &mut edit);
+                carry = vec![(rec, carry[0].1, TermAgg::default())];
+                continue;
+            }
             let mut refs: Vec<ChildRef> = node.entries.iter().map(|e| e.child).collect();
             let mut rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
-            let mut aggs = self.full_aggs(&node);
+            let mut aggs = self.full_aggs_tracked(&node, &mut edit);
+            let old_summary = level_summary(&rects, &aggs);
+            self.retire(&node, &mut edit);
             // Replace the descended child with the rewritten one (and its
             // split sibling when present).
             let (first, rest) = carry.split_first().expect("at least one child");
@@ -349,7 +371,8 @@ impl StTree {
                 rects.push(extra.1);
                 aggs.push(extra.2.clone());
             }
-            carry = self.write_level(false, refs, rects, aggs);
+            carry = self.write_level(false, refs, rects, aggs, &mut edit);
+            cheap = summary_unchanged(&carry, &old_summary);
         }
 
         // Grow a new root when the old one split.
@@ -359,28 +382,32 @@ impl StTree {
             let refs: Vec<ChildRef> = carry.iter().map(|c| ChildRef::Node(c.0)).collect();
             let rects: Vec<Rect> = carry.iter().map(|c| c.1).collect();
             let aggs: Vec<TermAgg> = carry.iter().map(|c| c.2.clone()).collect();
-            let top = self.write_level(false, refs, rects, aggs);
+            let top = self.write_level(false, refs, rects, aggs, &mut edit);
             assert_eq!(top.len(), 1, "root split produces one new root");
             self.root = top[0].0;
             self.height += 1;
         }
+        edit
     }
 
     /// Removes an object from the disk-resident tree — the delete side of
-    /// §5.1's update path. Returns `false` when no entry with that id is
-    /// found at that location.
+    /// §5.1's update path. Returns `None` when no entry with that id is
+    /// found at that location, otherwise the mutation's [`TreeEdit`].
     ///
     /// Classic R-tree CondenseTree: find the leaf holding the entry,
-    /// remove it, and when a node underflows (below ⌈fanout/2⌉ entries)
+    /// remove it, and when a node underflows (below ⌈fanout/4⌉ entries —
+    /// deliberately below the split fill of ⌈fanout/2⌉, so a split
+    /// followed by a delete doesn't immediately dissolve the fresh node)
     /// dissolve it and re-[`StTree::insert`] the orphaned objects. A root
-    /// with a single inner child is collapsed (height shrinks).
-    pub fn remove(&mut self, id: u32, point: Point) -> bool {
+    /// with a single inner child is collapsed (height shrinks). Superseded
+    /// records — including inverted files whose posting lists emptied —
+    /// are freed, keeping the byte accounting live.
+    pub fn remove(&mut self, id: u32, point: Point) -> Option<TreeEdit> {
+        let mut edit = TreeEdit::default();
         // Locate the leaf whose MBR covers the point and holds the id.
         let rect = Rect::from_point(point);
         let mut path: Vec<(NodeView, usize)> = Vec::new();
-        let Some(leaf) = self.find_leaf(self.root, id, &rect, &mut path) else {
-            return false;
-        };
+        let leaf = self.find_leaf(self.root, id, &rect, &mut path, &mut edit)?;
 
         // Drop the entry from the leaf.
         let pos = leaf
@@ -390,28 +417,33 @@ impl StTree {
             .expect("find_leaf verified membership");
         let mut refs: Vec<ChildRef> = leaf.entries.iter().map(|e| e.child).collect();
         let mut rects: Vec<Rect> = leaf.entries.iter().map(|e| e.rect).collect();
-        let mut aggs = self.full_aggs(&leaf);
+        let mut aggs = self.full_aggs_tracked(&leaf, &mut edit);
+        let old_summary = level_summary(&rects, &aggs);
         refs.remove(pos);
         rects.remove(pos);
         aggs.remove(pos);
         self.num_objects -= 1;
+        self.retire(&leaf, &mut edit);
 
-        let min_fill = (self.fanout / 2).max(1);
+        let min_fill = (self.fanout / 4).max(1);
         // Orphaned objects to reinsert when nodes dissolve.
         let mut orphans: Vec<IndexedObject> = Vec::new();
         // The rewritten child to splice into the parent (None = dissolved).
         let mut carry: Option<(RecordId, Rect, TermAgg)> = None;
+        // Same cheap ancestor splice as on insert: once the rewritten
+        // child's parent-visible summary is unchanged (the removed object
+        // held no subtree maximum and didn't define the MBR), ancestors
+        // reuse their inverted files untouched.
+        let mut cheap = false;
         if refs.len() >= min_fill || path.is_empty() {
             if refs.is_empty() {
                 // Deleting the last object entirely empties the tree — keep
                 // a valid empty leaf root.
-                let inv = self.invfiles.put(&serialize_invfile(&[], self.mode));
-                let rec = self.nodes.put(&serialize_node(true, inv, &[], &[]));
-                self.root = rec;
-                self.height = 1;
-                return true;
+                self.write_empty_root(&mut edit);
+                return Some(edit);
             }
-            let written = self.write_level(true, refs, rects, aggs);
+            let written = self.write_level(true, refs, rects, aggs, &mut edit);
+            cheap = summary_unchanged(&written, &old_summary);
             carry = Some(written.into_iter().next().expect("no split on delete"));
         } else {
             // Underflow: dissolve the leaf, reinsert its survivors later.
@@ -431,9 +463,17 @@ impl StTree {
 
         // Walk back up, splicing or dropping the rewritten child.
         for (node, child_idx) in path.into_iter().rev() {
+            if cheap {
+                let (rec, rc, _) = carry.take().expect("cheap implies a rewritten child");
+                let new_rec = self.splice_child(&node, child_idx, rec, &mut edit);
+                carry = Some((new_rec, rc, TermAgg::default()));
+                continue;
+            }
             let mut refs: Vec<ChildRef> = node.entries.iter().map(|e| e.child).collect();
             let mut rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
-            let mut aggs = self.full_aggs(&node);
+            let mut aggs = self.full_aggs_tracked(&node, &mut edit);
+            let old_summary = level_summary(&rects, &aggs);
+            self.retire(&node, &mut edit);
             match carry.take() {
                 Some((rec, rc, agg)) => {
                     refs[child_idx] = ChildRef::Node(rec);
@@ -449,7 +489,8 @@ impl StTree {
             if refs.is_empty() {
                 continue; // dissolve this node too (carry stays None)
             }
-            let written = self.write_level(false, refs, rects, aggs);
+            let written = self.write_level(false, refs, rects, aggs, &mut edit);
+            cheap = summary_unchanged(&written, &old_summary);
             carry = Some(written.into_iter().next().expect("no split on delete"));
         }
 
@@ -458,31 +499,73 @@ impl StTree {
                 self.root = rec;
                 // Collapse a root with one inner child.
                 loop {
-                    let root = self.read_node_quiet(self.root);
+                    let root = self.read_node_tracked(self.root, &mut edit);
                     if root.is_leaf || root.entries.len() > 1 {
                         break;
                     }
                     let ChildRef::Node(only) = root.entries[0].child else {
                         unreachable!()
                     };
+                    self.retire(&root, &mut edit);
                     self.root = only;
                     self.height -= 1;
                 }
             }
             None => {
                 // Everything dissolved: start over from an empty leaf.
-                let inv = self.invfiles.put(&serialize_invfile(&[], self.mode));
-                self.root = self.nodes.put(&serialize_node(true, inv, &[], &[]));
-                self.height = 1;
+                self.write_empty_root(&mut edit);
             }
         }
 
         // Reinsert survivors of dissolved leaves.
         self.num_objects -= orphans.len();
         for o in &orphans {
-            self.insert(o);
+            let sub = self.insert(o);
+            edit.absorb(sub);
         }
-        true
+        Some(edit)
+    }
+
+    /// Cheap ancestor repair: rewrites only the node record, splicing the
+    /// fresh child id at `child_idx` while keeping every rect and the
+    /// whole inverted file untouched (the old invfile record is reused,
+    /// not freed). Only sound when the child's summary is unchanged —
+    /// see the cheap-path discussion in [`StTree::insert`].
+    fn splice_child(
+        &mut self,
+        node: &NodeView,
+        child_idx: usize,
+        child: RecordId,
+        edit: &mut TreeEdit,
+    ) -> RecordId {
+        let mut refs: Vec<ChildRef> = node.entries.iter().map(|e| e.child).collect();
+        let rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
+        refs[child_idx] = ChildRef::Node(child);
+        edit.stale_keys.push(node_cache_key(self.mode, node.id));
+        self.nodes.free(node.id);
+        edit.node_writes += 1;
+        self.nodes
+            .put(&serialize_node(false, node.invfile, &refs, &rects))
+    }
+
+    /// Frees a superseded node and its inverted file, remembering their
+    /// page-cache keys.
+    fn retire(&mut self, node: &NodeView, edit: &mut TreeEdit) {
+        edit.stale_keys.push(node_cache_key(self.mode, node.id));
+        edit.stale_keys
+            .push(invfile_cache_key(self.mode, node.invfile));
+        self.nodes.free(node.id);
+        self.invfiles.free(node.invfile);
+    }
+
+    /// Installs an empty leaf root (the tree just lost its last object).
+    fn write_empty_root(&mut self, edit: &mut TreeEdit) {
+        let inv_payload = serialize_invfile(&[], self.mode);
+        edit.payload_blocks += storage::blocks_for(inv_payload.len());
+        let inv = self.invfiles.put(&inv_payload);
+        edit.node_writes += 1;
+        self.root = self.nodes.put(&serialize_node(true, inv, &[], &[]));
+        self.height = 1;
     }
 
     /// Depth-first search for the leaf holding `(id, rect)`; records the
@@ -493,8 +576,9 @@ impl StTree {
         id: u32,
         rect: &Rect,
         path: &mut Vec<(NodeView, usize)>,
+        edit: &mut TreeEdit,
     ) -> Option<NodeView> {
-        let node = self.read_node_quiet(node_rec);
+        let node = self.read_node_tracked(node_rec, edit);
         if node.is_leaf {
             if node.entries.iter().any(|e| e.child == ChildRef::Object(id)) {
                 return Some(node);
@@ -503,9 +587,9 @@ impl StTree {
         }
         for (i, e) in node.entries.iter().enumerate() {
             if let ChildRef::Node(c) = e.child {
-                if e.rect.contains_rect(rect) || e.rect.intersects(rect) {
+                if e.rect.intersects(rect) {
                     path.push((node.clone(), i));
-                    if let Some(found) = self.find_leaf(c, id, rect, path) {
+                    if let Some(found) = self.find_leaf(c, id, rect, path, edit) {
                         return Some(found);
                     }
                     path.pop();
@@ -523,6 +607,7 @@ impl StTree {
         refs: Vec<ChildRef>,
         rects: Vec<Rect>,
         aggs: Vec<TermAgg>,
+        edit: &mut TreeEdit,
     ) -> Vec<(RecordId, Rect, TermAgg)> {
         let groups: Vec<Vec<usize>> = if refs.len() <= self.fanout {
             vec![(0..refs.len()).collect()]
@@ -536,7 +621,10 @@ impl StTree {
                 let g_refs: Vec<ChildRef> = group.iter().map(|&i| refs[i]).collect();
                 let g_rects: Vec<Rect> = group.iter().map(|&i| rects[i]).collect();
                 let g_aggs: Vec<TermAgg> = group.iter().map(|&i| aggs[i].clone()).collect();
-                let inv = self.invfiles.put(&serialize_invfile(&g_aggs, self.mode));
+                let inv_payload = serialize_invfile(&g_aggs, self.mode);
+                edit.payload_blocks += storage::blocks_for(inv_payload.len());
+                let inv = self.invfiles.put(&inv_payload);
+                edit.node_writes += 1;
                 let rec = self
                     .nodes
                     .put(&serialize_node(is_leaf, inv, &g_refs, &g_rects));
@@ -546,22 +634,29 @@ impl StTree {
             .collect()
     }
 
-    /// Reads a node without charging simulated I/O (maintenance path).
-    fn read_node_quiet(&self, id: RecordId) -> NodeView {
+    /// Reads a node on the maintenance path: the query-side
+    /// [`IoStats`] is not charged, but the cost lands in the edit's
+    /// maintenance counters.
+    fn read_node_tracked(&self, id: RecordId, edit: &mut TreeEdit) -> NodeView {
+        edit.read_ios += 1;
         deserialize_node(id, self.nodes.get(id))
     }
 
     /// Reconstructs every entry's full term aggregate from the node's
-    /// inverted file (maintenance path; no I/O charge).
-    fn full_aggs(&self, node: &NodeView) -> Vec<TermAgg> {
+    /// inverted file (maintenance path).
+    fn full_aggs_tracked(&self, node: &NodeView, edit: &mut TreeEdit) -> Vec<TermAgg> {
         let payload = self.invfiles.get(node.invfile);
+        edit.read_ios += storage::blocks_for(payload.len());
         let all = deserialize_all_postings(payload, self.mode, node.entries.len());
         all.into_iter().map(|terms| TermAgg { terms }).collect()
     }
 
     /// Persists the tree to `dir` (three files: `nodes.mbrs`,
     /// `invfiles.mbrs`, `meta.mbrs`). The directory is created when
-    /// missing.
+    /// missing. Records freed by earlier mutations persist as empty
+    /// placeholders (record ids must stay stable); a reopened tree
+    /// therefore reports the same byte footprint but counts those
+    /// placeholders in [`StTree::footprint_io`] until the next rebuild.
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         storage::save_blockfile(&self.nodes, &dir.join("nodes.mbrs"))?;
@@ -634,14 +729,23 @@ impl StTree {
         self.fanout
     }
 
-    /// Total bytes of all node records (index footprint reporting).
+    /// Total bytes of all *live* node records (index footprint reporting;
+    /// records superseded by [`StTree::insert`] / [`StTree::remove`] are
+    /// freed and no longer counted).
     pub fn node_bytes(&self) -> u64 {
         self.nodes.bytes()
     }
 
-    /// Total bytes of all inverted files.
+    /// Total bytes of all live inverted files.
     pub fn invfile_bytes(&self) -> u64 {
         self.invfiles.bytes()
+    }
+
+    /// Simulated I/O to write the whole live tree from scratch: one I/O
+    /// per node record plus ⌈bytes / 4096⌉ per inverted file — the full
+    /// rebuild cost an incremental update avoids.
+    pub fn footprint_io(&self) -> u64 {
+        self.nodes.live_records() as u64 + self.invfiles.live_payload_blocks()
     }
 
     /// Reads (visits) a node, charging one simulated I/O (free on a warm
@@ -665,6 +769,22 @@ impl StTree {
     }
 }
 
+/// The summary a parent stores for a node: its MBR and merged term
+/// aggregate. `None` MBR only for an empty node (never summarized).
+fn level_summary(rects: &[Rect], aggs: &[TermAgg]) -> (Option<Rect>, TermAgg) {
+    (
+        Rect::bounding_rects(rects.iter().copied()),
+        TermAgg::merge_entries(aggs),
+    )
+}
+
+/// True when a rewrite produced exactly one node whose parent-visible
+/// summary (MBR + aggregate) matches the old one — the condition for the
+/// cheap ancestor splice.
+fn summary_unchanged(carry: &[(RecordId, Rect, TermAgg)], old: &(Option<Rect>, TermAgg)) -> bool {
+    carry.len() == 1 && Some(carry[0].1) == old.0 && carry[0].2 == old.1
+}
+
 /// Cache key for a node record (distinct per posting mode so IR and MIR
 /// trees sharing one counter never alias).
 fn node_cache_key(mode: PostingMode, id: RecordId) -> u64 {
@@ -683,7 +803,11 @@ fn invfile_cache_key(mode: PostingMode, id: RecordId) -> u64 {
 /// Subtree term aggregate carried during construction: per term, the max
 /// weight anywhere below, and the min weight when the term is in the
 /// subtree intersection (0 otherwise).
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the sorted term rows exactly; mutation paths use
+/// it to detect that a rewritten child's summary is unchanged and switch
+/// to the cheap ancestor splice (see [`StTree::insert`]).
+#[derive(Debug, Clone, Default, PartialEq)]
 struct TermAgg {
     /// `(term, max, min)` sorted by term; `min == 0` ⇔ not in intersection.
     terms: Vec<(TermId, f64, f64)>,
@@ -811,55 +935,6 @@ fn serialize_invfile(entry_aggs: &[TermAgg], mode: PostingMode) -> Vec<u8> {
         }
     }
     w.into_bytes()
-}
-
-/// Quadratic-split partition of entry indices (Guttman): seeds are the
-/// pair wasting the most area together; remaining entries go to the group
-/// needing less enlargement, with a minimum-fill force-assignment.
-fn quadratic_partition(rects: &[Rect], min_fill: usize) -> (Vec<usize>, Vec<usize>) {
-    let n = rects.len();
-    debug_assert!(n >= 2);
-    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
-            if waste > worst {
-                worst = waste;
-                s1 = i;
-                s2 = j;
-            }
-        }
-    }
-    let mut g1 = vec![s1];
-    let mut g2 = vec![s2];
-    let mut r1 = rects[s1];
-    let mut r2 = rects[s2];
-    let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
-    while let Some(i) = rest.pop() {
-        let remaining = rest.len() + 1;
-        if g1.len() + remaining <= min_fill {
-            for &x in std::iter::once(&i).chain(rest.iter()) {
-                g1.push(x);
-            }
-            break;
-        }
-        if g2.len() + remaining <= min_fill {
-            for &x in std::iter::once(&i).chain(rest.iter()) {
-                g2.push(x);
-            }
-            break;
-        }
-        let e1 = r1.enlargement(&rects[i]);
-        let e2 = r2.enlargement(&rects[i]);
-        if e1 < e2 || (e1 == e2 && r1.area() <= r2.area()) {
-            g1.push(i);
-            r1 = r1.union(&rects[i]);
-        } else {
-            g2.push(i);
-            r2 = r2.union(&rects[i]);
-        }
-    }
-    (g1, g2)
 }
 
 /// Decodes the entire inverted file into per-entry `(term, max, min)`
@@ -1268,7 +1343,11 @@ mod tests {
         let mut tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
         // Remove every even object.
         for obj in objects.iter().filter(|o| o.id % 2 == 0) {
-            assert!(tree.remove(obj.id, obj.point), "object {} present", obj.id);
+            assert!(
+                tree.remove(obj.id, obj.point).is_some(),
+                "object {} present",
+                obj.id
+            );
         }
         assert_eq!(tree.num_objects(), 10);
         let io = IoStats::new();
@@ -1276,7 +1355,7 @@ mod tests {
         let ids: Vec<u32> = got.iter().map(|&(o, _)| o).collect();
         assert_eq!(ids, (0..20).filter(|i| i % 2 == 1).collect::<Vec<_>>());
         // Removing again reports absence.
-        assert!(!tree.remove(0, objects[0].point));
+        assert!(tree.remove(0, objects[0].point).is_none());
     }
 
     #[test]
@@ -1284,9 +1363,14 @@ mod tests {
         let (objects, _, _) = corpus();
         let mut tree = StTree::build_with_fanout(&objects[..6], PostingMode::MaxMin, 4);
         for obj in &objects[..6] {
-            assert!(tree.remove(obj.id, obj.point));
+            assert!(tree.remove(obj.id, obj.point).is_some());
         }
         assert_eq!(tree.num_objects(), 0);
+        // Byte accounting stays live: the empty tree holds exactly one
+        // empty leaf root (9-byte node record, 4-byte empty invfile), not
+        // the garbage of every superseded record.
+        assert_eq!(tree.node_bytes(), 9);
+        assert_eq!(tree.invfile_bytes(), 4);
         // The empty tree accepts fresh inserts.
         for obj in &objects {
             tree.insert(obj);
@@ -1300,8 +1384,60 @@ mod tests {
     fn remove_missing_object_is_noop() {
         let (objects, _, _) = corpus();
         let mut tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
-        assert!(!tree.remove(999, Point::new(0.0, 0.0)));
+        assert!(tree.remove(999, Point::new(0.0, 0.0)).is_none());
         assert_eq!(tree.num_objects(), 20);
+    }
+
+    /// Satellite regression: build → insert → remove must keep the byte
+    /// accounting live. Before records were freed, `invfile_bytes()` /
+    /// `node_bytes()` grew monotonically with every mutation (superseded
+    /// records were still counted); now an insert+remove churn cycle stays
+    /// within a small factor of a fresh bulk load over the survivors.
+    #[test]
+    fn mutation_byte_accounting_does_not_drift() {
+        let (objects, _, _) = corpus();
+        let mut tree = StTree::build_with_fanout(&objects[..10], PostingMode::MaxMin, 4);
+        for obj in &objects[10..] {
+            tree.insert(obj);
+        }
+        for obj in &objects[..10] {
+            assert!(tree.remove(obj.id, obj.point).is_some());
+        }
+        let fresh = StTree::build_with_fanout(&objects[10..], PostingMode::MaxMin, 4);
+        // Same live object set; incremental tree shape may differ (deeper
+        // or sparser nodes), but the accounting must track live records,
+        // not the append-only history.
+        assert!(
+            tree.invfile_bytes() <= fresh.invfile_bytes() * 3,
+            "incremental {} vs fresh {}: accounting drifted",
+            tree.invfile_bytes(),
+            fresh.invfile_bytes()
+        );
+        assert!(tree.node_bytes() <= fresh.node_bytes() * 3);
+        // The edits carried maintenance I/O and stale keys.
+        let edit = tree.insert(&objects[0]);
+        assert!(edit.io_total() > 0);
+        assert!(!edit.stale_keys.is_empty());
+        let edit = tree.remove(objects[0].id, objects[0].point).unwrap();
+        assert!(edit.io_total() > 0);
+        assert!(!edit.stale_keys.is_empty());
+    }
+
+    /// The rebuild cost of the live tree (`footprint_io`) tracks live
+    /// records only.
+    #[test]
+    fn footprint_io_counts_live_records() {
+        let (objects, _, _) = corpus();
+        let mut tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        let before = tree.footprint_io();
+        assert!(before > 0);
+        for obj in objects.iter().take(10) {
+            tree.remove(obj.id, obj.point).unwrap();
+        }
+        assert!(
+            tree.footprint_io() < before,
+            "half the objects gone, footprint must shrink"
+        );
     }
 
     #[test]

@@ -228,7 +228,7 @@ fn dynamic_remove_completeness() {
         let mut tree = StTree::build_with_fanout(&objs, PostingMode::MaxMin, fanout);
         let kill = (objs.len() * kill_pct / 100).min(objs.len());
         for o in &objs[..kill] {
-            assert!(tree.remove(o.id, o.point));
+            assert!(tree.remove(o.id, o.point).is_some());
         }
         let io = IoStats::new();
         let got = collect_all(&tree, &io);

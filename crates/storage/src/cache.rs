@@ -85,6 +85,19 @@ impl LruSet {
         }
     }
 
+    /// Drops `key` from the cache, refunding its blocks. Returns `true`
+    /// when the key was cached. Used by index-mutation paths to flush
+    /// pages of rewritten records — a later access of the key is a miss.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.entries.remove(&key) {
+            Some((blocks, _)) => {
+                self.held_blocks -= blocks;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -201,6 +214,18 @@ mod tests {
         assert!(!c.access(1, 100), "cannot be served from a 2-block copy");
         assert!(c.is_empty());
         assert_eq!(c.held_blocks(), 0);
+    }
+
+    #[test]
+    fn remove_refunds_blocks_and_forces_miss() {
+        let mut c = LruSet::new(8);
+        c.access(1, 3);
+        c.access(2, 2);
+        assert!(c.remove(1));
+        assert!(!c.remove(1), "already gone");
+        assert_eq!(c.held_blocks(), 2);
+        assert!(!c.access(1, 3), "flushed page must miss");
+        assert!(c.access(2, 2), "unrelated entry untouched");
     }
 
     #[test]

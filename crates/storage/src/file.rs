@@ -26,12 +26,14 @@ pub fn save_blockfile(bf: &BlockFile, path: &Path) -> io::Result<()> {
     out.write_all(MAGIC)?;
     out.write_all(&VERSION.to_le_bytes())?;
     out.write_all(&(bf.len() as u32).to_le_bytes())?;
+    // `raw` tolerates freed records: they persist as empty payloads (the
+    // freed flag itself is not serialized — a reopened file treats them as
+    // ordinary empty records, which nothing references).
     for i in 0..bf.len() {
-        let rec = bf.get(crate::RecordId(i as u32));
-        out.write_all(&(rec.len() as u64).to_le_bytes())?;
+        out.write_all(&(bf.raw(i).len() as u64).to_le_bytes())?;
     }
     for i in 0..bf.len() {
-        out.write_all(bf.get(crate::RecordId(i as u32)))?;
+        out.write_all(bf.raw(i))?;
     }
     out.flush()
 }

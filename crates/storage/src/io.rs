@@ -131,6 +131,17 @@ impl IoStats {
         self.cache.as_ref()
     }
 
+    /// Flushes the given keys from the attached page cache (no-op without
+    /// one). Index mutations call this for every record they rewrite or
+    /// free, so a stale page can never satisfy a post-mutation read.
+    pub fn evict_keys(&self, keys: impl IntoIterator<Item = u64>) {
+        if let Some(cache) = &self.cache {
+            for key in keys {
+                cache.remove(key);
+            }
+        }
+    }
+
     /// Charge one node visit.
     #[inline]
     pub fn charge_node_visit(&self) {
@@ -348,6 +359,22 @@ mod tests {
         io.charge_node_visit_keyed(1); // miss again
         assert_eq!(io.snapshot().node_visits, 3);
         assert_eq!(io.snapshot().cache_misses, 3);
+    }
+
+    #[test]
+    fn evict_keys_forces_remiss_of_flushed_pages() {
+        let io = IoStats::with_cache(16);
+        io.charge_node_visit_keyed(1);
+        io.charge_node_visit_keyed(2);
+        io.evict_keys([1]);
+        io.charge_node_visit_keyed(1); // flushed → miss, charged again
+        io.charge_node_visit_keyed(2); // untouched → hit
+        assert_eq!(io.snapshot().node_visits, 3);
+        assert_eq!(io.snapshot().cache_hits, 1);
+        // Without a cache the call is a harmless no-op.
+        let cold = IoStats::new();
+        cold.evict_keys([1, 2, 3]);
+        assert_eq!(cold.total(), 0);
     }
 
     #[test]

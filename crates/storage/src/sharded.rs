@@ -102,6 +102,12 @@ impl ShardedLru {
             .access(key, blocks)
     }
 
+    /// Drops `key` from its shard, refunding its blocks (page invalidation
+    /// for rewritten index records). Returns `true` when the key was held.
+    pub fn remove(&self, key: u64) -> bool {
+        self.shards[self.shard_of(key)].lock().unwrap().remove(key)
+    }
+
     /// Total configured capacity across all shards.
     pub fn capacity_blocks(&self) -> u64 {
         self.shards

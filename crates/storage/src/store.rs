@@ -18,12 +18,17 @@ impl RecordId {
 /// exercises the same byte layouts a true disk-resident index would, and
 /// record byte sizes drive the simulated block accounting.
 ///
-/// There is intentionally no cache and no mutation of written records —
-/// the paper evaluates cold queries on static indexes.
+/// Written records are never mutated in place — index updates append fresh
+/// records (like a disk page allocator) and [`BlockFile::free`] the
+/// superseded ones, so [`BlockFile::bytes`] always reports the *live*
+/// footprint. Reading a freed record panics: any such access is a stale
+/// pointer inside an index structure, i.e. corruption.
 #[derive(Debug, Default, Clone)]
 pub struct BlockFile {
     records: Vec<Box<[u8]>>,
+    freed: Vec<bool>,
     bytes: u64,
+    live: usize,
 }
 
 impl BlockFile {
@@ -39,16 +44,51 @@ impl BlockFile {
         );
         self.bytes += payload.len() as u64;
         self.records.push(payload.into());
+        self.freed.push(false);
+        self.live += 1;
         id
+    }
+
+    /// Marks a record as garbage: its payload is dropped, its bytes leave
+    /// the live accounting, and any later [`BlockFile::get`] of the id
+    /// panics (a freed record can only be reached through a stale pointer).
+    /// Record ids are never reused.
+    ///
+    /// # Panics
+    /// Panics on an unknown id or a double free.
+    pub fn free(&mut self, id: RecordId) {
+        assert!(!self.freed[id.idx()], "double free of record {}", id.0);
+        self.bytes -= self.records[id.idx()].len() as u64;
+        self.records[id.idx()] = Box::from([]);
+        self.freed[id.idx()] = true;
+        self.live -= 1;
+    }
+
+    /// True when `id` was [`BlockFile::free`]d.
+    #[inline]
+    pub fn is_freed(&self, id: RecordId) -> bool {
+        self.freed[id.idx()]
     }
 
     /// Reads a record's payload.
     ///
     /// # Panics
-    /// Panics on an unknown id — that is index corruption, not a user error.
+    /// Panics on an unknown or freed id — that is index corruption, not a
+    /// user error.
     #[inline]
     pub fn get(&self, id: RecordId) -> &[u8] {
+        assert!(
+            !self.freed[id.idx()],
+            "read of freed record {} (stale index pointer)",
+            id.0
+        );
         &self.records[id.idx()]
+    }
+
+    /// Raw payload access that tolerates freed records (persistence only —
+    /// freed records serialize as empty).
+    pub(crate) fn raw(&self, idx: usize) -> &[u8] {
+        &self.records[idx]
     }
 
     /// Byte length of one record.
@@ -57,7 +97,7 @@ impl BlockFile {
         self.records[id.idx()].len()
     }
 
-    /// Number of records stored.
+    /// Number of record slots allocated (live and freed).
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -67,9 +107,25 @@ impl BlockFile {
         self.records.is_empty()
     }
 
-    /// Total payload bytes across all records.
+    /// Number of live (never-freed) records.
+    pub fn live_records(&self) -> usize {
+        self.live
+    }
+
+    /// Total payload bytes across all *live* records.
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Simulated I/O blocks needed to read every live record
+    /// (⌈bytes / 4096⌉ per record, minimum not applied to empty records).
+    pub fn live_payload_blocks(&self) -> u64 {
+        self.records
+            .iter()
+            .zip(&self.freed)
+            .filter(|&(_, &freed)| !freed)
+            .map(|(r, _)| crate::blocks_for(r.len()))
+            .sum()
     }
 }
 
@@ -103,5 +159,53 @@ mod tests {
     fn unknown_record_panics() {
         let f = BlockFile::new();
         f.get(RecordId(0));
+    }
+
+    /// Freeing reclaims bytes from the live accounting, keeps ids stable,
+    /// and turns later reads of the freed id into loud failures.
+    #[test]
+    fn free_reclaims_bytes_and_blocks_reads() {
+        let mut f = BlockFile::new();
+        let a = f.put(&[0u8; 100]);
+        let b = f.put(&[0u8; 50]);
+        assert_eq!(f.bytes(), 150);
+        assert_eq!(f.live_records(), 2);
+        f.free(a);
+        assert_eq!(f.bytes(), 50);
+        assert_eq!(f.live_records(), 1);
+        assert_eq!(f.len(), 2, "slots are never reused");
+        assert!(f.is_freed(a));
+        assert!(!f.is_freed(b));
+        assert_eq!(f.get(b), &[0u8; 50]);
+        // New records still get fresh ids after the free.
+        assert_eq!(f.put(b"x"), RecordId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "freed record")]
+    fn read_of_freed_record_panics() {
+        let mut f = BlockFile::new();
+        let a = f.put(b"data");
+        f.free(a);
+        f.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut f = BlockFile::new();
+        let a = f.put(b"data");
+        f.free(a);
+        f.free(a);
+    }
+
+    #[test]
+    fn live_payload_blocks_counts_only_live() {
+        let mut f = BlockFile::new();
+        let a = f.put(&[0u8; 5000]); // 2 blocks
+        f.put(&[0u8; 100]); // 1 block
+        assert_eq!(f.live_payload_blocks(), 3);
+        f.free(a);
+        assert_eq!(f.live_payload_blocks(), 1);
     }
 }

@@ -96,10 +96,7 @@ fn second_same_k_query_charges_zero_topk_io() {
 fn all_six_methods_agree_with_caches_enabled() {
     let (cold, specs) = workload(false);
     let (cached, _) = workload(true);
-    let cached = Engine {
-        io: maxbrstknn::storage::IoStats::with_cache(1 << 15),
-        ..cached
-    };
+    let cached = cached.with_page_cache(1 << 15);
     for method in Method::ALL {
         for (i, spec) in specs.iter().enumerate() {
             let want = cold.query(spec, method);
