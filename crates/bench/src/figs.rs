@@ -931,6 +931,99 @@ pub fn churn(p: &Params) {
     t.print();
 }
 
+/// Refresh experiment (beyond the paper): scorer drift and answer quality
+/// vs re-weigh cadence.
+///
+/// A drift-heavy churn stream ([`datagen::ChurnConfig::drift_heavy`]:
+/// insert-dominant, one term flooded with repeated occurrences) runs
+/// against one engine; every `cadence` mutations the engine re-weighs
+/// ([`Engine::refresh`]). At the end we measure [`Engine::drift`] and
+/// replay a probe batch, counting how many answers are bit-identical to a
+/// cold rebuild of the churned corpus. Expected shape: with no refresh
+/// (cadence 0) the frozen scorer drifts and probe answers diverge from
+/// the cold twin; any finite cadence ends drift-free right after a
+/// re-weigh, and tighter cadences bound the drift *between* re-weighs —
+/// the cost being one full rebuild (plus reclaimed placeholder records)
+/// per refresh.
+///
+/// [`Engine::refresh`]: mbrstk_core::Engine::refresh
+/// [`Engine::drift`]: mbrstk_core::Engine::drift
+pub fn refresh(p: &Params) {
+    use datagen::{generate_churn, ChurnConfig, ChurnOp};
+    use mbrstk_core::Engine;
+
+    const OPS: usize = 200;
+    /// Mutations between re-weighs; 0 = never refresh.
+    const CADENCES: [u64; 4] = [0, 200, 100, 50];
+
+    let mut t = Table::new(
+        "Refresh — drift & answer quality vs re-weigh cadence (drift-heavy churn)",
+        &[
+            "cadence",
+            "muts",
+            "refreshes",
+            "reclaimed",
+            "max drift",
+            "mean drift",
+            "probe match %",
+            "wall ms",
+        ],
+    );
+    for cadence in CADENCES {
+        let sc = Scenario::build(p, 0);
+        let probes = sc.batch_specs(6);
+        let mut eng = sc.engine;
+        let stream = generate_churn(
+            &eng.objects,
+            &eng.users,
+            &sc.spec.keywords,
+            &ChurnConfig::drift_heavy(OPS).with_seed(p.seed),
+        );
+        let start = std::time::Instant::now();
+        let (mut muts, mut refreshes, mut reclaimed) = (0u64, 0u64, 0u64);
+        for op in stream {
+            let ChurnOp::Mutate(m) = op else { continue };
+            muts += eng.apply_batch([m]).applied as u64;
+            if cadence > 0 && muts % cadence == 0 {
+                let r = eng.refresh();
+                refreshes += 1;
+                reclaimed += r.reclaimed_records;
+            }
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let drift = eng.drift();
+        // Answer quality: bit-identity against a cold rebuild over the
+        // churned corpus (the ground truth a drift-free engine matches).
+        let cold = Engine::build_with_fanout(
+            eng.objects.clone(),
+            eng.users.clone(),
+            p.model,
+            p.alpha,
+            p.fanout,
+        );
+        let matched = probes
+            .iter()
+            .filter(|ps| eng.query(ps, Method::JointExact) == cold.query(ps, Method::JointExact))
+            .count();
+        t.row(vec![
+            if cadence == 0 {
+                "never".into()
+            } else {
+                cadence.to_string()
+            },
+            muts.to_string(),
+            refreshes.to_string(),
+            reclaimed.to_string(),
+            fmt(drift.max_rel_error),
+            fmt(drift.mean_rel_error),
+            fmt(100.0 * matched as f64 / probes.len() as f64),
+            fmt(wall_ms),
+        ]);
+    }
+    t.print();
+}
+
 /// Ablations beyond the paper's figures: design-choice experiments listed
 /// in DESIGN.md.
 ///

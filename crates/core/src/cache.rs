@@ -206,6 +206,13 @@ impl ThresholdCache {
         }
     }
 
+    /// The configured bound on distinct `k` values per map (the
+    /// corpus-refresh path reads it to hand a rebuilt engine a fresh cache
+    /// of the same shape).
+    pub fn k_capacity(&self) -> usize {
+        self.joint.cap
+    }
+
     /// Lookups served from the cache so far (across all three maps).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

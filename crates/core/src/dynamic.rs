@@ -297,6 +297,7 @@ impl Engine {
     /// memoized super-user depends on users only and survives).
     fn finish_object_mutation(&mut self) {
         self.epoch += 1;
+        self.obj_muts_since_refresh += 1;
         if let Some(tc) = &self.thresholds {
             tc.invalidate_objects();
         }
@@ -308,6 +309,7 @@ impl Engine {
     fn finish_user_mutation(&mut self) {
         self.epoch += 1;
         self.user_epoch += 1;
+        self.user_muts_since_refresh += 1;
         if let Some(tc) = &self.thresholds {
             tc.clear();
         }

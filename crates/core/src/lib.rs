@@ -31,6 +31,7 @@ pub mod dynamic;
 mod group;
 pub mod pipeline;
 mod query;
+pub mod refresh;
 mod score;
 pub mod select;
 pub mod topk;
@@ -42,6 +43,7 @@ pub use dynamic::{BatchReport, EpochGuard, MaintenanceIo, Mutation};
 pub use group::UserGroup;
 pub use pipeline::{BatchOutcome, QueryStats, QueryStrategy};
 pub use query::{Engine, Method};
+pub use refresh::{RefreshConfig, RefreshReport, RefresherHandle, ScorerDrift, ServingEngine};
 pub use score::ScoreContext;
 pub use topk::{ScoredObject, TopkOutcome, UserTopk};
 pub use user_index::UserIndexSeed;

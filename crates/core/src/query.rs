@@ -114,6 +114,45 @@ pub struct Engine {
     /// memoized super-user (which depends on the user table alone), so a
     /// missed eager clear can never serve a stale group summary.
     pub(crate) user_epoch: u64,
+    /// Object mutations since build or the last corpus refresh — the
+    /// frozen scorer only ages with *object* churn (corpus statistics are
+    /// computed over object documents), so this is what the drift
+    /// thresholds in [`crate::refresh`] watch.
+    pub(crate) obj_muts_since_refresh: u64,
+    /// User mutations since build or the last corpus refresh (reported in
+    /// [`crate::refresh::ScorerDrift`]; user churn never moves the corpus
+    /// statistics but still ages the dataspace hull).
+    pub(crate) user_muts_since_refresh: u64,
+}
+
+/// A deep copy: tables and disk-resident indexes are duplicated
+/// record-for-record, and the epoch counters carry over so snapshots of
+/// the original and the clone stay comparable. The simulated I/O counter
+/// and both caches restart *cold* with the same configuration (page-cache
+/// capacity and shard layout, threshold-cache `k` bound) — cached state is
+/// engine-local by design. The concurrent serving layer
+/// ([`crate::refresh::ServingEngine`]) relies on this as its copy-on-write
+/// fallback when a mutation races a long-lived reader snapshot.
+impl Clone for Engine {
+    fn clone(&self) -> Engine {
+        Engine {
+            ctx: self.ctx.clone(),
+            objects: self.objects.clone(),
+            users: self.users.clone(),
+            mir: self.mir.clone(),
+            ir: self.ir.clone(),
+            miur: self.miur.clone(),
+            io: self.io.fork(),
+            thresholds: self
+                .thresholds
+                .as_ref()
+                .map(|tc| ThresholdCache::with_capacity(tc.k_capacity())),
+            epoch: self.epoch,
+            user_epoch: self.user_epoch,
+            obj_muts_since_refresh: self.obj_muts_since_refresh,
+            user_muts_since_refresh: self.user_muts_since_refresh,
+        }
+    }
 }
 
 impl Engine {
@@ -177,6 +216,8 @@ impl Engine {
             thresholds: None,
             epoch: 0,
             user_epoch: 0,
+            obj_muts_since_refresh: 0,
+            user_muts_since_refresh: 0,
         }
     }
 

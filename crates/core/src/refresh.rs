@@ -1,0 +1,919 @@
+//! Background corpus re-weigh with an atomic engine swap.
+//!
+//! [`crate::dynamic`] freezes the build-time scorer: inserted objects are
+//! weighed under the corpus statistics captured at [`Engine::build`] time,
+//! and their weights are clamped to the frozen per-term maxima `wmax(t)`
+//! so the pruning bounds stay sound. The price is *drift* — under LM and
+//! TF-IDF the live corpus statistics walk away from the frozen ones as
+//! the corpus churns, exactly as IDF ages in production search engines.
+//! This module bounds that drift:
+//!
+//! * **Drift tracking** — [`Engine::drift`] recomputes the live
+//!   `CorpusStats`/`wmax` with one O(|O|) scan (no tree work, no simulated
+//!   I/O) and reports the relative error against the frozen scorer as a
+//!   [`ScorerDrift`], together with the per-engine mutation counters the
+//!   refresh thresholds watch.
+//! * **Re-weigh** — [`Engine::refreshed`] rebuilds the scorer, the
+//!   dataspace hull and all three disk-resident indexes (MIR, IR, MIUR)
+//!   from the live tables into *fresh* block files, which reclaims every
+//!   freed placeholder record as a side effect (block-file compaction
+//!   falls out for free). [`Engine::refresh`] does the same in place. The
+//!   rebuilt engine re-weighs every document unclamped under the new
+//!   `wmax`, so a previously clamped TF-IDF outlier gets its true weight
+//!   back — and is bit-identical to a cold [`Engine::build`] over the
+//!   surviving tables.
+//! * **Atomic swap** — [`ServingEngine`] publishes the engine behind an
+//!   `Arc`: queries grab a snapshot and run lock-free on it, mutations
+//!   serialize on the writer side (falling back to a copy-on-write clone
+//!   when a long-lived snapshot is still held), and a refresh rebuilds
+//!   entirely off-lock before swapping the fresh `Arc` in. In-flight
+//!   queries finish on their old snapshot without ever blocking on the
+//!   rebuild; new queries land on the refreshed engine. Caches are handed
+//!   off by *dropping*: the rebuilt engine carries fresh (same-shape)
+//!   threshold and page caches, and because the refreshed epoch is
+//!   strictly above every epoch the old engine ever had, no stale
+//!   threshold stamp could survive the swap even if one leaked.
+//!
+//! # Epoch discipline
+//!
+//! Epochs are strictly monotone across the engine's whole service life,
+//! including refreshes: the rebuilt engine starts at `old_epoch + 1` and
+//! replaying the mutations that landed during the rebuild bumps it
+//! further, so it always publishes *above* the live engine it replaces.
+//! An [`EpochGuard`] taken on a pre-swap snapshot therefore reports
+//! stale against any post-swap snapshot — "valid for the old epoch" is an
+//! observable, testable property (see `tests/refresh_soak.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use text::{CorpusStats, TermId, TextScorer, WeightModel};
+
+use crate::cache::ThresholdCache;
+use crate::dynamic::{BatchReport, EpochGuard, MaintenanceIo, Mutation};
+use crate::{Engine, Method, ObjectData, QueryResult, QuerySpec, UserData};
+
+/// How far the frozen scorer has walked away from the live corpus.
+///
+/// The per-term error compares the frozen `wmax(t)` against the `wmax` a
+/// fresh scorer over the live object documents would compute, normalized
+/// by the larger of the two (so every term's error is in `[0, 1]` and the
+/// metric is symmetric in growth and shrinkage). `wmax` folds both the
+/// corpus statistics and the per-document maxima, which makes it the one
+/// number every pruning bound in the engine actually consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScorerDrift {
+    /// Object mutations since build or the last refresh (the only churn
+    /// that moves corpus statistics).
+    pub object_mutations: u64,
+    /// User mutations since build or the last refresh.
+    pub user_mutations: u64,
+    /// Largest per-term relative `wmax` error, in `[0, 1]`.
+    pub max_rel_error: f64,
+    /// Mean per-term relative `wmax` error over the compared terms.
+    pub mean_rel_error: f64,
+    /// Terms with weight mass on either side that entered the comparison.
+    pub terms_compared: usize,
+}
+
+impl ScorerDrift {
+    /// Total mutations since build or the last refresh.
+    pub fn total_mutations(&self) -> u64 {
+        self.object_mutations + self.user_mutations
+    }
+}
+
+/// Thresholds steering [`ServingEngine::needs_refresh`] and the
+/// background worker ([`ServingEngine::start_refresher`]).
+#[derive(Debug, Clone)]
+pub struct RefreshConfig {
+    /// Refresh unconditionally once this many mutations accumulated
+    /// (objects + users; the user index and the dataspace hull age too).
+    pub max_mutations: u64,
+    /// Refresh once [`ScorerDrift::max_rel_error`] reaches this. Set to
+    /// `f64::INFINITY` to refresh on mutation count alone.
+    pub max_drift: f64,
+    /// Don't pay the O(|O|) drift scan before this many mutations landed
+    /// (a handful of mutations cannot move the statistics of a large
+    /// corpus far enough to matter).
+    pub drift_check_after: u64,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            max_mutations: 4096,
+            max_drift: 0.05,
+            drift_check_after: 64,
+        }
+    }
+}
+
+/// What one refresh did.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshReport {
+    /// Engine epoch after the refresh (strictly above every epoch the
+    /// replaced engine ever had).
+    pub epoch: u64,
+    /// Freed placeholder record slots the rebuild reclaimed across the
+    /// MIR, IR and MIUR block files.
+    pub reclaimed_records: u64,
+    /// Mutations that landed while the rebuild ran and were replayed onto
+    /// the fresh engine before the swap (always 0 for the in-place
+    /// [`Engine::refresh`]).
+    pub replayed: usize,
+}
+
+/// Everything a refresh needs from a snapshot, captured cheaply so the
+/// expensive rebuild can run without holding the snapshot `Arc` (holding
+/// it would force every concurrent mutation into the copy-on-write
+/// fallback for the whole rebuild).
+struct RefreshSeed {
+    objects: Vec<ObjectData>,
+    users: Vec<UserData>,
+    model: WeightModel,
+    alpha: f64,
+    fanout: usize,
+    user_index: bool,
+    threshold_capacity: Option<usize>,
+    page_cache: Option<(u64, usize)>,
+    epoch: u64,
+    user_epoch: u64,
+}
+
+impl RefreshSeed {
+    fn capture(engine: &Engine) -> RefreshSeed {
+        RefreshSeed {
+            objects: engine.objects.clone(),
+            users: engine.users.clone(),
+            model: engine.ctx.text.model(),
+            alpha: engine.ctx.alpha,
+            fanout: engine.mir.fanout(),
+            user_index: engine.miur.is_some(),
+            threshold_capacity: engine.thresholds.as_ref().map(|tc| tc.k_capacity()),
+            page_cache: engine
+                .io
+                .cache()
+                .map(|c| (c.capacity_blocks(), c.num_shards())),
+            epoch: engine.epoch,
+            user_epoch: engine.user_epoch,
+        }
+    }
+
+    /// The actual re-weigh: a cold build over the captured tables (same
+    /// model, α, fanout — so the result is bit-identical to
+    /// [`Engine::build_with_fanout`] over the survivors) with the serving
+    /// configuration restored and the epoch carried strictly forward.
+    fn build(self) -> Engine {
+        let mut fresh = Engine::build_with_fanout(
+            self.objects,
+            self.users,
+            self.model,
+            self.alpha,
+            self.fanout,
+        );
+        if self.user_index {
+            fresh = fresh.with_user_index();
+        }
+        if let Some(cap) = self.threshold_capacity {
+            fresh.thresholds = Some(ThresholdCache::with_capacity(cap));
+        }
+        if let Some((blocks, shards)) = self.page_cache {
+            fresh.io = storage::IoStats::with_cache_sharded(blocks, shards);
+        }
+        // Strictly monotone epochs across the swap: every stamp the old
+        // engine ever issued is below the refreshed generation, so no
+        // stale threshold-cache slot can validate against it.
+        fresh.epoch = self.epoch + 1;
+        fresh.user_epoch = self.user_epoch + 1;
+        fresh
+    }
+}
+
+impl Engine {
+    /// Mutations absorbed since build or the last corpus refresh
+    /// (objects + users).
+    pub fn mutations_since_refresh(&self) -> u64 {
+        self.obj_muts_since_refresh + self.user_muts_since_refresh
+    }
+
+    /// Measures how far the frozen scorer drifted from the live corpus:
+    /// one O(|O|) scan recomputes `CorpusStats` and `wmax` over the
+    /// current object documents and compares per term against the frozen
+    /// values (see [`ScorerDrift`]). Cheap relative to a refresh — no
+    /// tree work — and charges no simulated I/O (it is bookkeeping, not a
+    /// query).
+    ///
+    /// Exactly `0.0` on a freshly built or freshly refreshed engine;
+    /// grows under one-sided churn; corpus-independent models
+    /// (`WeightModel::KeywordOverlap`) only drift on vocabulary changes.
+    pub fn drift(&self) -> ScorerDrift {
+        let frozen = &self.ctx.text;
+        let stats = CorpusStats::build(self.objects.iter().map(|o| &o.doc));
+        let live = TextScorer::build(frozen.model(), stats, self.objects.iter().map(|o| &o.doc));
+        let vocab = frozen.stats().vocab_len().max(live.stats().vocab_len());
+        let (mut max_rel, mut sum, mut compared) = (0.0f64, 0.0f64, 0usize);
+        for i in 0..vocab {
+            let t = TermId(i as u32);
+            let f = frozen.max_weight(t);
+            let l = live.max_weight(t);
+            let denom = f.max(l);
+            if denom <= 0.0 {
+                continue;
+            }
+            let rel = (f - l).abs() / denom;
+            max_rel = max_rel.max(rel);
+            sum += rel;
+            compared += 1;
+        }
+        ScorerDrift {
+            object_mutations: self.obj_muts_since_refresh,
+            user_mutations: self.user_muts_since_refresh,
+            max_rel_error: max_rel,
+            mean_rel_error: if compared > 0 {
+                sum / compared as f64
+            } else {
+                0.0
+            },
+            terms_compared: compared,
+        }
+    }
+
+    /// Freed placeholder record slots across the MIR, IR and (when built)
+    /// MIUR block files — what a refresh (or the trees' `compacted`
+    /// paths) would reclaim.
+    pub fn freed_record_slots(&self) -> u64 {
+        self.mir.freed_records()
+            + self.ir.freed_records()
+            + self.miur.as_ref().map_or(0, |m| m.freed_records())
+    }
+
+    /// A re-weighed twin of this engine: scorer, dataspace hull and all
+    /// indexes rebuilt from the live tables into fresh block files
+    /// (reclaiming freed placeholders), serving configuration (caches'
+    /// shapes, user index, fanout) preserved, epochs carried strictly
+    /// forward. Takes `&self` so a background worker can rebuild off an
+    /// immutable snapshot; answers are bit-identical to a cold
+    /// [`Engine::build_with_fanout`] over the same tables.
+    pub fn refreshed(&self) -> Engine {
+        RefreshSeed::capture(self).build()
+    }
+
+    /// In-place [`Engine::refreshed`]: replaces this engine's scorer and
+    /// indexes with the re-weighed rebuild and resets the
+    /// mutations-since-refresh counters. Single-threaded convenience —
+    /// concurrent serving goes through [`ServingEngine`].
+    pub fn refresh(&mut self) -> RefreshReport {
+        let reclaimed = self.freed_record_slots();
+        *self = self.refreshed();
+        RefreshReport {
+            epoch: self.epoch,
+            reclaimed_records: reclaimed,
+            replayed: 0,
+        }
+    }
+}
+
+/// Signals between mutators and the background refresher thread.
+#[derive(Debug, Default)]
+struct Signal {
+    /// Mutations landed since the worker last looked.
+    pending: bool,
+    /// The handle asked the worker to exit.
+    stop: bool,
+}
+
+/// A concurrently servable engine with background corpus refresh.
+///
+/// * **Queries** take an [`ServingEngine::snapshot`] (`Arc<Engine>`) and
+///   run lock-free on it; the publish lock is held only for the clone.
+/// * **Mutations** ([`ServingEngine::apply`]) serialize on the write side
+///   of the publish lock and maintain the engine in place. When a query
+///   (or anything else) still holds a snapshot `Arc`, the mutation waits
+///   briefly for it to drop — new snapshots are blocked, so the holder
+///   count only shrinks — and falls back to a copy-on-write clone of the
+///   engine for genuinely long-lived holders, guaranteeing progress
+///   without ever mutating shared state.
+/// * **Refreshes** ([`ServingEngine::refresh_now`], or the background
+///   worker from [`ServingEngine::start_refresher`]) capture the live
+///   tables, rebuild a re-weighed engine entirely off-lock, replay the
+///   mutations that landed meanwhile from an internal journal, and swap
+///   the fresh `Arc` in. In-flight queries keep their old snapshot; the
+///   old engine is dropped when its last snapshot is.
+///
+/// Memory note: the journal is only fed while a rebuild is in flight and
+/// is drained at every swap, so its footprint is bounded by the mutations
+/// one rebuild overlaps — not by the refresh cadence.
+#[derive(Debug)]
+pub struct ServingEngine {
+    /// The published snapshot.
+    snap: RwLock<Arc<Engine>>,
+    /// Mutations applied while a rebuild is in flight, for replay onto
+    /// the rebuilt engine. Lock order: `snap` before `journal`.
+    journal: Mutex<Vec<Mutation>>,
+    /// True between a refresh's capture announcement and its swap —
+    /// mutations journal themselves only in that window (outside it the
+    /// next capture would contain them anyway).
+    rebuilding: std::sync::atomic::AtomicBool,
+    /// Serializes refreshers (the rebuild phase must not run twice).
+    refresh_gate: Mutex<()>,
+    cfg: RefreshConfig,
+    refreshes: AtomicU64,
+    /// Mutation-count bucket of the last drift scan (rate-limits the
+    /// O(|O|) scan in [`ServingEngine::needs_refresh`]).
+    drift_scan_bucket: AtomicU64,
+    signal: Mutex<Signal>,
+    wake: Condvar,
+}
+
+impl ServingEngine {
+    /// Wraps an engine for concurrent serving with the default
+    /// [`RefreshConfig`].
+    pub fn new(engine: Engine) -> Arc<Self> {
+        Self::with_config(engine, RefreshConfig::default())
+    }
+
+    /// [`ServingEngine::new`] with explicit refresh thresholds.
+    pub fn with_config(engine: Engine, cfg: RefreshConfig) -> Arc<Self> {
+        Arc::new(ServingEngine {
+            snap: RwLock::new(Arc::new(engine)),
+            journal: Mutex::new(Vec::new()),
+            rebuilding: std::sync::atomic::AtomicBool::new(false),
+            refresh_gate: Mutex::new(()),
+            cfg,
+            refreshes: AtomicU64::new(0),
+            drift_scan_bucket: AtomicU64::new(0),
+            signal: Mutex::new(Signal::default()),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// The refresh thresholds in force.
+    pub fn config(&self) -> &RefreshConfig {
+        &self.cfg
+    }
+
+    /// The current published snapshot. Queries on it never block on (and
+    /// are never torn by) concurrent mutations or swaps; pair it with
+    /// [`Engine::epoch_guard`] to detect afterwards whether the results
+    /// describe a superseded generation.
+    pub fn snapshot(&self) -> Arc<Engine> {
+        self.snap.read().unwrap().clone()
+    }
+
+    /// Epoch of the published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Completed refreshes over this serving engine's lifetime.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Answers one query on the current snapshot, returning the result
+    /// with the guard that certifies which generation computed it.
+    pub fn query(&self, spec: &QuerySpec, method: Method) -> (QueryResult, EpochGuard) {
+        let snap = self.snapshot();
+        let guard = snap.epoch_guard();
+        (snap.query(spec, method), guard)
+    }
+
+    /// Applies one mutation (see [`Engine::insert_object`] and friends for
+    /// semantics); rejected mutations return `None`. Wakes the background
+    /// refresher, if one is running.
+    pub fn apply(&self, mutation: Mutation) -> Option<MaintenanceIo> {
+        let io = {
+            let mut published = self.snap.write().unwrap();
+            let engine = Self::exclusive(&mut published);
+            // Journal only while a rebuild is in flight. The flag is read
+            // under the write lock: if a refresher set it before we got
+            // here its capture will run after us and contain this
+            // mutation — and then clear the journal — so over-journaling
+            // around the capture boundary is harmless; if we saw it clear,
+            // the next capture contains us by definition.
+            let journal = self.rebuilding.load(Ordering::Relaxed);
+            let io = match mutation.clone() {
+                Mutation::InsertObject(o) => engine.insert_object(o),
+                Mutation::RemoveObject(id) => engine.remove_object(id),
+                Mutation::InsertUser(u) => engine.insert_user(u),
+                Mutation::RemoveUser(id) => engine.remove_user(id),
+            };
+            if io.is_some() && journal {
+                self.journal.lock().unwrap().push(mutation);
+            }
+            io
+        };
+        if io.is_some() {
+            let mut s = self.signal.lock().unwrap();
+            s.pending = true;
+            self.wake.notify_one();
+        }
+        io
+    }
+
+    /// Applies a stream of mutations in order (each one is individually
+    /// published — queries may interleave anywhere).
+    pub fn apply_batch(&self, mutations: impl IntoIterator<Item = Mutation>) -> BatchReport {
+        let mut report = BatchReport::default();
+        for m in mutations {
+            match self.apply(m) {
+                Some(io) => {
+                    report.applied += 1;
+                    report.io += io;
+                }
+                None => report.rejected += 1,
+            }
+        }
+        report
+    }
+
+    /// Exclusive access to the published engine for a writer already
+    /// holding the write lock. Waits briefly for in-flight snapshot
+    /// holders to drain (the write lock blocks new snapshots, so the
+    /// count only shrinks), then falls back to a copy-on-write clone so a
+    /// long-running reader can never stall mutations — it simply keeps
+    /// its private pre-mutation engine alive until it drops the `Arc`.
+    fn exclusive(published: &mut Arc<Engine>) -> &mut Engine {
+        for _ in 0..64 {
+            if Arc::get_mut(published).is_some() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        if Arc::get_mut(published).is_none() {
+            let copy = Engine::clone(published);
+            *published = Arc::new(copy);
+        }
+        Arc::get_mut(published).expect("writer holds the only new reference")
+    }
+
+    /// Whether the configured thresholds say it is time to re-weigh:
+    /// unconditionally past `max_mutations`, or when the measured
+    /// [`ScorerDrift`] exceeds `max_drift`. The O(|O|) drift scan is
+    /// rate-limited to once per `drift_check_after` mutations (it also
+    /// pins a snapshot for its duration, pushing concurrent mutations
+    /// into the copy-on-write fallback — another reason not to run it per
+    /// wake), so between scan points this can return `false` while the
+    /// true drift is already past the bound; the answer is advisory by a
+    /// bounded amount of churn.
+    pub fn needs_refresh(&self) -> bool {
+        let snap = self.snapshot();
+        let mutations = snap.mutations_since_refresh();
+        if mutations == 0 {
+            return false;
+        }
+        if mutations >= self.cfg.max_mutations {
+            return true;
+        }
+        if !self.cfg.max_drift.is_finite() || mutations < self.cfg.drift_check_after.max(1) {
+            return false;
+        }
+        let bucket = mutations / self.cfg.drift_check_after.max(1);
+        if bucket <= self.drift_scan_bucket.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.drift_scan_bucket.store(bucket, Ordering::Relaxed);
+        snap.drift().max_rel_error >= self.cfg.max_drift
+    }
+
+    /// Runs one full refresh now, on the calling thread: capture the live
+    /// tables, rebuild off-lock, replay the mutations that landed during
+    /// the rebuild, swap. Concurrent callers serialize; queries keep
+    /// running on the old snapshot throughout and only the final swap
+    /// takes the (briefly held) write lock.
+    pub fn refresh_now(&self) -> RefreshReport {
+        let _gate = self.refresh_gate.lock().unwrap();
+
+        // Announce the rebuild before capturing, so from here on every
+        // mutation journals itself.
+        self.rebuilding.store(true, Ordering::Relaxed);
+
+        // Phase 1: capture, and clear the journal under the same read
+        // lock that pins the snapshot: every journaled entry present now
+        // was applied under the write lock before we acquired the read
+        // lock, so the captured tables already contain it. What remains
+        // in the journal afterwards is exactly what the capture missed.
+        let (seed, reclaimed) = {
+            let published = self.snap.read().unwrap();
+            self.journal.lock().unwrap().clear();
+            (
+                RefreshSeed::capture(&published),
+                published.freed_record_slots(),
+            )
+        };
+
+        // Phase 2: the expensive rebuild — no locks, no snapshot held.
+        let mut fresh = seed.build();
+
+        // Phase 3: swap. Replay what landed during the rebuild, then
+        // publish. The epoch ends at `captured + 1 + replayed`, strictly
+        // above the live engine's `captured + replayed`.
+        let mut published = self.snap.write().unwrap();
+        let mut journal = self.journal.lock().unwrap();
+        let replayed = journal.len();
+        let replay = fresh.apply_batch(journal.drain(..));
+        debug_assert_eq!(
+            replay.rejected, 0,
+            "journaled mutations applied once and must replay cleanly"
+        );
+        let epoch = fresh.epoch();
+        *published = Arc::new(fresh);
+        self.rebuilding.store(false, Ordering::Relaxed);
+        drop(journal);
+        drop(published);
+        self.drift_scan_bucket.store(0, Ordering::Relaxed);
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        RefreshReport {
+            epoch,
+            reclaimed_records: reclaimed,
+            replayed,
+        }
+    }
+
+    /// Spawns the background re-weigh worker: it sleeps until mutations
+    /// land, re-checks [`ServingEngine::needs_refresh`], and runs
+    /// [`ServingEngine::refresh_now`] when the thresholds say so. Drop
+    /// (or [`RefresherHandle::stop`]) the returned handle to stop and
+    /// join the worker.
+    pub fn start_refresher(self: &Arc<Self>) -> RefresherHandle {
+        let owner = Arc::clone(self);
+        let thread = std::thread::spawn(move || loop {
+            {
+                let mut s = owner.signal.lock().unwrap();
+                while !s.pending && !s.stop {
+                    s = owner.wake.wait(s).unwrap();
+                }
+                if s.stop {
+                    return;
+                }
+                s.pending = false;
+            }
+            if owner.needs_refresh() {
+                owner.refresh_now();
+            }
+        });
+        RefresherHandle {
+            owner: Arc::clone(self),
+            thread: Some(thread),
+        }
+    }
+
+    fn stop_worker(&self, thread: &mut Option<JoinHandle<()>>) {
+        if let Some(handle) = thread.take() {
+            self.signal.lock().unwrap().stop = true;
+            self.wake.notify_all();
+            handle.join().expect("refresher worker must not panic");
+            // Allow a future `start_refresher` on the same engine.
+            self.signal.lock().unwrap().stop = false;
+        }
+    }
+}
+
+/// Handle to the background re-weigh worker of a [`ServingEngine`].
+/// Stopping (explicitly or by drop) joins the thread; a refresh already
+/// in progress completes first.
+#[derive(Debug)]
+pub struct RefresherHandle {
+    owner: Arc<ServingEngine>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl RefresherHandle {
+    /// Stops and joins the worker, returning how many refreshes the
+    /// serving engine has completed in total.
+    pub fn stop(mut self) -> u64 {
+        self.owner.stop_worker(&mut self.thread);
+        self.owner.refreshes()
+    }
+}
+
+impl Drop for RefresherHandle {
+    fn drop(&mut self) {
+        self.owner.stop_worker(&mut self.thread);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::Point;
+    use text::Document;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    fn obj(id: u32, x: f64, y: f64, term: u32) -> ObjectData {
+        ObjectData {
+            id,
+            point: Point::new(x, y),
+            doc: Document::from_terms([t(term), t(9)]),
+        }
+    }
+
+    fn user(id: u32, x: f64, y: f64, term: u32) -> UserData {
+        UserData {
+            id,
+            point: Point::new(x, y),
+            doc: Document::from_terms([t(term), t(9)]),
+        }
+    }
+
+    fn engine(model: WeightModel) -> Engine {
+        let objects: Vec<ObjectData> = (0..40)
+            .map(|i| obj(i, (i % 8) as f64, (i / 8) as f64, i % 4))
+            .collect();
+        let users: Vec<UserData> = (0..10)
+            .map(|i| user(i, (i % 6) as f64 + 0.4, (i % 4) as f64 + 0.3, i % 4))
+            .collect();
+        Engine::build_with_fanout(objects, users, model, 0.5, 4).with_user_index()
+    }
+
+    fn spec() -> QuerySpec {
+        QuerySpec {
+            ox_doc: Document::from_terms([t(9)]),
+            locations: vec![Point::new(2.0, 1.5), Point::new(6.0, 3.0)],
+            keywords: vec![t(0), t(1), t(2), t(3)],
+            ws: 2,
+            k: 3,
+        }
+    }
+
+    #[test]
+    fn fresh_engine_has_zero_drift() {
+        for model in [
+            WeightModel::lm(),
+            WeightModel::TfIdf,
+            WeightModel::KeywordOverlap,
+        ] {
+            let eng = engine(model);
+            let d = eng.drift();
+            assert_eq!(d.max_rel_error, 0.0, "{model:?}");
+            assert_eq!(d.mean_rel_error, 0.0, "{model:?}");
+            assert_eq!(d.total_mutations(), 0);
+            assert!(d.terms_compared > 0);
+        }
+    }
+
+    #[test]
+    fn drift_counts_mutations_per_side() {
+        let mut eng = engine(WeightModel::lm());
+        eng.insert_object(obj(100, 1.1, 1.1, 0)).unwrap();
+        eng.insert_user(user(100, 1.2, 1.2, 1)).unwrap();
+        eng.remove_object(100).unwrap();
+        let d = eng.drift();
+        assert_eq!(d.object_mutations, 2);
+        assert_eq!(d.user_mutations, 1);
+        assert_eq!(eng.mutations_since_refresh(), 3);
+    }
+
+    /// In-place refresh: bit-identical to a cold build over the live
+    /// tables, drift back to zero, counters reset, placeholders gone,
+    /// epochs strictly advanced.
+    #[test]
+    fn refresh_restores_cold_build_equivalence() {
+        let mut eng = engine(WeightModel::lm())
+            .with_threshold_cache()
+            .with_page_cache(1 << 12);
+        for i in 0..12 {
+            // One-sided churn: inserted docs flood term 0 with a heavier
+            // term frequency than anything in the build-time corpus, so
+            // the LM background model (cf/|C|) genuinely moves.
+            eng.insert_object(ObjectData {
+                id: 200 + i,
+                point: Point::new((i % 5) as f64 + 0.2, 2.1),
+                doc: Document::from_pairs([(t(0), 3), (t(9), 1)]),
+            })
+            .unwrap();
+            eng.remove_object(i).unwrap();
+        }
+        eng.insert_user(user(50, 3.0, 2.0, 2)).unwrap();
+        assert!(eng.drift().max_rel_error > 0.0, "LM must drift under churn");
+        assert!(eng.freed_record_slots() > 0);
+        let epoch_before = eng.epoch();
+
+        let report = eng.refresh();
+        assert!(report.reclaimed_records > 0);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.epoch, eng.epoch());
+        assert!(eng.epoch() > epoch_before);
+        assert_eq!(eng.drift().max_rel_error, 0.0);
+        assert_eq!(eng.mutations_since_refresh(), 0);
+        assert_eq!(eng.freed_record_slots(), 0);
+        // Serving configuration survives the rebuild.
+        assert!(eng.thresholds.is_some());
+        assert!(eng.io.cache().is_some());
+
+        let cold = Engine::build_with_fanout(
+            eng.objects.clone(),
+            eng.users.clone(),
+            WeightModel::lm(),
+            0.5,
+            4,
+        )
+        .with_user_index();
+        let s = spec();
+        for m in Method::ALL {
+            assert_eq!(
+                eng.query(&s, m).cardinality(),
+                cold.query(&s, m).cardinality(),
+                "{m:?}"
+            );
+        }
+        assert_eq!(
+            eng.query(&s, Method::JointExact),
+            cold.query(&s, Method::JointExact)
+        );
+    }
+
+    #[test]
+    fn clone_is_deep_and_cold() {
+        let eng = engine(WeightModel::lm())
+            .with_threshold_cache()
+            .with_page_cache(1 << 12);
+        let s = spec();
+        let _ = eng.query(&s, Method::JointExact); // warm caches + counters
+        let twin = eng.clone();
+        assert_eq!(twin.io.total(), 0, "clone starts with cold counters");
+        assert_eq!(twin.epoch(), eng.epoch());
+        // Mutating the clone leaves the original untouched.
+        let mut twin = twin;
+        twin.remove_object(0).unwrap();
+        assert_eq!(eng.objects.len(), 40);
+        assert_eq!(twin.objects.len(), 39);
+        assert_eq!(twin.epoch(), eng.epoch() + 1);
+        assert_eq!(
+            eng.query(&s, Method::JointExact),
+            engine(WeightModel::lm()).query(&s, Method::JointExact),
+            "original still answers like a fresh twin"
+        );
+    }
+
+    #[test]
+    fn serving_engine_applies_and_journals_only_during_rebuilds() {
+        let serving = ServingEngine::new(engine(WeightModel::KeywordOverlap));
+        assert!(serving
+            .apply(Mutation::InsertObject(obj(100, 1.0, 1.0, 1)))
+            .is_some());
+        assert!(
+            serving.apply(Mutation::RemoveObject(999)).is_none(),
+            "unknown id is rejected"
+        );
+        assert!(
+            serving.journal.lock().unwrap().is_empty(),
+            "no rebuild in flight → nothing to journal (the next capture contains it)"
+        );
+        assert_eq!(serving.epoch(), 1);
+        assert_eq!(serving.snapshot().objects.len(), 41);
+
+        // With the rebuild window open, applied mutations journal and
+        // rejected ones still do not.
+        serving.rebuilding.store(true, Ordering::Relaxed);
+        assert!(serving
+            .apply(Mutation::InsertObject(obj(101, 1.5, 1.0, 2)))
+            .is_some());
+        assert!(serving.apply(Mutation::RemoveObject(999)).is_none());
+        serving.rebuilding.store(false, Ordering::Relaxed);
+        assert_eq!(serving.journal.lock().unwrap().len(), 1);
+    }
+
+    /// Mutations racing a refresh are never lost: whatever lands during
+    /// the rebuild is replayed onto the fresh engine before the swap, and
+    /// the journal never retains anything once the refresh completes.
+    #[test]
+    fn concurrent_mutations_during_refresh_are_replayed() {
+        let serving = ServingEngine::new(engine(WeightModel::lm()));
+        std::thread::scope(|s| {
+            let serving = &serving;
+            let refresher = s.spawn(move || {
+                let mut reports = Vec::new();
+                for _ in 0..3 {
+                    reports.push(serving.refresh_now());
+                }
+                reports
+            });
+            for i in 0..30u32 {
+                assert!(serving
+                    .apply(Mutation::InsertObject(obj(
+                        400 + i,
+                        (i % 6) as f64 + 0.2,
+                        1.7,
+                        i % 4
+                    )))
+                    .is_some());
+                std::thread::yield_now();
+            }
+            let reports = refresher.join().unwrap();
+            // Epochs strictly advance across refreshes regardless of the
+            // interleaving.
+            for w in reports.windows(2) {
+                assert!(w[1].epoch > w[0].epoch);
+            }
+        });
+        let snap = serving.snapshot();
+        assert_eq!(snap.objects.len(), 70, "no insert may be lost");
+        for i in 0..30u32 {
+            assert!(snap.objects.iter().any(|o| o.id == 400 + i), "object {i}");
+        }
+        assert!(serving.journal.lock().unwrap().is_empty());
+        // And the final state still answers like a cold rebuild.
+        serving.refresh_now();
+        let snap = serving.snapshot();
+        let cold = Engine::build_with_fanout(
+            snap.objects.clone(),
+            snap.users.clone(),
+            WeightModel::lm(),
+            0.5,
+            4,
+        )
+        .with_user_index();
+        let s_ = spec();
+        assert_eq!(
+            snap.query(&s_, Method::JointExact),
+            cold.query(&s_, Method::JointExact)
+        );
+    }
+
+    #[test]
+    fn refresh_now_replays_nothing_when_quiesced_and_swaps() {
+        let serving = ServingEngine::new(engine(WeightModel::lm()));
+        serving.apply_batch((0..8).map(|i| Mutation::InsertObject(obj(100 + i, 2.0, 2.0, 0))));
+        let before = serving.epoch();
+        let report = serving.refresh_now();
+        assert_eq!(report.replayed, 0);
+        assert!(report.epoch > before);
+        assert_eq!(serving.epoch(), report.epoch);
+        assert_eq!(serving.refreshes(), 1);
+        assert_eq!(serving.snapshot().drift().max_rel_error, 0.0);
+        assert!(serving.journal.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn needs_refresh_tracks_mutation_threshold() {
+        let cfg = RefreshConfig {
+            max_mutations: 3,
+            max_drift: f64::INFINITY,
+            drift_check_after: 1,
+        };
+        let serving = ServingEngine::with_config(engine(WeightModel::KeywordOverlap), cfg);
+        assert!(!serving.needs_refresh());
+        serving.apply(Mutation::InsertObject(obj(100, 1.0, 1.0, 0)));
+        serving.apply(Mutation::InsertObject(obj(101, 1.5, 1.0, 1)));
+        assert!(!serving.needs_refresh());
+        serving.apply(Mutation::InsertObject(obj(102, 1.5, 2.0, 2)));
+        assert!(serving.needs_refresh());
+        serving.refresh_now();
+        assert!(!serving.needs_refresh(), "counters reset with the swap");
+    }
+
+    /// The background worker refreshes on its own once the threshold is
+    /// crossed, and the handle joins cleanly.
+    #[test]
+    fn background_worker_refreshes_past_threshold() {
+        let cfg = RefreshConfig {
+            max_mutations: 5,
+            max_drift: f64::INFINITY,
+            drift_check_after: 1,
+        };
+        let serving = ServingEngine::with_config(engine(WeightModel::lm()), cfg);
+        let worker = serving.start_refresher();
+        for i in 0..20 {
+            serving.apply(Mutation::InsertObject(obj(
+                300 + i,
+                (i % 4) as f64 + 0.1,
+                1.0,
+                i % 4,
+            )));
+        }
+        // The worker owes us at least one refresh; give it a moment.
+        for _ in 0..2_000 {
+            if serving.refreshes() > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let refreshes = worker.stop();
+        assert!(refreshes > 0, "worker must have refreshed at least once");
+        assert!(serving.snapshot().mutations_since_refresh() < 20);
+    }
+
+    /// Copy-on-write fallback: a mutation applied while a snapshot is
+    /// pinned makes progress on a private copy; the pinned snapshot stays
+    /// bit-stable.
+    #[test]
+    fn mutation_progresses_while_snapshot_is_pinned() {
+        let serving = ServingEngine::new(engine(WeightModel::KeywordOverlap));
+        let pinned = serving.snapshot();
+        let objects_before = pinned.objects.len();
+        assert!(serving.apply(Mutation::RemoveObject(0)).is_some());
+        assert_eq!(
+            pinned.objects.len(),
+            objects_before,
+            "pinned snapshot untouched"
+        );
+        assert_eq!(serving.snapshot().objects.len(), objects_before - 1);
+        assert!(pinned.objects.iter().any(|o| o.id == 0));
+    }
+}

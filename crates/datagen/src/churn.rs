@@ -29,6 +29,16 @@ pub struct ChurnConfig {
     /// Distinct keywords per generated document (inserted objects and
     /// users), at least 1.
     pub doc_terms: usize,
+    /// Probability that each keyword draw takes the *first* pool term
+    /// instead of a uniform one, in `[0, 1]`. 0 (the default) reproduces
+    /// the balanced uniform stream; values near 1 flood one term, walking
+    /// the live corpus statistics (`cf/|C|`, `df`) away from any frozen
+    /// scorer as fast as possible.
+    pub term_skew: f64,
+    /// Term frequency given to every keyword of an inserted document
+    /// (minimum 1). Values above 1 shift the collection frequency harder
+    /// per mutation — drift-heavy streams use this.
+    pub term_repeats: u32,
     /// RNG seed; equal seeds give equal streams.
     pub seed: u64,
 }
@@ -43,7 +53,26 @@ impl ChurnConfig {
             user_fraction: 0.25,
             insert_fraction: 0.5,
             doc_terms: 3,
+            term_skew: 0.0,
+            term_repeats: 1,
             seed: 77,
+        }
+    }
+
+    /// A drift-heavy preset: mutation-only, insert-dominant churn whose
+    /// inserted documents flood the first pool term with repeated
+    /// occurrences. This is the adversarial workload for a frozen scorer
+    /// — `cf/|C|` and `df` move with almost every mutation — and the one
+    /// the corpus-refresh subsystem (`mbrstk_core::refresh`) exists to
+    /// absorb.
+    pub fn drift_heavy(ops: usize) -> Self {
+        ChurnConfig {
+            user_fraction: 0.05,
+            insert_fraction: 0.85,
+            doc_terms: 2,
+            term_skew: 0.85,
+            term_repeats: 4,
+            ..ChurnConfig::new(ops, 1.0)
         }
     }
 
@@ -98,12 +127,17 @@ pub fn generate_churn(
         let mut guard = 0;
         while terms.len() < want && guard < 50 * want {
             guard += 1;
-            let t = pool[rng.gen_range(0..pool.len())];
+            let t = if cfg.term_skew > 0.0 && rng.gen::<f64>() < cfg.term_skew {
+                pool[0]
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
             if !terms.contains(&t) {
                 terms.push(t);
             }
         }
-        Document::from_terms(terms)
+        let tf = cfg.term_repeats.max(1);
+        Document::from_pairs(terms.into_iter().map(|t| (t, tf)).collect::<Vec<_>>())
     };
     let point = |rng: &mut StdRng| {
         geo::Point::new(
@@ -239,6 +273,42 @@ mod tests {
         let (o, u, pool) = seed_collection();
         let stream = generate_churn(&o, &u, &pool, &ChurnConfig::new(50, 0.0));
         assert!(stream.iter().all(|op| matches!(op, ChurnOp::Query)));
+    }
+
+    /// The drift-heavy preset floods the first pool term: most inserted
+    /// objects carry it at the configured repeated term frequency, and
+    /// the stream is insert-dominant — the adversarial shape for a
+    /// frozen scorer.
+    #[test]
+    fn drift_heavy_stream_floods_the_first_term() {
+        let (o, u, pool) = seed_collection();
+        let cfg = ChurnConfig::drift_heavy(400).with_seed(9);
+        let stream = generate_churn(&o, &u, &pool, &cfg);
+        let (mut inserts, mut removes, mut flooded) = (0usize, 0usize, 0usize);
+        for op in &stream {
+            match op {
+                ChurnOp::Mutate(Mutation::InsertObject(x)) => {
+                    inserts += 1;
+                    if let Some(tf) = x.doc.entries().iter().find(|&&(t, _)| t == pool[0]) {
+                        flooded += 1;
+                        assert_eq!(tf.1, cfg.term_repeats, "flooded term carries the heavy tf");
+                    }
+                }
+                ChurnOp::Mutate(Mutation::RemoveObject(_)) => removes += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            inserts > removes * 2,
+            "insert-dominant: {inserts} vs {removes}"
+        );
+        assert!(
+            flooded * 10 >= inserts * 8,
+            "skew 0.85 must put the flooded term in most inserts ({flooded}/{inserts})"
+        );
+        // Still deterministic and self-consistent.
+        let again = generate_churn(&o, &u, &pool, &cfg);
+        assert_eq!(format!("{stream:?}"), format!("{again:?}"));
     }
 
     #[test]

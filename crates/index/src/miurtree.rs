@@ -71,7 +71,10 @@ pub struct MiurNodeView {
 }
 
 /// The disk-resident MIUR-tree.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the tree record-for-record (see
+/// [`crate::StTree`]'s note on the copy-on-write serving path).
+#[derive(Debug, Clone)]
 pub struct MiurTree {
     nodes: BlockFile,
     intuni: BlockFile,
@@ -537,6 +540,56 @@ impl MiurTree {
         self.nodes.live_records() as u64 + self.intuni.live_payload_blocks()
     }
 
+    /// Freed placeholder record slots across both block files (see
+    /// [`crate::StTree::freed_records`]).
+    pub fn freed_records(&self) -> u64 {
+        (self.nodes.freed_records() + self.intuni.freed_records()) as u64
+    }
+
+    /// Rewrites the live tree into fresh block files with densely packed
+    /// record ids, dropping the freed placeholder slots left behind by
+    /// mutations (see [`crate::StTree::compacted`]).
+    pub fn compacted(&self) -> MiurTree {
+        let mut out = MiurTree {
+            nodes: BlockFile::new(),
+            intuni: BlockFile::new(),
+            root: RecordId(0),
+            height: self.height,
+            num_users: self.num_users,
+            fanout: self.fanout,
+        };
+        let mut scratch = TreeEdit::default();
+        out.root = out.adopt_subtree(self, self.root, &mut scratch);
+        out
+    }
+
+    /// Copies one subtree of `src` into this (fresh) tree, children first
+    /// so parent entries can point at the remapped record ids. The IntUni
+    /// payload is re-serialized from the parsed view, which reproduces the
+    /// source bytes exactly (the layout is deterministic in the entries).
+    fn adopt_subtree(&mut self, src: &MiurTree, rec: RecordId, scratch: &mut TreeEdit) -> RecordId {
+        let (node, _, _) = src.parse_node(rec);
+        let entries: Vec<MiurEntryView> = node
+            .entries
+            .iter()
+            .map(|e| {
+                let mut e = e.clone();
+                if let UserRef::Node(c) = e.child {
+                    e.child = UserRef::Node(self.adopt_subtree(src, c, scratch));
+                }
+                e
+            })
+            .collect();
+        self.write_node(node.is_leaf, &entries, scratch)
+    }
+
+    /// [`MiurTree::save`] of a [`MiurTree::compacted`] copy: freed
+    /// placeholder records are reclaimed instead of persisting as empty
+    /// slots.
+    pub fn save_compacted(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        self.compacted().save(dir)
+    }
+
     /// Reads a node with its IntUni vectors, charging one node visit plus
     /// the IntUni file's blocks (the paper's inverted-file rule applies to
     /// the textual payload of the node).
@@ -687,6 +740,61 @@ mod tests {
         let io = IoStats::new();
         assert_eq!(gather_users(&tree, &io), (0..12).collect::<Vec<_>>());
         assert_eq!(tree.num_users(), 12);
+    }
+
+    /// Compaction after churn drops every freed placeholder while keeping
+    /// users, byte footprint and summaries identical; the compacted save
+    /// reclaims the slots on disk.
+    #[test]
+    fn compacted_drops_placeholders_and_preserves_users() {
+        let us = users();
+        let mut tree = MiurTree::build_with_fanout(&us[..6], 4);
+        for u in &us[6..] {
+            tree.insert(u);
+        }
+        for u in &us[..4] {
+            tree.remove(u.id, u.point).unwrap();
+        }
+        assert!(tree.freed_records() > 0);
+
+        let compact = tree.compacted();
+        assert_eq!(compact.freed_records(), 0);
+        assert_eq!(compact.num_users(), tree.num_users());
+        assert_eq!(compact.height(), tree.height());
+        assert_eq!(compact.node_bytes(), tree.node_bytes());
+        assert_eq!(compact.intuni_bytes(), tree.intuni_bytes());
+        let io = IoStats::new();
+        assert_eq!(gather_users(&compact, &io), gather_users(&tree, &io));
+        // Root summaries (counts, IntUni, norm bracket) survive verbatim.
+        let a = tree.read_node(tree.root(), &io);
+        let b = compact.read_node(compact.root(), &io);
+        let summarize = |n: &MiurNodeView| {
+            let mut rows: Vec<_> = n
+                .entries
+                .iter()
+                .map(|e| {
+                    (
+                        e.count,
+                        e.uni.clone(),
+                        e.int.clone(),
+                        e.norm_min,
+                        e.norm_max,
+                    )
+                })
+                .collect();
+            rows.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            rows
+        };
+        assert_eq!(summarize(&a), summarize(&b));
+
+        let base = std::env::temp_dir().join(format!("mbrstk-miur-compact-{}", std::process::id()));
+        tree.save(&base.join("plain")).unwrap();
+        tree.save_compacted(&base.join("compact")).unwrap();
+        let plain = MiurTree::load(&base.join("plain")).unwrap();
+        let reopened = MiurTree::load(&base.join("compact")).unwrap();
+        assert!(reopened.nodes.len() < plain.nodes.len());
+        assert_eq!(gather_users(&reopened, &io), gather_users(&tree, &io));
+        std::fs::remove_dir_all(base).ok();
     }
 
     #[test]

@@ -95,7 +95,11 @@ pub struct Postings {
 }
 
 /// A disk-resident IR-tree / MIR-tree.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the tree record-for-record (the block files are
+/// plain in-memory stores); the copy-on-write serving path uses it when a
+/// mutation races a long-lived engine snapshot.
+#[derive(Debug, Clone)]
 pub struct StTree {
     mode: PostingMode,
     nodes: BlockFile,
@@ -746,6 +750,61 @@ impl StTree {
     /// rebuild cost an incremental update avoids.
     pub fn footprint_io(&self) -> u64 {
         self.nodes.live_records() as u64 + self.invfiles.live_payload_blocks()
+    }
+
+    /// Freed placeholder record slots across both block files. Mutations
+    /// retire superseded records but must keep ids stable, so the slots
+    /// linger until a compacting rewrite ([`StTree::compacted`]) or a
+    /// full rebuild reclaims them.
+    pub fn freed_records(&self) -> u64 {
+        (self.nodes.freed_records() + self.invfiles.freed_records()) as u64
+    }
+
+    /// Rewrites the live tree into fresh block files with densely packed
+    /// record ids: structure, payloads and query behaviour are identical,
+    /// but the freed placeholder slots accumulated by
+    /// [`StTree::insert`] / [`StTree::remove`] are gone. The engine-level
+    /// corpus refresh gets compaction for free by rebuilding from the
+    /// live tables; `compacted` covers the other case — reclaiming space
+    /// without re-weighing anything.
+    pub fn compacted(&self) -> StTree {
+        let mut out = StTree {
+            mode: self.mode,
+            nodes: BlockFile::new(),
+            invfiles: BlockFile::new(),
+            root: RecordId(0),
+            height: self.height,
+            num_objects: self.num_objects,
+            fanout: self.fanout,
+        };
+        out.root = out.adopt_subtree(self, self.root);
+        out
+    }
+
+    /// Copies one subtree of `src` into this (fresh) tree, children
+    /// first so parent entries can point at the remapped record ids.
+    /// Inverted-file payloads are copied verbatim.
+    fn adopt_subtree(&mut self, src: &StTree, rec: RecordId) -> RecordId {
+        let node = deserialize_node(rec, src.nodes.get(rec));
+        let refs: Vec<ChildRef> = node
+            .entries
+            .iter()
+            .map(|e| match e.child {
+                ChildRef::Node(c) => ChildRef::Node(self.adopt_subtree(src, c)),
+                obj => obj,
+            })
+            .collect();
+        let rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
+        let inv = self.invfiles.put(src.invfiles.get(node.invfile));
+        self.nodes
+            .put(&serialize_node(node.is_leaf, inv, &refs, &rects))
+    }
+
+    /// [`StTree::save`] of a [`StTree::compacted`] copy: freed placeholder
+    /// records are reclaimed instead of persisting as empty slots, so the
+    /// on-disk file shrinks to the live footprint.
+    pub fn save_compacted(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        self.compacted().save(dir)
     }
 
     /// Reads (visits) a node, charging one simulated I/O (free on a warm
@@ -1438,6 +1497,50 @@ mod tests {
             tree.footprint_io() < before,
             "half the objects gone, footprint must shrink"
         );
+    }
+
+    /// Compaction preserves every object, the live byte footprint and the
+    /// posting payloads, while dropping all freed placeholder slots — so a
+    /// compacted save reclaims them on disk.
+    #[test]
+    fn compacted_drops_placeholders_and_preserves_content() {
+        let (objects, _, _) = corpus();
+        let mut tree = StTree::build_with_fanout(&objects[..10], PostingMode::MaxMin, 4);
+        for obj in &objects[10..] {
+            tree.insert(obj);
+        }
+        for obj in &objects[..6] {
+            tree.remove(obj.id, obj.point).unwrap();
+        }
+        assert!(tree.freed_records() > 0, "churn leaves placeholders");
+
+        let compact = tree.compacted();
+        assert_eq!(compact.freed_records(), 0);
+        assert_eq!(compact.num_objects(), tree.num_objects());
+        assert_eq!(compact.height(), tree.height());
+        assert_eq!(compact.node_bytes(), tree.node_bytes());
+        assert_eq!(compact.invfile_bytes(), tree.invfile_bytes());
+        assert_eq!(compact.footprint_io(), tree.footprint_io());
+
+        let io = IoStats::new();
+        assert_eq!(collect_objects(&compact, &io), collect_objects(&tree, &io));
+
+        // The compacted save writes only live records; the plain save
+        // keeps one (empty) slot per freed record.
+        let base = std::env::temp_dir().join(format!("mbrstk-compact-{}", std::process::id()));
+        let plain_dir = base.join("plain");
+        let compact_dir = base.join("compact");
+        tree.save(&plain_dir).unwrap();
+        tree.save_compacted(&compact_dir).unwrap();
+        let plain = StTree::load(&plain_dir).unwrap();
+        let reopened = StTree::load(&compact_dir).unwrap();
+        assert!(
+            reopened.nodes.len() < plain.nodes.len(),
+            "compacted save must shed placeholder slots"
+        );
+        assert_eq!(reopened.nodes.len(), reopened.nodes.live_records());
+        assert_eq!(collect_objects(&reopened, &io), collect_objects(&tree, &io));
+        std::fs::remove_dir_all(base).ok();
     }
 
     #[test]

@@ -131,6 +131,18 @@ impl IoStats {
         self.cache.as_ref()
     }
 
+    /// A fresh counter with the same page-cache *configuration*: zeroed
+    /// counters and, when a cache is attached, an empty cache of identical
+    /// capacity and shard layout. The corpus-refresh and copy-on-write
+    /// paths use this so a rebuilt or cloned engine keeps its serving
+    /// configuration without inheriting warm state.
+    pub fn fork(&self) -> IoStats {
+        match &self.cache {
+            Some(c) => IoStats::with_cache_sharded(c.capacity_blocks(), c.num_shards()),
+            None => IoStats::new(),
+        }
+    }
+
     /// Flushes the given keys from the attached page cache (no-op without
     /// one). Index mutations call this for every record they rewrite or
     /// free, so a stale page can never satisfy a post-mutation read.
@@ -482,6 +494,23 @@ mod tests {
             assert_eq!(d.cache_misses, 50);
             assert_eq!(d.cache_hits, 150);
         }
+    }
+
+    /// `fork` replicates the cache configuration but nothing else: no
+    /// counters, no warm pages.
+    #[test]
+    fn fork_copies_config_not_state() {
+        let io = IoStats::with_cache_sharded(256, 4);
+        io.charge_node_visit_keyed(1);
+        io.charge_node_visit_keyed(1); // warm hit
+        let fork = io.fork();
+        assert_eq!(fork.total(), 0);
+        let fc = fork.cache().unwrap();
+        assert_eq!(fc.capacity_blocks(), 256);
+        assert_eq!(fc.num_shards(), 4);
+        assert!(fc.is_empty(), "forked cache starts cold");
+        // Cold counter forks to a cold counter.
+        assert!(IoStats::new().fork().cache().is_none());
     }
 
     #[test]

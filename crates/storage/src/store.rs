@@ -112,6 +112,15 @@ impl BlockFile {
         self.live
     }
 
+    /// Number of freed record slots still occupying ids. Ids must stay
+    /// stable across mutations, so freed records persist as empty
+    /// placeholders until a compacting rewrite (see the index trees'
+    /// `compacted` paths and the engine-level corpus refresh) rebuilds the
+    /// file with dense ids.
+    pub fn freed_records(&self) -> usize {
+        self.records.len() - self.live
+    }
+
     /// Total payload bytes across all *live* records.
     pub fn bytes(&self) -> u64 {
         self.bytes
@@ -197,6 +206,19 @@ mod tests {
         let a = f.put(b"data");
         f.free(a);
         f.free(a);
+    }
+
+    #[test]
+    fn freed_records_counts_placeholders() {
+        let mut f = BlockFile::new();
+        let a = f.put(b"a");
+        f.put(b"b");
+        assert_eq!(f.freed_records(), 0);
+        f.free(a);
+        assert_eq!(f.freed_records(), 1);
+        assert_eq!(f.live_records(), 1);
+        f.put(b"c");
+        assert_eq!(f.freed_records(), 1, "fresh records are live");
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! The corpus-refresh subsystem under churn and concurrency
+//! (`mbrstk_core::refresh`).
+//!
+//! Acceptance criteria pinned here:
+//!
+//! (a) **Soak** — mutation and query streams interleaved across threads
+//!     against a [`ServingEngine`], with a re-weigh refresh at every
+//!     checkpoint: all six [`Method`]s are then bit-identical to a cold
+//!     fresh build over the survivors (under the corpus-*dependent* LM
+//!     model — the refresh, not a frozen-scorer coincidence, restores
+//!     equivalence), `Engine::drift()` returns to exactly 0, the rebuild
+//!     reclaims every freed placeholder record, and every observer sees
+//!     strictly monotone epochs.
+//! (b) **Swap safety** — queries racing the atomic swap never observe
+//!     torn state (exact methods agree on every snapshot, no panic, no
+//!     deadlock), under a seeded thread-interleaving loop.
+//! (c) **No blocking on the rebuild** — an in-flight query pinning a
+//!     pre-swap snapshot completes on that snapshot *after* the swap has
+//!     already been published; its results are valid for the old epoch
+//!     and its guard reports stale against the new one.
+//! (d) **Re-clamp fix** — an inserted TF-IDF outlier whose weight was
+//!     clamped to the frozen `wmax(t)` gets its true weight back after a
+//!     refresh re-weighs the corpus.
+//! (e) **Drift metric** — zero on a fresh build, monotone under
+//!     one-sided churn, zero again after a refresh.
+//!
+//! Scale knobs (CI uses reduced settings): `MBRSTK_SOAK_OPS` mutations
+//! per mutator thread per round (default 48), `MBRSTK_SOAK_ROUNDS`
+//! churn/checkpoint rounds (default 2), `MBRSTK_RACE_ITERS` iterations
+//! per racing query thread (default 40).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use datagen::rng::{Rng, SeedableRng, StdRng};
+use maxbrstknn::mbrstk_core::{Mutation, ServingEngine};
+use maxbrstknn::prelude::*;
+use text::Document;
+
+fn t(i: u32) -> TermId {
+    TermId(i)
+}
+
+const FANOUT: usize = 4;
+const ALPHA: f64 = 0.5;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// ~140 objects / ~30 users on a jittered grid; LM model, so the scorer
+/// genuinely depends on corpus statistics and only a refresh can restore
+/// cold-build equivalence after churn.
+fn seed_data(rng: &mut StdRng) -> (Vec<ObjectData>, Vec<UserData>) {
+    let objects: Vec<ObjectData> = (0..140u32)
+        .map(|i| ObjectData {
+            id: i,
+            point: Point::new(
+                (i % 12) as f64 + rng.gen_range(0.0..0.9),
+                (i / 12) as f64 + rng.gen_range(0.0..0.9),
+            ),
+            doc: Document::from_terms([t(i % 5), t(6)]),
+        })
+        .collect();
+    let users: Vec<UserData> = (0..30u32)
+        .map(|i| UserData {
+            id: i,
+            point: Point::new(
+                (i % 10) as f64 + rng.gen_range(0.0..0.9),
+                (i % 8) as f64 + rng.gen_range(0.0..0.9),
+            ),
+            doc: Document::from_terms([t(i % 5), t(6)]),
+        })
+        .collect();
+    (objects, users)
+}
+
+fn build(objects: Vec<ObjectData>, users: Vec<UserData>) -> Engine {
+    Engine::build_with_fanout(objects, users, WeightModel::lm(), ALPHA, FANOUT).with_user_index()
+}
+
+fn specs() -> Vec<QuerySpec> {
+    [2usize, 3]
+        .into_iter()
+        .map(|k| QuerySpec {
+            ox_doc: Document::from_terms([t(6)]),
+            locations: vec![
+                Point::new(2.1, 1.4),
+                Point::new(7.8, 4.2),
+                Point::new(4.4, 6.9),
+            ],
+            keywords: vec![t(0), t(1), t(2), t(3), t(4)],
+            ws: 2,
+            k,
+        })
+        .collect()
+}
+
+/// Sorted copy of a result's user set (the §7 pipeline reports members in
+/// tree-shape-dependent expansion order; membership is what Definition 1
+/// fixes).
+fn sorted_users(r: &QueryResult) -> Vec<u32> {
+    let mut ids = r.brstknn.clone();
+    ids.sort_unstable();
+    ids
+}
+
+fn assert_equivalent(label: &str, refreshed: &Engine, rebuilt: &Engine) {
+    for spec in specs() {
+        for m in Method::ALL {
+            let got = refreshed.query(&spec, m);
+            let want = rebuilt.query(&spec, m);
+            match m {
+                Method::Baseline
+                | Method::JointGreedy
+                | Method::JointGreedyPlus
+                | Method::JointExact => {
+                    assert_eq!(got, want, "{label}: {m:?} k={} diverged", spec.k)
+                }
+                Method::UserIndexGreedy | Method::UserIndexExact => {
+                    assert_eq!(
+                        (got.location, got.keywords.clone(), sorted_users(&got)),
+                        (want.location, want.keywords.clone(), sorted_users(&want)),
+                        "{label}: {m:?} k={} diverged",
+                        spec.k
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A self-consistent object-only mutation script over a private id range
+/// (drift-heavy: inserted docs flood term 0), so two mutator threads can
+/// interleave without ever conflicting.
+fn object_script(
+    rng: &mut StdRng,
+    ops: usize,
+    mut live: Vec<u32>,
+    fresh_base: u32,
+) -> Vec<Mutation> {
+    let mut next = fresh_base;
+    (0..ops)
+        .map(|_| {
+            if rng.gen_range(0..100) < 60 || live.len() <= 8 {
+                let id = next;
+                next += 1;
+                live.push(id);
+                Mutation::InsertObject(ObjectData {
+                    id,
+                    point: Point::new(rng.gen_range(0.5..11.5), rng.gen_range(0.5..11.0)),
+                    doc: Document::from_pairs([(t(0), 3), (t(rng.gen_range(1..5) as u32), 1)]),
+                })
+            } else {
+                let pos = rng.gen_range(0..live.len());
+                Mutation::RemoveObject(live.swap_remove(pos))
+            }
+        })
+        .collect()
+}
+
+/// The user-side twin of [`object_script`].
+fn user_script(rng: &mut StdRng, ops: usize, mut live: Vec<u32>, fresh_base: u32) -> Vec<Mutation> {
+    let mut next = fresh_base;
+    (0..ops)
+        .map(|_| {
+            if rng.gen_range(0..100) < 55 || live.len() <= 5 {
+                let id = next;
+                next += 1;
+                live.push(id);
+                Mutation::InsertUser(UserData {
+                    id,
+                    point: Point::new(rng.gen_range(0.5..11.5), rng.gen_range(0.5..11.0)),
+                    doc: Document::from_terms([t(rng.gen_range(0..5) as u32), t(6)]),
+                })
+            } else {
+                let pos = rng.gen_range(0..live.len());
+                Mutation::RemoveUser(live.swap_remove(pos))
+            }
+        })
+        .collect()
+}
+
+/// Acceptance (a): the long seeded churn soak. Mutators and queries race
+/// across threads; each quiesced checkpoint refreshes and proves
+/// bit-identity with a cold fresh build over the survivors, zero drift,
+/// full placeholder reclamation, and strictly monotone epochs.
+#[test]
+fn soak_churn_with_periodic_refresh_checkpoints() {
+    let ops = env_usize("MBRSTK_SOAK_OPS", 48);
+    let rounds = env_usize("MBRSTK_SOAK_ROUNDS", 2);
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let (objects, users) = seed_data(&mut rng);
+    let serving = ServingEngine::new(
+        build(objects, users)
+            .with_threshold_cache()
+            .with_page_cache(1 << 12),
+    );
+
+    let mut last_checkpoint_epoch = serving.epoch();
+    for round in 0..rounds {
+        // Scripts are generated against the *current* snapshot's live id
+        // sets, partitioned by kind: one thread churns objects, one churns
+        // users, so interleavings commute and every mutation applies.
+        let snap = serving.snapshot();
+        let obj_live: Vec<u32> = snap.objects.iter().map(|o| o.id).collect();
+        let user_live: Vec<u32> = snap.users.iter().map(|u| u.id).collect();
+        let fresh_base = 10_000 * (round as u32 + 1);
+        let obj_ops = object_script(&mut rng, ops, obj_live, fresh_base);
+        let user_ops = user_script(&mut rng, ops / 3, user_live, fresh_base);
+        drop(snap);
+
+        // Observers keep racing until the *last* mutator finishes, so the
+        // whole churn runs under concurrent snapshot checking.
+        let mutators_left = AtomicUsize::new(2);
+        let applied = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for script in [obj_ops.clone(), user_ops.clone()] {
+                let (serving, mutators_left, applied) = (&serving, &mutators_left, &applied);
+                s.spawn(move || {
+                    let report = serving.apply_batch(script);
+                    assert_eq!(report.rejected, 0, "partitioned scripts never conflict");
+                    applied.fetch_add(report.applied, Ordering::Relaxed);
+                    mutators_left.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            // Two query observers: every snapshot must be internally
+            // consistent (all exact methods agree) and epochs must never
+            // run backwards.
+            for worker in 0..2u64 {
+                let (serving, mutators_left) = (&serving, &mutators_left);
+                s.spawn(move || {
+                    let spec = &specs()[worker as usize % 2];
+                    let mut last_epoch = 0u64;
+                    let mut iterations = 0usize;
+                    while mutators_left.load(Ordering::Relaxed) > 0 || iterations < 4 {
+                        iterations += 1;
+                        let snap = serving.snapshot();
+                        let guard = snap.epoch_guard();
+                        assert!(
+                            guard.epoch() >= last_epoch,
+                            "epochs ran backwards: {} after {last_epoch}",
+                            guard.epoch()
+                        );
+                        last_epoch = guard.epoch();
+                        let e = snap.query(spec, Method::JointExact);
+                        let b = snap.query(spec, Method::Baseline);
+                        let u = snap.query(spec, Method::UserIndexExact);
+                        assert_eq!(e.cardinality(), b.cardinality(), "torn snapshot");
+                        assert_eq!(e.cardinality(), u.cardinality(), "torn snapshot");
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        let applied = applied.load(Ordering::Relaxed);
+        assert_eq!(applied, obj_ops.len() + user_ops.len());
+
+        // Quiesced checkpoint: refresh, then prove the acceptance bundle.
+        let pre_epoch = serving.epoch();
+        assert!(
+            pre_epoch >= last_checkpoint_epoch + applied as u64,
+            "every applied mutation bumps the epoch"
+        );
+        let report = serving.refresh_now();
+        assert_eq!(report.replayed, 0, "quiesced refresh replays nothing");
+        assert!(
+            report.epoch > pre_epoch,
+            "refresh strictly advances the epoch"
+        );
+        assert!(
+            report.reclaimed_records > 0,
+            "churn leaves placeholders and the rebuild reclaims them"
+        );
+
+        let snap = serving.snapshot();
+        assert_eq!(snap.epoch(), report.epoch);
+        assert_eq!(
+            snap.drift().max_rel_error,
+            0.0,
+            "post-refresh drift is zero"
+        );
+        assert_eq!(snap.mutations_since_refresh(), 0);
+        assert_eq!(snap.freed_record_slots(), 0, "fresh block files are dense");
+
+        let cold = build(snap.objects.clone(), snap.users.clone());
+        assert_equivalent(&format!("round {round}"), &snap, &cold);
+        last_checkpoint_epoch = report.epoch;
+    }
+    assert_eq!(serving.refreshes(), rounds as u64);
+}
+
+/// Acceptance (b): queries racing the atomic swap — mutations and
+/// refreshes fire under a seeded interleaving while query threads hammer
+/// snapshots. No torn state, no panic, no deadlock, monotone epochs.
+#[test]
+fn queries_racing_the_swap_never_observe_torn_state() {
+    let iters = env_usize("MBRSTK_RACE_ITERS", 40);
+    for seed in [3u64, 17, 91] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (objects, users) = seed_data(&mut rng);
+        let serving = ServingEngine::new(build(objects, users).with_threshold_cache());
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for worker in 0..2usize {
+                let (serving, done) = (&serving, &done);
+                s.spawn(move || {
+                    let spec = &specs()[worker % 2];
+                    let mut last_epoch = 0u64;
+                    for i in 0.. {
+                        if done.load(Ordering::Relaxed) && i >= iters {
+                            break;
+                        }
+                        let snap = serving.snapshot();
+                        assert!(snap.epoch() >= last_epoch, "epoch ran backwards");
+                        last_epoch = snap.epoch();
+                        let e = snap.query(spec, Method::JointExact);
+                        let b = snap.query(spec, Method::Baseline);
+                        assert_eq!(
+                            e.cardinality(),
+                            b.cardinality(),
+                            "seed {seed}: torn snapshot at epoch {last_epoch}"
+                        );
+                    }
+                });
+            }
+
+            // The interleaving driver: seeded mutation bursts with swaps
+            // in between.
+            let script = object_script(
+                &mut rng,
+                iters.max(24),
+                (0..140).collect(),
+                50_000 + seed as u32 * 1_000,
+            );
+            for (i, m) in script.into_iter().enumerate() {
+                assert!(serving.apply(m).is_some());
+                if i % 9 == 4 {
+                    let before = serving.epoch();
+                    let report = serving.refresh_now();
+                    assert!(report.epoch > before);
+                }
+                for _ in 0..rng.gen_range(0..3) {
+                    std::thread::yield_now();
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        assert!(serving.refreshes() > 0);
+    }
+}
+
+/// Acceptance (c): the swap publishes while an in-flight query still pins
+/// the pre-swap snapshot — the rebuild never blocks on the query and the
+/// query never blocks on the rebuild. The pinned results stay valid for
+/// the old epoch, and the guard reports them stale against the new one.
+#[test]
+fn in_flight_queries_complete_on_their_snapshot_without_blocking_on_rebuild() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (objects, users) = seed_data(&mut rng);
+    let serving = ServingEngine::new(build(objects, users).with_threshold_cache());
+    let spec = &specs()[0];
+
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let (swapped_tx, swapped_rx) = mpsc::channel::<()>();
+
+    let (old_snap, old_guard, old_result) = std::thread::scope(|s| {
+        let serving_ref = &serving;
+        let handle = s.spawn(move || {
+            // Pin a pre-swap snapshot, then pause mid-"query" while the
+            // main thread mutates and swaps underneath us.
+            let snap = serving_ref.snapshot();
+            let guard = snap.epoch_guard();
+            ready_tx.send(()).unwrap();
+            swapped_rx.recv().unwrap();
+            let result = snap.query(spec, Method::JointExact);
+            (snap, guard, result)
+        });
+
+        ready_rx.recv().unwrap();
+        // With the snapshot pinned, a mutation must still make progress
+        // (copy-on-write fallback) ...
+        assert!(serving
+            .apply(Mutation::InsertObject(ObjectData {
+                id: 77_000,
+                point: Point::new(5.5, 5.5),
+                doc: Document::from_pairs([(t(0), 4), (t(6), 1)]),
+            }))
+            .is_some());
+        // ... and the refresh must rebuild and PUBLISH the swap while the
+        // old snapshot is still alive. If the swap waited for in-flight
+        // snapshot holders, this call would deadlock (the holder is
+        // waiting on our channel send below).
+        let before = serving.epoch();
+        let report = serving.refresh_now();
+        assert!(report.epoch > before);
+        swapped_tx.send(()).unwrap();
+        handle.join().unwrap()
+    });
+
+    // The pinned snapshot never saw the mutation or the swap: its answer
+    // is exactly what a cold build over its own (pre-mutation) tables
+    // gives — valid for the old epoch.
+    assert!(old_snap.objects.iter().all(|o| o.id != 77_000));
+    let old_twin = build(old_snap.objects.clone(), old_snap.users.clone());
+    assert_eq!(old_result, old_twin.query(spec, Method::JointExact));
+
+    // And the serving side has moved on: the guard is stale, the new
+    // snapshot reflects the mutation, and answers match ITS cold twin.
+    let new_snap = serving.snapshot();
+    assert!(
+        !old_guard.is_current(&new_snap),
+        "old-epoch results are detectable"
+    );
+    assert!(new_snap.epoch() > old_snap.epoch());
+    assert!(new_snap.objects.iter().any(|o| o.id == 77_000));
+    let new_twin = build(new_snap.objects.clone(), new_snap.users.clone());
+    assert_eq!(
+        new_snap.query(spec, Method::JointExact),
+        new_twin.query(spec, Method::JointExact)
+    );
+}
+
+/// Acceptance (d), the satellite fix: PR 3 clamps inserted weights to the
+/// *frozen* `wmax(t)` (soundness of the pruning bounds demands it); a
+/// refresh re-weighs the corpus under live statistics and re-clamps
+/// against the refreshed `wmax`, so a previously clamped TF-IDF outlier
+/// gets its true weight back.
+#[test]
+fn clamped_outlier_weight_is_restored_after_refresh() {
+    // 20 docs, term 0 in half of them → idf(t0) = ln 2 and the frozen
+    // wmax(t0) is exactly that (every tf is 1; the keyword-unit ceiling
+    // equals idf too).
+    let objects: Vec<ObjectData> = (0..20u32)
+        .map(|i| ObjectData {
+            id: i,
+            point: Point::new((i % 5) as f64, (i / 5) as f64),
+            doc: Document::from_terms([t(i % 2), t(2)]),
+        })
+        .collect();
+    let users: Vec<UserData> = (0..6u32)
+        .map(|i| UserData {
+            id: i,
+            point: Point::new((i % 4) as f64 + 0.4, (i % 3) as f64 + 0.4),
+            doc: Document::from_terms([t(0), t(2)]),
+        })
+        .collect();
+    let mut eng = Engine::build_with_fanout(objects, users, WeightModel::TfIdf, ALPHA, FANOUT)
+        .with_user_index();
+
+    let frozen_wmax = eng.ctx.text.max_weight(t(0));
+    assert!((frozen_wmax - 2.0f64.ln()).abs() < 1e-12);
+
+    // Insert an outlier: tf(t0) = 6 would weigh 6·idf — far above the
+    // frozen wmax — so the insert-time clamp must flatten it.
+    eng.insert_object(ObjectData {
+        id: 500,
+        point: Point::new(2.2, 2.2),
+        doc: Document::from_pairs([(t(0), 6)]),
+    })
+    .unwrap();
+    let posted_max = |eng: &Engine| -> f64 {
+        let root = eng.mir.read_node(eng.mir.root(), &eng.io);
+        let postings = eng.mir.read_postings(&root, &[t(0)], &eng.io);
+        postings
+            .per_entry
+            .iter()
+            .flatten()
+            .map(|&(_, mx, _)| mx)
+            .fold(0.0, f64::max)
+    };
+    assert!(
+        (posted_max(&eng) - frozen_wmax).abs() < 1e-12,
+        "pre-refresh the outlier is clamped to the frozen wmax"
+    );
+
+    // Refresh: live stats now see 21 docs with df(t0) = 11, and the
+    // outlier's true weight 6·ln(21/11) is restored (and dominates the
+    // refreshed wmax, so the re-clamp never fires on it).
+    eng.refresh();
+    let live_idf = (21.0f64 / 11.0).ln();
+    let expect = 6.0 * live_idf;
+    assert!(
+        expect > frozen_wmax,
+        "the outlier genuinely exceeds the old cap"
+    );
+    let restored = posted_max(&eng);
+    assert!(
+        (restored - expect).abs() < 1e-9,
+        "post-refresh weight {restored} must equal the unclamped {expect}"
+    );
+    assert!((eng.ctx.text.max_weight(t(0)) - expect).abs() < 1e-9);
+
+    // And the refreshed engine answers exactly like a cold build over the
+    // churned corpus.
+    let cold = Engine::build_with_fanout(
+        eng.objects.clone(),
+        eng.users.clone(),
+        WeightModel::TfIdf,
+        ALPHA,
+        FANOUT,
+    )
+    .with_user_index();
+    assert_equivalent("reclamp", &eng, &cold);
+}
+
+/// Acceptance (e), the `ScorerDrift` property: zero on a fresh build,
+/// monotone non-decreasing under one-sided churn (a flooded term only
+/// walks further from the frozen statistics), insensitive to user
+/// mutations (corpus statistics cover object documents only), and back to
+/// exactly zero after a refresh.
+#[test]
+fn drift_is_zero_fresh_monotone_under_churn_and_zero_after_refresh() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (objects, users) = seed_data(&mut rng);
+    let mut eng = build(objects, users);
+    assert_eq!(eng.drift().max_rel_error, 0.0);
+    assert_eq!(eng.drift().total_mutations(), 0);
+
+    let mut prev = 0.0f64;
+    for step in 0..6u32 {
+        for j in 0..3u32 {
+            eng.insert_object(ObjectData {
+                id: 2_000 + step * 3 + j,
+                point: Point::new(3.0 + f64::from(j), 3.0 + f64::from(step % 4)),
+                doc: Document::from_pairs([(t(0), 4)]),
+            })
+            .unwrap();
+        }
+        let d = eng.drift();
+        assert!(
+            d.max_rel_error >= prev - 1e-12,
+            "one-sided churn must not shrink drift: {} after {prev}",
+            d.max_rel_error
+        );
+        assert_eq!(d.object_mutations, u64::from(step + 1) * 3);
+        prev = d.max_rel_error;
+    }
+    assert!(prev > 0.0, "flooding a term must register as drift");
+
+    // User churn ages the counters, not the corpus statistics.
+    eng.insert_user(UserData {
+        id: 9_000,
+        point: Point::new(1.0, 1.0),
+        doc: Document::from_terms([t(0), t(6)]),
+    })
+    .unwrap();
+    let d = eng.drift();
+    assert_eq!(d.user_mutations, 1);
+    assert!((d.max_rel_error - prev).abs() < 1e-15);
+
+    let report = eng.refresh();
+    assert!(report.reclaimed_records > 0);
+    let d = eng.drift();
+    assert_eq!(d.max_rel_error, 0.0);
+    assert_eq!(d.mean_rel_error, 0.0);
+    assert_eq!(d.total_mutations(), 0);
+}
