@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch cache churn refresh | all]
+//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch cache churn refresh refresh-incremental | all]
 //! ```
 //!
 //! `--quick` shrinks the collection for smoke runs; default scales are the
@@ -19,8 +19,25 @@ fn main() {
         .collect();
     if which.is_empty() || which.contains(&"all") {
         which = vec![
-            "table4", "table5", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "fig15", "ablation", "batch", "cache", "churn", "refresh",
+            "table4",
+            "table5",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "ablation",
+            "batch",
+            "cache",
+            "churn",
+            "refresh",
+            "refresh-incremental",
         ];
     }
 
@@ -77,6 +94,7 @@ fn main() {
             "cache" => figs::cache(&p),
             "churn" => figs::churn(&p),
             "refresh" => figs::refresh(&p),
+            "refresh-incremental" => figs::refresh_incremental(&p),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);

@@ -1024,6 +1024,108 @@ pub fn refresh(p: &Params) {
     t.print();
 }
 
+/// Incremental-refresh experiment (beyond the paper): refresh I/O vs the
+/// fraction of drifted terms.
+///
+/// Term-local replacement churn ([`datagen::ChurnConfig::term_local`])
+/// confined to a growing slice of the vocabulary runs against a
+/// controlled corpus (one rotating term per document, so the pool slice
+/// directly controls how many documents the churn can touch — the
+/// paper-style zipf corpus puts its head terms in nearly every document,
+/// which is exactly the *broad*-drift regime the full tier exists for).
+/// At the end the drift ledger measures which fraction of the vocabulary
+/// actually drifted, and both refresh tiers are costed: the full tier's
+/// I/O is the rebuilt index footprint, the incremental tier's
+/// ([`Engine::refreshed_incremental`]) is the rewritten paths' reads +
+/// writes (spliced records are free — the extent-remap model).
+///
+/// Expected shape: incremental I/O and the incremental/full ratio grow
+/// with the drifted fraction, not with |O| — far below 1 for term-local
+/// drift, climbing toward (and past) 1 as churn touches most of the
+/// vocabulary, which is exactly why the serving engine falls back to the
+/// full tier above `RefreshConfig.full_refresh_drift`.
+///
+/// [`Engine::refreshed_incremental`]: mbrstk_core::Engine::refreshed_incremental
+pub fn refresh_incremental(p: &Params) {
+    use datagen::{generate_churn, ChurnConfig, ChurnOp};
+    use geo::Point;
+    use mbrstk_core::{Engine, ObjectData, UserData};
+    use text::{Document, TermId};
+
+    const OPS: usize = 40;
+    const VOCAB: u32 = 200;
+    /// Fixed modest fanout: the experiment needs enough leaves for
+    /// "fraction of leaves touched" to be meaningful at |O| ≈ thousands.
+    const FANOUT: usize = 16;
+    const POOL_FRACTIONS: [f64; 5] = [0.02, 0.05, 0.1, 0.25, 0.5];
+
+    let n = p.num_objects.min(20_000) as u32;
+    // Same-term documents are contiguous in id and therefore spatially
+    // clustered (a hot category is a hot region): term-local churn then
+    // touches few leaves, the regime the incremental tier targets.
+    let objects: Vec<ObjectData> = (0..n)
+        .map(|i| ObjectData {
+            id: i,
+            point: Point::new(
+                (i % 64) as f64 + 0.31 * (i % 5) as f64,
+                (i / 64) as f64 + 0.27 * (i % 7) as f64,
+            ),
+            doc: Document::from_pairs([(TermId(i / (n / VOCAB).max(1)), 1 + i % 3)]),
+        })
+        .collect();
+    let users: Vec<UserData> = (0..64u32)
+        .map(|i| UserData {
+            id: i,
+            point: Point::new((i % 32) as f64 + 0.4, (i % 16) as f64 + 0.6),
+            doc: Document::from_terms([TermId(i % VOCAB), TermId((i * 7) % VOCAB)]),
+        })
+        .collect();
+
+    let mut t = Table::new(
+        &format!("Refresh-incremental — refresh I/O vs fraction of drifted terms (|O|={n})"),
+        &[
+            "pool %",
+            "drifted %",
+            "reweighed docs",
+            "spliced recs",
+            "incr I/O",
+            "full I/O",
+            "incr/full",
+        ],
+    );
+    for frac in POOL_FRACTIONS {
+        let mut eng =
+            Engine::build_with_fanout(objects.clone(), users.clone(), p.model, p.alpha, FANOUT)
+                .with_user_index();
+        let pool_len = ((f64::from(VOCAB) * frac) as u32).clamp(1, VOCAB);
+        let pool: Vec<TermId> = (0..pool_len).map(TermId).collect();
+        let stream = generate_churn(
+            &eng.objects,
+            &eng.users,
+            &pool,
+            &ChurnConfig::term_local(OPS).with_seed(p.seed),
+        );
+        eng.apply_batch(stream.into_iter().filter_map(|op| match op {
+            ChurnOp::Mutate(m) => Some(m),
+            ChurnOp::Query => None,
+        }));
+
+        let ledger = eng.drift_ledger(0.0);
+        let full_io = eng.refreshed().rebuild_io_cost();
+        let (_, report) = eng.refreshed_incremental();
+        t.row(vec![
+            fmt(100.0 * f64::from(pool_len) / f64::from(VOCAB)),
+            fmt(100.0 * ledger.drifted_fraction()),
+            report.reweighed_docs.to_string(),
+            report.spliced_records.to_string(),
+            report.refresh_io.to_string(),
+            full_io.to_string(),
+            fmt(report.refresh_io as f64 / full_io.max(1) as f64),
+        ]);
+    }
+    t.print();
+}
+
 /// Ablations beyond the paper's figures: design-choice experiments listed
 /// in DESIGN.md.
 ///

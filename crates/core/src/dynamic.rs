@@ -37,12 +37,16 @@
 //! *exactly* equivalent to a fresh build over the surviving sets — the
 //! mutation-equivalence suite pins this bit-for-bit. For corpus-dependent
 //! models (LM, TF-IDF) the global statistics drift as the corpus churns,
-//! exactly as IDF drifts in production search engines; a periodic
-//! [rebuild](Engine::rebuild_io_cost) refreshes them. Soundness is never
-//! at stake: inserted weights are clamped to the frozen `wmax(t)` (see
-//! [`Engine::insert_object`]), so every pruning bound keeps dominating
-//! every indexed score and the answers stay exact *under the frozen
-//! model* — only the model itself ages.
+//! exactly as IDF drifts in production search engines; the two-tier
+//! refresh subsystem ([`crate::refresh`]) re-weighs them in the
+//! background — a full cold rebuild when drift is broad, an incremental
+//! ledger-driven splice ([`crate::refresh::incremental`]) when it is
+//! term-local. Soundness is never at stake: inserted weights are clamped
+//! to the frozen `wmax(t)` (see [`Engine::insert_object`]), so every
+//! pruning bound keeps dominating every indexed score and the answers
+//! stay exact *under the frozen model* — only the model itself ages
+//! (the clamp is also why the incremental drift ledger re-weighs clamped
+//! outliers even when none of their terms drifted).
 //!
 //! # Cost model
 //!

@@ -43,7 +43,10 @@ pub use dynamic::{BatchReport, EpochGuard, MaintenanceIo, Mutation};
 pub use group::UserGroup;
 pub use pipeline::{BatchOutcome, QueryStats, QueryStrategy};
 pub use query::{Engine, Method};
-pub use refresh::{RefreshConfig, RefreshReport, RefresherHandle, ScorerDrift, ServingEngine};
+pub use refresh::incremental::DriftLedger;
+pub use refresh::{
+    RefreshConfig, RefreshReport, RefreshTier, RefresherHandle, ScorerDrift, ServingEngine,
+};
 pub use score::ScoreContext;
 pub use topk::{ScoredObject, TopkOutcome, UserTopk};
 pub use user_index::UserIndexSeed;

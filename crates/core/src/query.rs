@@ -123,6 +123,11 @@ pub struct Engine {
     /// [`crate::refresh::ScorerDrift`]; user churn never moves the corpus
     /// statistics but still ages the dataspace hull).
     pub(crate) user_muts_since_refresh: u64,
+    /// True when a *bounded* incremental refresh left within-bound stale
+    /// weights in the index that the (advanced) frozen scorer can no
+    /// longer see — the next refresh must escalate to a full re-weigh.
+    /// See [`Engine::has_stale_weights`](crate::refresh::incremental).
+    pub(crate) stale_weights: bool,
 }
 
 /// A deep copy: tables and disk-resident indexes are duplicated
@@ -151,6 +156,7 @@ impl Clone for Engine {
             user_epoch: self.user_epoch,
             obj_muts_since_refresh: self.obj_muts_since_refresh,
             user_muts_since_refresh: self.user_muts_since_refresh,
+            stale_weights: self.stale_weights,
         }
     }
 }
@@ -218,6 +224,7 @@ impl Engine {
             user_epoch: 0,
             obj_muts_since_refresh: 0,
             user_muts_since_refresh: 0,
+            stale_weights: false,
         }
     }
 

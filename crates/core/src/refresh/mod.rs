@@ -34,6 +34,30 @@
 //!   strictly above every epoch the old engine ever had, no stale
 //!   threshold stamp could survive the swap even if one leaked.
 //!
+//! # Two refresh tiers
+//!
+//! A refresh can run at either of two costs ([`RefreshTier`]):
+//!
+//! * **Full** — the cold rebuild above: every document re-weighed, every
+//!   index bulk-loaded from scratch, O(|O| log |O|) work and a write of
+//!   the entire index footprint.
+//! * **Incremental** ([`incremental`]) — a per-term drift ledger
+//!   identifies exactly which terms' statistics moved and which
+//!   documents/users those terms touch; only the affected root-to-leaf
+//!   paths of MIR/IR/MIUR are rewritten with recomputed aggregates, and
+//!   every untouched subtree's records are spliced verbatim into the
+//!   fresh block files at zero simulated I/O. With the default exact
+//!   bound (`term_drift_bound = 0`) the result is bit-identical to a
+//!   full refresh, at I/O proportional to the drifted fraction of the
+//!   corpus rather than to its size.
+//!
+//! [`ServingEngine::refresh_now`] (and therefore the background worker)
+//! picks the tier from measured drift: past
+//! [`RefreshConfig::full_refresh_drift`] the corpus has churned so
+//! broadly that a cold rebuild is cheaper than path-by-path repair;
+//! below it the incremental tier keeps background refresh cheap enough
+//! to run continuously on a serving box.
+//!
 //! # Epoch discipline
 //!
 //! Epochs are strictly monotone across the engine's whole service life,
@@ -44,11 +68,13 @@
 //! stale against any post-swap snapshot — "valid for the old epoch" is an
 //! observable, testable property (see `tests/refresh_soak.rs`).
 
+pub mod incremental;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-use text::{CorpusStats, TermId, TextScorer, WeightModel};
+use text::WeightModel;
 
 use crate::cache::ThresholdCache;
 use crate::dynamic::{BatchReport, EpochGuard, MaintenanceIo, Mutation};
@@ -98,6 +124,21 @@ pub struct RefreshConfig {
     /// (a handful of mutations cannot move the statistics of a large
     /// corpus far enough to matter).
     pub drift_check_after: u64,
+    /// Per-term relative drift a term must exceed to be *re-weighed* by
+    /// the incremental tier (see
+    /// [`incremental::DriftLedger`]). `0.0` (the default) is the exact
+    /// mode: any term whose statistics moved at all is re-weighed, and
+    /// the incremental refresh is bit-identical to a full one. Positive
+    /// bounds trade exactness for even less refresh I/O — within-bound
+    /// stale weights stay in the index (pruning soundness is preserved
+    /// by flooring the refreshed `wmax` at the frozen values).
+    pub term_drift_bound: f64,
+    /// Measured [`ScorerDrift::max_rel_error`] at or above which
+    /// [`ServingEngine::refresh_now`] picks the full tier: broad drift
+    /// means most paths would be rewritten anyway, so the cold rebuild
+    /// is the cheaper certification. Set to `0.0` to force the full tier
+    /// always, or `f64::INFINITY` to always refresh incrementally.
+    pub full_refresh_drift: f64,
 }
 
 impl Default for RefreshConfig {
@@ -106,8 +147,19 @@ impl Default for RefreshConfig {
             max_mutations: 4096,
             max_drift: 0.05,
             drift_check_after: 64,
+            term_drift_bound: 0.0,
+            full_refresh_drift: 0.35,
         }
     }
+}
+
+/// Which tier a refresh ran at (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshTier {
+    /// Cold rebuild: every document re-weighed, indexes bulk-loaded.
+    Full,
+    /// Drift-ledger splice: only affected root-to-leaf paths rewritten.
+    Incremental,
 }
 
 /// What one refresh did.
@@ -117,12 +169,26 @@ pub struct RefreshReport {
     /// replaced engine ever had).
     pub epoch: u64,
     /// Freed placeholder record slots the rebuild reclaimed across the
-    /// MIR, IR and MIUR block files.
+    /// MIR, IR and MIUR block files (both tiers write fresh dense files).
     pub reclaimed_records: u64,
     /// Mutations that landed while the rebuild ran and were replayed onto
     /// the fresh engine before the swap (always 0 for the in-place
     /// [`Engine::refresh`]).
     pub replayed: usize,
+    /// Which tier this refresh ran at.
+    pub tier: RefreshTier,
+    /// Object documents actually re-weighed (`|O|` for the full tier).
+    pub reweighed_docs: u64,
+    /// Users whose normalizer was recomputed (`|U|` for the full tier).
+    pub reweighed_users: u64,
+    /// Index records carried into the fresh block files verbatim at zero
+    /// simulated I/O (always 0 for the full tier).
+    pub spliced_records: u64,
+    /// Simulated I/O the refresh write path cost: the full index
+    /// footprint for the full tier, the rewritten paths' reads + writes
+    /// for the incremental tier. This is the number the bench layer
+    /// charts against the fraction of drifted terms.
+    pub refresh_io: u64,
 }
 
 /// Everything a refresh needs from a snapshot, captured cheaply so the
@@ -203,41 +269,14 @@ impl Engine {
     /// current object documents and compares per term against the frozen
     /// values (see [`ScorerDrift`]). Cheap relative to a refresh — no
     /// tree work — and charges no simulated I/O (it is bookkeeping, not a
-    /// query).
+    /// query). The per-term breakdown lives in
+    /// [`Engine::drift_ledger`](incremental); this is its aggregate.
     ///
     /// Exactly `0.0` on a freshly built or freshly refreshed engine;
     /// grows under one-sided churn; corpus-independent models
     /// (`WeightModel::KeywordOverlap`) only drift on vocabulary changes.
     pub fn drift(&self) -> ScorerDrift {
-        let frozen = &self.ctx.text;
-        let stats = CorpusStats::build(self.objects.iter().map(|o| &o.doc));
-        let live = TextScorer::build(frozen.model(), stats, self.objects.iter().map(|o| &o.doc));
-        let vocab = frozen.stats().vocab_len().max(live.stats().vocab_len());
-        let (mut max_rel, mut sum, mut compared) = (0.0f64, 0.0f64, 0usize);
-        for i in 0..vocab {
-            let t = TermId(i as u32);
-            let f = frozen.max_weight(t);
-            let l = live.max_weight(t);
-            let denom = f.max(l);
-            if denom <= 0.0 {
-                continue;
-            }
-            let rel = (f - l).abs() / denom;
-            max_rel = max_rel.max(rel);
-            sum += rel;
-            compared += 1;
-        }
-        ScorerDrift {
-            object_mutations: self.obj_muts_since_refresh,
-            user_mutations: self.user_muts_since_refresh,
-            max_rel_error: max_rel,
-            mean_rel_error: if compared > 0 {
-                sum / compared as f64
-            } else {
-                0.0
-            },
-            terms_compared: compared,
-        }
+        self.drift_ledger(f64::INFINITY).drift
     }
 
     /// Freed placeholder record slots across the MIR, IR and (when built)
@@ -263,7 +302,9 @@ impl Engine {
     /// In-place [`Engine::refreshed`]: replaces this engine's scorer and
     /// indexes with the re-weighed rebuild and resets the
     /// mutations-since-refresh counters. Single-threaded convenience —
-    /// concurrent serving goes through [`ServingEngine`].
+    /// concurrent serving goes through [`ServingEngine`]. Always the
+    /// full tier; see [`Engine::refresh_incremental`] for the two-tier
+    /// alternative.
     pub fn refresh(&mut self) -> RefreshReport {
         let reclaimed = self.freed_record_slots();
         *self = self.refreshed();
@@ -271,6 +312,13 @@ impl Engine {
             epoch: self.epoch,
             reclaimed_records: reclaimed,
             replayed: 0,
+            tier: RefreshTier::Full,
+            reweighed_docs: self.objects.len() as u64,
+            reweighed_users: self.users.len() as u64,
+            spliced_records: 0,
+            // The full tier writes every live node record and payload of
+            // the fresh indexes.
+            refresh_io: self.rebuild_io_cost(),
         }
     }
 }
@@ -320,6 +368,7 @@ pub struct ServingEngine {
     refresh_gate: Mutex<()>,
     cfg: RefreshConfig,
     refreshes: AtomicU64,
+    incremental_refreshes: AtomicU64,
     /// Mutation-count bucket of the last drift scan (rate-limits the
     /// O(|O|) scan in [`ServingEngine::needs_refresh`]).
     drift_scan_bucket: AtomicU64,
@@ -343,6 +392,7 @@ impl ServingEngine {
             refresh_gate: Mutex::new(()),
             cfg,
             refreshes: AtomicU64::new(0),
+            incremental_refreshes: AtomicU64::new(0),
             drift_scan_bucket: AtomicU64::new(0),
             signal: Mutex::new(Signal::default()),
             wake: Condvar::new(),
@@ -370,6 +420,12 @@ impl ServingEngine {
     /// Completed refreshes over this serving engine's lifetime.
     pub fn refreshes(&self) -> u64 {
         self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// How many of those refreshes ran at the incremental tier (the rest
+    /// were full rebuilds).
+    pub fn incremental_refreshes(&self) -> u64 {
+        self.incremental_refreshes.load(Ordering::Relaxed)
     }
 
     /// Answers one query on the current snapshot, returning the result
@@ -478,11 +534,20 @@ impl ServingEngine {
         snap.drift().max_rel_error >= self.cfg.max_drift
     }
 
-    /// Runs one full refresh now, on the calling thread: capture the live
+    /// Runs one refresh now, on the calling thread: capture the live
     /// tables, rebuild off-lock, replay the mutations that landed during
     /// the rebuild, swap. Concurrent callers serialize; queries keep
     /// running on the old snapshot throughout and only the final swap
     /// takes the (briefly held) write lock.
+    ///
+    /// The tier is chosen from measured drift (see
+    /// [`RefreshConfig::full_refresh_drift`]): broad drift certifies with
+    /// a full cold rebuild, term-local drift disseminates with the
+    /// incremental splice ([`Engine::refreshed_incremental`]). The
+    /// incremental tier rebuilds off the pinned snapshot `Arc`, so
+    /// mutations racing it take the copy-on-write fallback for its
+    /// (short) duration; the full tier clones the tables out first,
+    /// exactly as before.
     pub fn refresh_now(&self) -> RefreshReport {
         let _gate = self.refresh_gate.lock().unwrap();
 
@@ -493,43 +558,74 @@ impl ServingEngine {
         // Phase 1: capture, and clear the journal under the same read
         // lock that pins the snapshot: every journaled entry present now
         // was applied under the write lock before we acquired the read
-        // lock, so the captured tables already contain it. What remains
-        // in the journal afterwards is exactly what the capture missed.
-        let (seed, reclaimed) = {
+        // lock, so the captured snapshot already contains it. What
+        // remains in the journal afterwards is exactly what the capture
+        // missed.
+        let (snapshot, reclaimed) = {
             let published = self.snap.read().unwrap();
             self.journal.lock().unwrap().clear();
-            (
-                RefreshSeed::capture(&published),
-                published.freed_record_slots(),
-            )
+            (Arc::clone(&published), published.freed_record_slots())
         };
 
-        // Phase 2: the expensive rebuild — no locks, no snapshot held.
-        let mut fresh = seed.build();
+        // Phase 2: the expensive rebuild — no locks held. The tier
+        // decision pays one O(|O|) drift scan unless the config forces
+        // the full tier; the incremental path reuses the same scan for
+        // its ledger. An engine carrying within-bound stale weights from
+        // an earlier bounded refresh always escalates to the full tier
+        // (the ledger cannot see that staleness).
+        let incremental = if self.cfg.full_refresh_drift <= 0.0 || snapshot.has_stale_weights() {
+            None
+        } else {
+            let (live, ledger) = snapshot.drift_parts(self.cfg.term_drift_bound);
+            (ledger.drift.max_rel_error < self.cfg.full_refresh_drift).then_some((live, ledger))
+        };
+        let (mut fresh, mut report) = match incremental {
+            Some((live, ledger)) => {
+                let (fresh, mut report) = snapshot.refreshed_incremental_from(live, ledger);
+                report.reclaimed_records = reclaimed;
+                drop(snapshot);
+                (fresh, report)
+            }
+            None => {
+                let seed = RefreshSeed::capture(&snapshot);
+                drop(snapshot); // release before the rebuild: mutations stay cheap
+                let fresh = seed.build();
+                let report = RefreshReport {
+                    epoch: 0, // filled after replay
+                    reclaimed_records: reclaimed,
+                    replayed: 0,
+                    tier: RefreshTier::Full,
+                    reweighed_docs: fresh.objects.len() as u64,
+                    reweighed_users: fresh.users.len() as u64,
+                    spliced_records: 0,
+                    refresh_io: fresh.rebuild_io_cost(),
+                };
+                (fresh, report)
+            }
+        };
 
         // Phase 3: swap. Replay what landed during the rebuild, then
         // publish. The epoch ends at `captured + 1 + replayed`, strictly
         // above the live engine's `captured + replayed`.
         let mut published = self.snap.write().unwrap();
         let mut journal = self.journal.lock().unwrap();
-        let replayed = journal.len();
+        report.replayed = journal.len();
         let replay = fresh.apply_batch(journal.drain(..));
         debug_assert_eq!(
             replay.rejected, 0,
             "journaled mutations applied once and must replay cleanly"
         );
-        let epoch = fresh.epoch();
+        report.epoch = fresh.epoch();
         *published = Arc::new(fresh);
         self.rebuilding.store(false, Ordering::Relaxed);
         drop(journal);
         drop(published);
         self.drift_scan_bucket.store(0, Ordering::Relaxed);
         self.refreshes.fetch_add(1, Ordering::Relaxed);
-        RefreshReport {
-            epoch,
-            reclaimed_records: reclaimed,
-            replayed,
+        if report.tier == RefreshTier::Incremental {
+            self.incremental_refreshes.fetch_add(1, Ordering::Relaxed);
         }
+        report
     }
 
     /// Spawns the background re-weigh worker: it sleeps until mutations
@@ -599,7 +695,7 @@ impl Drop for RefresherHandle {
 mod tests {
     use super::*;
     use geo::Point;
-    use text::Document;
+    use text::{Document, TermId};
 
     fn t(i: u32) -> TermId {
         TermId(i)
@@ -856,6 +952,7 @@ mod tests {
             max_mutations: 3,
             max_drift: f64::INFINITY,
             drift_check_after: 1,
+            ..RefreshConfig::default()
         };
         let serving = ServingEngine::with_config(engine(WeightModel::KeywordOverlap), cfg);
         assert!(!serving.needs_refresh());
@@ -876,6 +973,7 @@ mod tests {
             max_mutations: 5,
             max_drift: f64::INFINITY,
             drift_check_after: 1,
+            ..RefreshConfig::default()
         };
         let serving = ServingEngine::with_config(engine(WeightModel::lm()), cfg);
         let worker = serving.start_refresher();

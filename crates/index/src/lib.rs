@@ -25,7 +25,7 @@ mod miurtree;
 mod rtree;
 mod sttree;
 
-pub use edit::TreeEdit;
+pub use edit::{SpliceReport, TreeEdit};
 pub use miurtree::{IndexedUser, MiurEntryView, MiurNodeView, MiurTree, UserRef};
 pub use rtree::{BuildItem, BuildTree, RTreeBuilder, DEFAULT_MAX_ENTRIES};
 pub use sttree::{ChildRef, EntryView, IndexedObject, NodeView, PostingMode, Postings, StTree};

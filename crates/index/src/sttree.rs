@@ -22,7 +22,7 @@ use storage::{BlockFile, IoStats, RecordId};
 use text::{TermId, WeightedDoc};
 
 use crate::rtree::{quadratic_partition, BuildItem, BuildTree, DEFAULT_MAX_ENTRIES};
-use crate::TreeEdit;
+use crate::{SpliceReport, TreeEdit};
 
 /// Whether postings carry only maxima (IR-tree) or maxima and minima
 /// (MIR-tree).
@@ -807,6 +807,179 @@ impl StTree {
         self.compacted().save(dir)
     }
 
+    /// Bulk re-weigh splice — the tree half of the two-tier incremental
+    /// corpus refresh.
+    ///
+    /// Produces a twin of this tree over fresh, densely packed block
+    /// files in which every leaf entry named in `reweighed` carries its
+    /// new weight vector. The tree *structure* (node grouping, MBRs,
+    /// height) is preserved exactly — a refresh changes weights, never
+    /// locations — so only the inverted files along root-to-leaf paths
+    /// that contain a re-weighed object need recomputed aggregates; every
+    /// other subtree's records are copied verbatim and charged no
+    /// simulated I/O (see [`SpliceReport`] for the extent-remap cost
+    /// model). The per-mutation ancestor splice of [`StTree::insert`]
+    /// generalizes here to bulk form: once a rewritten subtree's merged
+    /// term aggregate matches its old value, its ancestors reuse their
+    /// inverted files untouched.
+    ///
+    /// Exactness: a subtree containing no re-weighed object has
+    /// bit-identical leaf weights, hence bit-identical aggregates, so the
+    /// verbatim copy *is* the recomputation. Callers are responsible for
+    /// `reweighed` covering every object whose stored weights differ from
+    /// the target scorer's (the engine-level drift ledger guarantees
+    /// this), and for the target scorer's `wmax` dominating every weight
+    /// left in place.
+    pub fn splice_reweighed(
+        &self,
+        reweighed: &HashMap<u32, WeightedDoc>,
+    ) -> (StTree, SpliceReport) {
+        let mut out = StTree {
+            mode: self.mode,
+            nodes: BlockFile::new(),
+            invfiles: BlockFile::new(),
+            root: RecordId(0),
+            height: self.height,
+            num_objects: self.num_objects,
+            fanout: self.fanout,
+        };
+        let mut report = SpliceReport::default();
+        let (root, _) = out.splice_sub(self, self.root, reweighed, &mut report);
+        out.root = root;
+        (out, report)
+    }
+
+    /// Recursive worker of [`StTree::splice_reweighed`]: copies or
+    /// rewrites the subtree under `rec` (of `src`) into `self`, children
+    /// first. Returns the new record id and, when the subtree's
+    /// parent-visible term aggregate changed, its new value (`None` lets
+    /// the parent keep its inverted file verbatim — the bulk ancestor
+    /// splice).
+    fn splice_sub(
+        &mut self,
+        src: &StTree,
+        rec: RecordId,
+        reweighed: &HashMap<u32, WeightedDoc>,
+        report: &mut SpliceReport,
+    ) -> (RecordId, Option<TermAgg>) {
+        let node = deserialize_node(rec, src.nodes.get(rec));
+        let rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
+
+        if node.is_leaf {
+            let refs: Vec<ChildRef> = node.entries.iter().map(|e| e.child).collect();
+            let touched: Vec<usize> = refs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, ChildRef::Object(id) if reweighed.contains_key(id)))
+                .map(|(i, _)| i)
+                .collect();
+            if touched.is_empty() {
+                return (self.copy_spliced(src, &node, refs, &rects, report), None);
+            }
+            let (mut aggs, old_merged) = self.read_old_aggs(src, &node, report);
+            for i in touched {
+                let ChildRef::Object(id) = refs[i] else {
+                    unreachable!("leaf entries reference objects")
+                };
+                let mut agg = TermAgg::from_doc(&reweighed[&id]);
+                if self.mode == PostingMode::MaxOnly {
+                    // The IR-tree stores no minima; deserialized rows
+                    // report 0, so recomputed rows must too for the
+                    // changed-summary comparison to stay meaningful.
+                    for row in &mut agg.terms {
+                        row.2 = 0.0;
+                    }
+                }
+                aggs[i] = agg;
+                report.reweighed_entries += 1;
+            }
+            let new_merged = TermAgg::merge_entries(&aggs);
+            let rec = self.write_spliced(true, &refs, &rects, &aggs, report);
+            let changed = (new_merged != old_merged).then_some(new_merged);
+            return (rec, changed);
+        }
+
+        // Inner node: splice every child first (post-order, so child
+        // record ids exist before the parent serializes).
+        let children: Vec<(RecordId, Option<TermAgg>)> = node
+            .entries
+            .iter()
+            .map(|e| {
+                let ChildRef::Node(c) = e.child else {
+                    unreachable!("inner entries reference nodes")
+                };
+                self.splice_sub(src, c, reweighed, report)
+            })
+            .collect();
+        let refs: Vec<ChildRef> = children.iter().map(|&(r, _)| ChildRef::Node(r)).collect();
+        if children.iter().all(|(_, agg)| agg.is_none()) {
+            return (self.copy_spliced(src, &node, refs, &rects, report), None);
+        }
+        let (mut aggs, old_merged) = self.read_old_aggs(src, &node, report);
+        for (i, (_, agg)) in children.into_iter().enumerate() {
+            if let Some(agg) = agg {
+                aggs[i] = agg;
+            }
+        }
+        let new_merged = TermAgg::merge_entries(&aggs);
+        let rec = self.write_spliced(false, &refs, &rects, &aggs, report);
+        let changed = (new_merged != old_merged).then_some(new_merged);
+        (rec, changed)
+    }
+
+    /// Verbatim splice of one node: the inverted-file payload is copied
+    /// byte-for-byte and the node record is re-emitted with remapped
+    /// record ids only. Charged no simulated I/O (extent remap), counted
+    /// in [`SpliceReport::spliced_records`].
+    fn copy_spliced(
+        &mut self,
+        src: &StTree,
+        node: &NodeView,
+        refs: Vec<ChildRef>,
+        rects: &[Rect],
+        report: &mut SpliceReport,
+    ) -> RecordId {
+        let inv = self.invfiles.put(src.invfiles.get(node.invfile));
+        report.spliced_records += 2;
+        self.nodes
+            .put(&serialize_node(node.is_leaf, inv, &refs, rects))
+    }
+
+    /// Reads a node's old per-entry aggregates (and their merge) on the
+    /// rewrite path, charging the read to the splice report.
+    fn read_old_aggs(
+        &self,
+        src: &StTree,
+        node: &NodeView,
+        report: &mut SpliceReport,
+    ) -> (Vec<TermAgg>, TermAgg) {
+        let payload = src.invfiles.get(node.invfile);
+        report.edit.read_ios += 1 + storage::blocks_for(payload.len());
+        let aggs: Vec<TermAgg> = deserialize_all_postings(payload, src.mode, node.entries.len())
+            .into_iter()
+            .map(|terms| TermAgg { terms })
+            .collect();
+        let merged = TermAgg::merge_entries(&aggs);
+        (aggs, merged)
+    }
+
+    /// Writes one rewritten node (recomputed inverted file + node record),
+    /// charging the splice report.
+    fn write_spliced(
+        &mut self,
+        is_leaf: bool,
+        refs: &[ChildRef],
+        rects: &[Rect],
+        aggs: &[TermAgg],
+        report: &mut SpliceReport,
+    ) -> RecordId {
+        let payload = serialize_invfile(aggs, self.mode);
+        report.edit.payload_blocks += storage::blocks_for(payload.len());
+        let inv = self.invfiles.put(&payload);
+        report.edit.node_writes += 1;
+        self.nodes.put(&serialize_node(is_leaf, inv, refs, rects))
+    }
+
     /// Reads (visits) a node, charging one simulated I/O (free on a warm
     /// cache hit when the counter carries one).
     pub fn read_node(&self, id: RecordId, io: &IoStats) -> NodeView {
@@ -1541,6 +1714,139 @@ mod tests {
         assert_eq!(reopened.nodes.len(), reopened.nodes.live_records());
         assert_eq!(collect_objects(&reopened, &io), collect_objects(&tree, &io));
         std::fs::remove_dir_all(base).ok();
+    }
+
+    /// The bulk re-weigh splice: structure preserved, re-weighed entries
+    /// carry their new payloads, untouched subtrees are copied verbatim
+    /// and charged nothing, and the result is bit-identical to a tree
+    /// whose *every* object was re-weighed the same way.
+    #[test]
+    fn splice_reweighed_matches_full_reweigh() {
+        let (objects, _, _) = corpus();
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+
+        // Re-weigh objects 0 and 13 (different leaves): double weights.
+        let mut reweighed: HashMap<u32, WeightedDoc> = HashMap::new();
+        let mut full: Vec<IndexedObject> = objects.clone();
+        for &id in &[0u32, 13] {
+            let doc = WeightedDoc::from_pairs(
+                objects[id as usize]
+                    .doc
+                    .entries
+                    .iter()
+                    .map(|&(t, w)| (t, w * 2.0))
+                    .collect(),
+            );
+            full[id as usize].doc = doc.clone();
+            reweighed.insert(id, doc);
+        }
+        let (spliced, report) = tree.splice_reweighed(&reweighed);
+        assert_eq!(report.reweighed_entries, 2);
+        assert!(report.spliced_records > 0, "untouched subtrees spliced");
+        assert!(report.io_total() > 0, "rewritten paths are charged");
+        assert_eq!(spliced.num_objects(), tree.num_objects());
+        assert_eq!(spliced.height(), tree.height());
+        assert_eq!(spliced.freed_records(), 0, "fresh files are dense");
+
+        // Every object is still present at its location.
+        let io = IoStats::new();
+        assert_eq!(
+            collect_objects(&spliced, &io)
+                .iter()
+                .map(|&(o, _)| o)
+                .collect::<Vec<_>>(),
+            (0..20).collect::<Vec<_>>()
+        );
+
+        // Per-node comparison against a tree with every object re-weighed
+        // through the same splice machinery (map covering all objects):
+        // aggregates must be exact for the new weights.
+        let all: HashMap<u32, WeightedDoc> = full.iter().map(|o| (o.id, o.doc.clone())).collect();
+        let (reference, _) = tree.splice_reweighed(&all);
+        let all_terms: Vec<TermId> = (0..4).map(t).collect();
+        let mut stack = vec![(spliced.root(), reference.root())];
+        while let Some((a, b)) = stack.pop() {
+            let na = spliced.read_node(a, &io);
+            let nb = reference.read_node(b, &io);
+            assert_eq!(na.is_leaf, nb.is_leaf);
+            assert_eq!(na.entries.len(), nb.entries.len());
+            let pa = spliced.read_postings(&na, &all_terms, &io);
+            let pb = reference.read_postings(&nb, &all_terms, &io);
+            assert_eq!(pa.per_entry, pb.per_entry, "aggregates diverged");
+            for (ea, eb) in na.entries.iter().zip(&nb.entries) {
+                assert_eq!(ea.rect, eb.rect, "splice never moves MBRs");
+                match (ea.child, eb.child) {
+                    (ChildRef::Object(x), ChildRef::Object(y)) => assert_eq!(x, y),
+                    (ChildRef::Node(x), ChildRef::Node(y)) => stack.push((x, y)),
+                    _ => panic!("structure diverged"),
+                }
+            }
+        }
+    }
+
+    /// An empty re-weigh map splices everything: zero simulated I/O, and
+    /// the copy is payload-identical to the source.
+    #[test]
+    fn splice_reweighed_empty_map_is_pure_splice() {
+        let (objects, _, _) = corpus();
+        let mut tree = StTree::build_with_fanout(&objects[..12], PostingMode::MaxMin, 4);
+        for obj in &objects[12..] {
+            tree.insert(obj);
+        }
+        for obj in &objects[..3] {
+            tree.remove(obj.id, obj.point).unwrap();
+        }
+        assert!(tree.freed_records() > 0);
+        let (spliced, report) = tree.splice_reweighed(&HashMap::new());
+        assert_eq!(report.io_total(), 0, "verbatim splice charges nothing");
+        assert_eq!(report.reweighed_entries, 0);
+        assert_eq!(
+            report.spliced_records,
+            2 * (tree.nodes.live_records() as u64)
+        );
+        assert_eq!(spliced.freed_records(), 0, "placeholders reclaimed");
+        assert_eq!(spliced.node_bytes(), tree.node_bytes());
+        assert_eq!(spliced.invfile_bytes(), tree.invfile_bytes());
+        let io = IoStats::new();
+        assert_eq!(collect_objects(&spliced, &io), collect_objects(&tree, &io));
+    }
+
+    /// The bulk ancestor splice: a re-weigh that does not move the
+    /// subtree's merged aggregate (another sibling already holds every
+    /// maximum, and the minimum is poisoned by a missing term) leaves the
+    /// ancestors' inverted files spliced verbatim.
+    #[test]
+    fn splice_reweighed_keeps_ancestor_invfiles_when_summary_unchanged() {
+        // Two-leaf tree: entries 0..4 in one leaf, 4..8 in the other.
+        let docs: Vec<Document> = (0..8)
+            .map(|i| Document::from_pairs([(t(i % 2), 1 + (i % 4)), (t(3), 1)]))
+            .collect();
+        let scorer = TextScorer::from_docs(WeightModel::KeywordOverlap, &docs);
+        let objects: Vec<IndexedObject> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| IndexedObject {
+                id: i as u32,
+                point: Point::new(i as f64, 0.0),
+                doc: scorer.weigh(d),
+            })
+            .collect();
+        let tree = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
+        assert_eq!(tree.height(), 2);
+
+        // KO weights are all 1; re-weighing object 0 to the same weights
+        // it already has cannot change any aggregate, so only its leaf is
+        // rewritten and the root's inverted file splices.
+        let mut map = HashMap::new();
+        map.insert(0u32, objects[0].doc.clone());
+        let (spliced, report) = tree.splice_reweighed(&map);
+        assert_eq!(report.reweighed_entries, 1);
+        assert_eq!(
+            report.edit.node_writes, 1,
+            "only the touched leaf is rewritten; the root splices"
+        );
+        let io = IoStats::new();
+        assert_eq!(collect_objects(&spliced, &io), collect_objects(&tree, &io));
     }
 
     #[test]
