@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch cache churn refresh refresh-incremental | all]
+//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch cache churn refresh refresh-incremental codec | all]
 //! ```
 //!
 //! `--quick` shrinks the collection for smoke runs; default scales are the
@@ -38,6 +38,7 @@ fn main() {
             "churn",
             "refresh",
             "refresh-incremental",
+            "codec",
         ];
     }
 
@@ -95,6 +96,7 @@ fn main() {
             "churn" => figs::churn(&p),
             "refresh" => figs::refresh(&p),
             "refresh-incremental" => figs::refresh_incremental(&p),
+            "codec" => figs::codec(&p),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);

@@ -1314,3 +1314,102 @@ pub fn ablation(p: &Params) {
     }
     t.print();
 }
+
+/// Percentage saved by the columnar figure relative to the verbatim one.
+fn saved(verbatim: u64, columnar: u64) -> String {
+    if verbatim == 0 {
+        return "-".into();
+    }
+    format!("{:.1}%", 100.0 * (1.0 - columnar as f64 / verbatim as f64))
+}
+
+/// The pluggable block-file codec: Verbatim vs Columnar twins of the same
+/// scenario, compared on (A) simulated I/O per method, (B) index bytes on
+/// disk (physical vs logical), and (C) the joint-pipeline I/O reduction
+/// across corpus sizes under LM — the inverted-file-heavy configuration
+/// the columnar layout targets. Every row asserts the two codecs answer
+/// identically before reporting the saving.
+pub fn codec(p: &Params) {
+    use storage::CodecId;
+
+    let pl = Params {
+        model: WeightModel::lm(),
+        ..p.clone()
+    };
+    let verb = Scenario::build_with_codec(&pl, 0, CodecId::Verbatim);
+    let col = Scenario::build_with_codec(&pl, 0, CodecId::Columnar);
+
+    let mut t = Table::new(
+        "Codec A — simulated I/O per method (LM)",
+        &["method", "Verbatim", "Columnar", "saved"],
+    );
+    for m in Method::ALL {
+        verb.engine.io.reset();
+        let rv = verb.engine.query(&verb.spec, m);
+        let v_io = verb.engine.io.total();
+        col.engine.io.reset();
+        let rc = col.engine.query(&col.spec, m);
+        let c_io = col.engine.io.total();
+        assert_eq!(
+            (rv.location, &rv.keywords, rv.cardinality()),
+            (rc.location, &rc.keywords, rc.cardinality()),
+            "{m:?}: codecs must answer identically"
+        );
+        t.row(vec![
+            format!("{m:?}"),
+            v_io.to_string(),
+            c_io.to_string(),
+            saved(v_io, c_io),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "Codec B — index bytes on disk",
+        &["codec", "physical", "logical", "saved"],
+    );
+    for (name, sc) in [("Verbatim", &verb), ("Columnar", &col)] {
+        let phys = sc.engine.physical_index_bytes();
+        let logical = sc.engine.logical_index_bytes();
+        t.row(vec![
+            name.into(),
+            phys.to_string(),
+            logical.to_string(),
+            saved(logical, phys),
+        ]);
+    }
+    t.print();
+
+    let sizes: &[usize] = if p.num_objects <= 5_000 {
+        &[2_000, 4_000]
+    } else {
+        &[5_000, 10_000, 20_000]
+    };
+    let mut t = Table::new(
+        "Codec C — joint top-k I/O vs |O| (LM)",
+        &["|O|", "Verbatim", "Columnar", "saved"],
+    );
+    for &n in sizes {
+        let pn = Params {
+            num_objects: n,
+            model: WeightModel::lm(),
+            ..p.clone()
+        };
+        let v = Scenario::build_with_codec(&pn, 0, CodecId::Verbatim);
+        let c = Scenario::build_with_codec(&pn, 0, CodecId::Columnar);
+        v.engine.io.reset();
+        let (tv, thv) = v.engine.joint_user_topk(pn.k);
+        let v_io = v.engine.io.total();
+        c.engine.io.reset();
+        let (tc, thc) = c.engine.joint_user_topk(pn.k);
+        let c_io = c.engine.io.total();
+        assert_eq!((tv.len(), thv), (tc.len(), thc), "|O|={n}: codecs diverged");
+        t.row(vec![
+            n.to_string(),
+            v_io.to_string(),
+            c_io.to_string(),
+            saved(v_io, c_io),
+        ]);
+    }
+    t.print();
+}

@@ -25,6 +25,12 @@ impl Scenario {
     /// `trial` shifts the workload seed, reproducing the paper's averaging
     /// over independently generated user sets (object collection fixed).
     pub fn build(p: &Params, trial: usize) -> Scenario {
+        Scenario::build_with_codec(p, trial, storage::CodecId::from_env())
+    }
+
+    /// [`Scenario::build`] under an explicit block-file codec (the codec
+    /// experiment builds Verbatim/Columnar twins of the same trial).
+    pub fn build_with_codec(p: &Params, trial: usize, codec: storage::CodecId) -> Scenario {
         let corpus_cfg = match p.dataset {
             DatasetKind::FlickrLike => CorpusConfig::flickr_like(p.num_objects),
             DatasetKind::YelpLike => CorpusConfig::yelp_like(p.num_objects),
@@ -43,8 +49,9 @@ impl Scenario {
             },
         );
 
-        let engine = Engine::build_with_fanout(objects, wl.users, p.model, p.alpha, p.fanout)
-            .with_user_index();
+        let engine =
+            Engine::build_with_fanout_codec(objects, wl.users, p.model, p.alpha, p.fanout, codec)
+                .with_user_index();
 
         let spec = QuerySpec {
             ox_doc: Document::new(),

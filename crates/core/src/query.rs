@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use geo::{Rect, SpatialContext};
 use index::{IndexedObject, IndexedUser, MiurTree, PostingMode, StTree};
-use storage::IoStats;
+use storage::{CodecId, IoStats};
 use text::{CorpusStats, TextScorer, WeightModel};
 
 use crate::cache::{JointThresholds, ThresholdCache};
@@ -177,13 +177,31 @@ impl Engine {
         Self::build_with_fanout(objects, users, model, alpha, index::DEFAULT_MAX_ENTRIES)
     }
 
-    /// [`Engine::build`] with an explicit index fanout.
+    /// [`Engine::build`] with an explicit index fanout. The record codec
+    /// is resolved from the `MBRSTK_CODEC` environment variable
+    /// ([`CodecId::from_env`], default [`CodecId::Verbatim`]) — the engine
+    /// is the configuration boundary; the index crate's own constructors
+    /// stay deterministic.
     pub fn build_with_fanout(
         objects: Vec<ObjectData>,
         users: Vec<UserData>,
         model: WeightModel,
         alpha: f64,
         fanout: usize,
+    ) -> Self {
+        Self::build_with_fanout_codec(objects, users, model, alpha, fanout, CodecId::from_env())
+    }
+
+    /// [`Engine::build_with_fanout`] with an explicit record codec for
+    /// every disk-resident index. The codec travels with the engine:
+    /// mutations, compactions and corpus refreshes all re-encode with it.
+    pub fn build_with_fanout_codec(
+        objects: Vec<ObjectData>,
+        users: Vec<UserData>,
+        model: WeightModel,
+        alpha: f64,
+        fanout: usize,
+        codec: CodecId,
     ) -> Self {
         assert!(!objects.is_empty(), "object set must not be empty");
         assert!(!users.is_empty(), "user set must not be empty");
@@ -208,8 +226,8 @@ impl Engine {
                 doc: text.weigh(&o.doc),
             })
             .collect();
-        let mir = StTree::build_with_fanout(&indexed, PostingMode::MaxMin, fanout);
-        let ir = StTree::build_with_fanout(&indexed, PostingMode::MaxOnly, fanout);
+        let mir = StTree::build_with_fanout_codec(&indexed, PostingMode::MaxMin, fanout, codec);
+        let ir = StTree::build_with_fanout_codec(&indexed, PostingMode::MaxOnly, fanout, codec);
 
         Engine {
             ctx: ScoreContext::new(alpha, spatial, text),
@@ -241,8 +259,41 @@ impl Engine {
                 norm: self.ctx.text.normalizer(&u.doc),
             })
             .collect();
-        self.miur = Some(MiurTree::build_with_fanout(&iu, self.mir.fanout()));
+        self.miur = Some(MiurTree::build_with_fanout_codec(
+            &iu,
+            self.mir.fanout(),
+            self.codec(),
+        ));
         self
+    }
+
+    /// The record codec every index of this engine is encoded with.
+    #[inline]
+    pub fn codec(&self) -> CodecId {
+        self.mir.codec()
+    }
+
+    /// Byte footprint of every live index record as encoded on disk
+    /// (compressed bytes under a compressing codec).
+    pub fn physical_index_bytes(&self) -> u64 {
+        self.mir.node_bytes()
+            + self.mir.invfile_bytes()
+            + self.ir.node_bytes()
+            + self.ir.invfile_bytes()
+            + self
+                .miur
+                .as_ref()
+                .map_or(0, |m| m.node_bytes() + m.intuni_bytes())
+    }
+
+    /// Byte footprint the same records would occupy under the
+    /// [`CodecId::Verbatim`] codec — the logical (uncompressed) size the
+    /// compression ratio is measured against. Equals
+    /// [`Engine::physical_index_bytes`] on a Verbatim engine.
+    pub fn logical_index_bytes(&self) -> u64 {
+        self.mir.logical_bytes()
+            + self.ir.logical_bytes()
+            + self.miur.as_ref().map_or(0, |m| m.logical_bytes())
     }
 
     /// Attaches a cross-query top-k threshold cache: per-user `RSk`

@@ -201,6 +201,7 @@ struct RefreshSeed {
     model: WeightModel,
     alpha: f64,
     fanout: usize,
+    codec: storage::CodecId,
     user_index: bool,
     threshold_capacity: Option<usize>,
     page_cache: Option<(u64, usize)>,
@@ -216,6 +217,7 @@ impl RefreshSeed {
             model: engine.ctx.text.model(),
             alpha: engine.ctx.alpha,
             fanout: engine.mir.fanout(),
+            codec: engine.codec(),
             user_index: engine.miur.is_some(),
             threshold_capacity: engine.thresholds.as_ref().map(|tc| tc.k_capacity()),
             page_cache: engine
@@ -228,16 +230,19 @@ impl RefreshSeed {
     }
 
     /// The actual re-weigh: a cold build over the captured tables (same
-    /// model, α, fanout — so the result is bit-identical to
-    /// [`Engine::build_with_fanout`] over the survivors) with the serving
-    /// configuration restored and the epoch carried strictly forward.
+    /// model, α, fanout, record codec — so the result is bit-identical to
+    /// [`Engine::build_with_fanout`] over the survivors; the codec is the
+    /// *captured* engine's, not re-read from the environment) with the
+    /// serving configuration restored and the epoch carried strictly
+    /// forward.
     fn build(self) -> Engine {
-        let mut fresh = Engine::build_with_fanout(
+        let mut fresh = Engine::build_with_fanout_codec(
             self.objects,
             self.users,
             self.model,
             self.alpha,
             self.fanout,
+            self.codec,
         );
         if self.user_index {
             fresh = fresh.with_user_index();

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use geo::{Point, Rect};
 use storage::codec::{Reader, Writer};
-use storage::{BlockFile, IoStats, RecordId};
+use storage::{BlockFile, CodecId, IoStats, RecordId};
 use text::{TermId, WeightedDoc};
 
 use crate::rtree::{quadratic_partition, BuildItem, BuildTree, DEFAULT_MAX_ENTRIES};
@@ -55,7 +55,7 @@ pub enum ChildRef {
 }
 
 /// One deserialized entry of a node.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EntryView {
     /// The entry's MBR (degenerate for leaf entries — the object location).
     pub rect: Rect,
@@ -102,6 +102,7 @@ pub struct Postings {
 #[derive(Debug, Clone)]
 pub struct StTree {
     mode: PostingMode,
+    codec: CodecId,
     nodes: BlockFile,
     invfiles: BlockFile,
     root: RecordId,
@@ -116,11 +117,24 @@ impl StTree {
         Self::build_with_fanout(objects, mode, DEFAULT_MAX_ENTRIES)
     }
 
-    /// Bulk loads with an explicit node capacity.
+    /// Bulk loads with an explicit node capacity and the default
+    /// ([`CodecId::Verbatim`]) record codec.
     ///
     /// # Panics
     /// Panics when `objects` is empty.
     pub fn build_with_fanout(objects: &[IndexedObject], mode: PostingMode, fanout: usize) -> Self {
+        Self::build_with_fanout_codec(objects, mode, fanout, CodecId::default())
+    }
+
+    /// Bulk loads with an explicit node capacity and record codec. The
+    /// codec is fixed at build time and travels with the tree: every
+    /// mutation, splice, and compaction re-encodes with the same codec.
+    pub fn build_with_fanout_codec(
+        objects: &[IndexedObject],
+        mode: PostingMode,
+        fanout: usize,
+        codec: CodecId,
+    ) -> Self {
         let items: Vec<BuildItem> = objects
             .iter()
             .enumerate()
@@ -130,7 +144,7 @@ impl StTree {
             })
             .collect();
         let tree = BuildTree::bulk_load(&items, fanout);
-        Self::from_build_tree(&tree, &items, objects, mode, fanout)
+        Self::from_build_tree_codec(&tree, &items, objects, mode, fanout, codec)
     }
 
     /// Bulk loads with *text-first* leaf clustering (CIR/DIR-inspired).
@@ -233,8 +247,20 @@ impl StTree {
         mode: PostingMode,
         fanout: usize,
     ) -> Self {
-        let mut nodes = BlockFile::new();
-        let mut invfiles = BlockFile::new();
+        Self::from_build_tree_codec(tree, items, objects, mode, fanout, CodecId::default())
+    }
+
+    /// [`StTree::from_build_tree`] with an explicit record codec.
+    pub fn from_build_tree_codec(
+        tree: &BuildTree,
+        items: &[BuildItem],
+        objects: &[IndexedObject],
+        mode: PostingMode,
+        fanout: usize,
+        codec: CodecId,
+    ) -> Self {
+        let mut nodes = BlockFile::with_codec(codec);
+        let mut invfiles = BlockFile::with_codec(codec);
         // node build-index -> (record id, subtree term aggregate).
         let mut done: HashMap<usize, (RecordId, TermAgg)> = HashMap::new();
 
@@ -269,12 +295,13 @@ impl StTree {
                     (refs, rects, aggs)
                 };
 
-            let inv_rec = invfiles.put(&serialize_invfile(&entry_aggs, mode));
+            let inv_rec = invfiles.put(&serialize_invfile(&entry_aggs, mode, codec));
             let node_rec = nodes.put(&serialize_node(
                 node.is_leaf(),
                 inv_rec,
                 &entry_refs,
                 &entry_rects,
+                codec,
             ));
             let node_agg = TermAgg::merge_entries(&entry_aggs);
             done.insert(n, (node_rec, node_agg));
@@ -283,6 +310,7 @@ impl StTree {
         let root = done[&tree.root].0;
         StTree {
             mode,
+            codec,
             nodes,
             invfiles,
             root,
@@ -548,8 +576,13 @@ impl StTree {
         edit.stale_keys.push(node_cache_key(self.mode, node.id));
         self.nodes.free(node.id);
         edit.node_writes += 1;
-        self.nodes
-            .put(&serialize_node(false, node.invfile, &refs, &rects))
+        self.nodes.put(&serialize_node(
+            false,
+            node.invfile,
+            &refs,
+            &rects,
+            self.codec,
+        ))
     }
 
     /// Frees a superseded node and its inverted file, remembering their
@@ -564,11 +597,13 @@ impl StTree {
 
     /// Installs an empty leaf root (the tree just lost its last object).
     fn write_empty_root(&mut self, edit: &mut TreeEdit) {
-        let inv_payload = serialize_invfile(&[], self.mode);
+        let inv_payload = serialize_invfile(&[], self.mode, self.codec);
         edit.payload_blocks += storage::blocks_for(inv_payload.len());
         let inv = self.invfiles.put(&inv_payload);
         edit.node_writes += 1;
-        self.root = self.nodes.put(&serialize_node(true, inv, &[], &[]));
+        self.root = self
+            .nodes
+            .put(&serialize_node(true, inv, &[], &[], self.codec));
         self.height = 1;
     }
 
@@ -625,13 +660,13 @@ impl StTree {
                 let g_refs: Vec<ChildRef> = group.iter().map(|&i| refs[i]).collect();
                 let g_rects: Vec<Rect> = group.iter().map(|&i| rects[i]).collect();
                 let g_aggs: Vec<TermAgg> = group.iter().map(|&i| aggs[i].clone()).collect();
-                let inv_payload = serialize_invfile(&g_aggs, self.mode);
+                let inv_payload = serialize_invfile(&g_aggs, self.mode, self.codec);
                 edit.payload_blocks += storage::blocks_for(inv_payload.len());
                 let inv = self.invfiles.put(&inv_payload);
                 edit.node_writes += 1;
                 let rec = self
                     .nodes
-                    .put(&serialize_node(is_leaf, inv, &g_refs, &g_rects));
+                    .put(&serialize_node(is_leaf, inv, &g_refs, &g_rects, self.codec));
                 let rect = Rect::bounding_rects(g_rects.iter().copied()).expect("non-empty");
                 (rec, rect, TermAgg::merge_entries(&g_aggs))
             })
@@ -643,7 +678,7 @@ impl StTree {
     /// maintenance counters.
     fn read_node_tracked(&self, id: RecordId, edit: &mut TreeEdit) -> NodeView {
         edit.read_ios += 1;
-        deserialize_node(id, self.nodes.get(id))
+        deserialize_node(id, self.nodes.get(id), self.codec)
     }
 
     /// Reconstructs every entry's full term aggregate from the node's
@@ -651,7 +686,7 @@ impl StTree {
     fn full_aggs_tracked(&self, node: &NodeView, edit: &mut TreeEdit) -> Vec<TermAgg> {
         let payload = self.invfiles.get(node.invfile);
         edit.read_ios += storage::blocks_for(payload.len());
-        let all = deserialize_all_postings(payload, self.mode, node.entries.len());
+        let all = deserialize_all_postings(payload, self.mode, node.entries.len(), self.codec);
         all.into_iter().map(|terms| TermAgg { terms }).collect()
     }
 
@@ -692,8 +727,11 @@ impl StTree {
         let height = r.get_u32();
         let num_objects = r.get_u64() as usize;
         let fanout = r.get_u32() as usize;
+        // The record codec travels in the block-file headers.
+        let codec = nodes.codec();
         Ok(StTree {
             mode,
+            codec,
             nodes,
             invfiles,
             root,
@@ -727,6 +765,12 @@ impl StTree {
         self.mode
     }
 
+    /// Record codec in use.
+    #[inline]
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
     /// Node capacity used during construction.
     #[inline]
     pub fn fanout(&self) -> usize {
@@ -743,6 +787,41 @@ impl StTree {
     /// Total bytes of all live inverted files.
     pub fn invfile_bytes(&self) -> u64 {
         self.invfiles.bytes()
+    }
+
+    /// Byte footprint the live tree would occupy under the
+    /// [`CodecId::Verbatim`] codec — the logical (uncompressed) size a
+    /// compressing codec's ratio is measured against. Equals
+    /// `node_bytes() + invfile_bytes()` when the tree already is Verbatim.
+    pub fn logical_bytes(&self) -> u64 {
+        if self.codec == CodecId::Verbatim {
+            return self.node_bytes() + self.invfile_bytes();
+        }
+        let mut total = 0u64;
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = deserialize_node(id, self.nodes.get(id), self.codec);
+            let refs: Vec<ChildRef> = node.entries.iter().map(|e| e.child).collect();
+            let rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
+            total += serialize_node(node.is_leaf, node.invfile, &refs, &rects, CodecId::Verbatim)
+                .len() as u64;
+            let aggs: Vec<TermAgg> = deserialize_all_postings(
+                self.invfiles.get(node.invfile),
+                self.mode,
+                node.entries.len(),
+                self.codec,
+            )
+            .into_iter()
+            .map(|terms| TermAgg { terms })
+            .collect();
+            total += serialize_invfile(&aggs, self.mode, CodecId::Verbatim).len() as u64;
+            for e in &node.entries {
+                if let ChildRef::Node(c) = e.child {
+                    stack.push(c);
+                }
+            }
+        }
+        total
     }
 
     /// Simulated I/O to write the whole live tree from scratch: one I/O
@@ -770,8 +849,9 @@ impl StTree {
     pub fn compacted(&self) -> StTree {
         let mut out = StTree {
             mode: self.mode,
-            nodes: BlockFile::new(),
-            invfiles: BlockFile::new(),
+            codec: self.codec,
+            nodes: BlockFile::with_codec(self.codec),
+            invfiles: BlockFile::with_codec(self.codec),
             root: RecordId(0),
             height: self.height,
             num_objects: self.num_objects,
@@ -783,9 +863,11 @@ impl StTree {
 
     /// Copies one subtree of `src` into this (fresh) tree, children
     /// first so parent entries can point at the remapped record ids.
-    /// Inverted-file payloads are copied verbatim.
+    /// Inverted-file payloads are copied verbatim — compressed records
+    /// splice byte-for-byte because both trees share one codec.
     fn adopt_subtree(&mut self, src: &StTree, rec: RecordId) -> RecordId {
-        let node = deserialize_node(rec, src.nodes.get(rec));
+        debug_assert_eq!(self.codec, src.codec, "cross-codec splice");
+        let node = deserialize_node(rec, src.nodes.get(rec), src.codec);
         let refs: Vec<ChildRef> = node
             .entries
             .iter()
@@ -796,8 +878,13 @@ impl StTree {
             .collect();
         let rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
         let inv = self.invfiles.put(src.invfiles.get(node.invfile));
-        self.nodes
-            .put(&serialize_node(node.is_leaf, inv, &refs, &rects))
+        self.nodes.put(&serialize_node(
+            node.is_leaf,
+            inv,
+            &refs,
+            &rects,
+            self.codec,
+        ))
     }
 
     /// [`StTree::save`] of a [`StTree::compacted`] copy: freed placeholder
@@ -836,8 +923,9 @@ impl StTree {
     ) -> (StTree, SpliceReport) {
         let mut out = StTree {
             mode: self.mode,
-            nodes: BlockFile::new(),
-            invfiles: BlockFile::new(),
+            codec: self.codec,
+            nodes: BlockFile::with_codec(self.codec),
+            invfiles: BlockFile::with_codec(self.codec),
             root: RecordId(0),
             height: self.height,
             num_objects: self.num_objects,
@@ -862,7 +950,7 @@ impl StTree {
         reweighed: &HashMap<u32, WeightedDoc>,
         report: &mut SpliceReport,
     ) -> (RecordId, Option<TermAgg>) {
-        let node = deserialize_node(rec, src.nodes.get(rec));
+        let node = deserialize_node(rec, src.nodes.get(rec), src.codec);
         let rects: Vec<Rect> = node.entries.iter().map(|e| e.rect).collect();
 
         if node.is_leaf {
@@ -942,7 +1030,7 @@ impl StTree {
         let inv = self.invfiles.put(src.invfiles.get(node.invfile));
         report.spliced_records += 2;
         self.nodes
-            .put(&serialize_node(node.is_leaf, inv, &refs, rects))
+            .put(&serialize_node(node.is_leaf, inv, &refs, rects, self.codec))
     }
 
     /// Reads a node's old per-entry aggregates (and their merge) on the
@@ -955,10 +1043,11 @@ impl StTree {
     ) -> (Vec<TermAgg>, TermAgg) {
         let payload = src.invfiles.get(node.invfile);
         report.edit.read_ios += 1 + storage::blocks_for(payload.len());
-        let aggs: Vec<TermAgg> = deserialize_all_postings(payload, src.mode, node.entries.len())
-            .into_iter()
-            .map(|terms| TermAgg { terms })
-            .collect();
+        let aggs: Vec<TermAgg> =
+            deserialize_all_postings(payload, src.mode, node.entries.len(), src.codec)
+                .into_iter()
+                .map(|terms| TermAgg { terms })
+                .collect();
         let merged = TermAgg::merge_entries(&aggs);
         (aggs, merged)
     }
@@ -973,31 +1062,50 @@ impl StTree {
         aggs: &[TermAgg],
         report: &mut SpliceReport,
     ) -> RecordId {
-        let payload = serialize_invfile(aggs, self.mode);
+        let payload = serialize_invfile(aggs, self.mode, self.codec);
         report.edit.payload_blocks += storage::blocks_for(payload.len());
         let inv = self.invfiles.put(&payload);
         report.edit.node_writes += 1;
-        self.nodes.put(&serialize_node(is_leaf, inv, refs, rects))
+        self.nodes
+            .put(&serialize_node(is_leaf, inv, refs, rects, self.codec))
     }
 
     /// Reads (visits) a node, charging one simulated I/O (free on a warm
     /// cache hit when the counter carries one).
     pub fn read_node(&self, id: RecordId, io: &IoStats) -> NodeView {
         io.charge_node_visit_keyed(node_cache_key(self.mode, id));
-        deserialize_node(id, self.nodes.get(id))
+        deserialize_node(id, self.nodes.get(id), self.codec)
     }
 
     /// Loads the node's inverted file and extracts postings for `terms`
-    /// (which must be sorted ascending). Charges ⌈file bytes / 4096⌉
-    /// simulated I/Os — the paper's inverted-file rule.
+    /// (which must be sorted ascending).
+    ///
+    /// Under [`CodecId::Verbatim`] the whole file is loaded and charged
+    /// ⌈file bytes / 4096⌉ simulated I/Os — the paper's inverted-file
+    /// rule. Under [`CodecId::Columnar`] the skip table lets the read
+    /// touch only the directory and the wanted term lists, so the charge
+    /// is the number of *distinct 4 KB pages those extents overlap* — a
+    /// partial-column read of a cold record. The record keeps one cache
+    /// key either way; a warm hit is free.
     pub fn read_postings(&self, node: &NodeView, terms: &[TermId], io: &IoStats) -> Postings {
         debug_assert!(
             terms.windows(2).all(|w| w[0] < w[1]),
             "terms must be sorted"
         );
         let payload = self.invfiles.get(node.invfile);
-        io.charge_invfile_keyed(invfile_cache_key(self.mode, node.invfile), payload.len());
-        deserialize_postings(payload, self.mode, terms, node.entries.len())
+        let key = invfile_cache_key(self.mode, node.invfile);
+        match self.codec {
+            CodecId::Verbatim => {
+                io.charge_invfile_keyed(key, payload.len());
+                deserialize_postings(payload, self.mode, terms, node.entries.len())
+            }
+            CodecId::Columnar => {
+                let (postings, touched) =
+                    deserialize_postings_columnar(payload, self.mode, terms, node.entries.len());
+                io.charge_invfile_blocks_keyed(key, storage::pages_for_ranges(&touched));
+                postings
+            }
+        }
     }
 }
 
@@ -1081,55 +1189,137 @@ impl TermAgg {
 // ---------------------------------------------------------------------
 // On-disk layouts.
 //
-// Node record:
+// Verbatim node record (the paper-faithful baseline, bit-identical to the
+// pre-codec format):
 //   u8  is_leaf
 //   u32 invfile record id
 //   u32 n entries
 //   n × { u32 ref, f64 min.x, f64 min.y, f64 max.x, f64 max.y }
 //
-// Inverted-file record (directory + data, lists ascending by term):
+// Verbatim inverted-file record (directory + data, lists ascending by
+// term):
 //   u32 n_terms
 //   n_terms × { u32 term, u32 list_len }
 //   concatenated lists: list_len × { u32 entry_idx, f64 max [, f64 min] }
+//
+// Columnar node record — every field becomes a column encoded through the
+// Columnar codec primitives:
+//   u8 is_leaf, varint invfile id, varint n
+//   clustered column: n child refs (zigzag'd deltas)
+//   f64 column: n × min.x (XOR previous)
+//   f64 column: n × min.y (XOR previous)
+//   f64 column vs min.x: n × max.x (degenerate leaf rects → 1 byte)
+//   f64 column vs min.y: n × max.y
+//
+// Columnar inverted-file record — directory plus a skip table of encoded
+// list sizes (varint lists have no fixed stride, so partial reads need
+// explicit extents):
+//   varint n_terms
+//   ascending column: n_terms term ids
+//   n_terms × varint list_len
+//   n_terms × varint list_bytes        (the skip table)
+//   per-term list blocks, ascending by term:
+//     ascending column: list_len entry indexes
+//     f64 column: list_len maxima (XOR previous)
+//     [f64 column vs maxima: list_len minima]   (MaxMin only)
 // ---------------------------------------------------------------------
 
-fn serialize_node(is_leaf: bool, invfile: RecordId, refs: &[ChildRef], rects: &[Rect]) -> Vec<u8> {
-    let mut w = Writer::with_capacity(9 + refs.len() * 36);
-    w.put_u8(u8::from(is_leaf));
-    w.put_u32(invfile.0);
-    w.put_u32(refs.len() as u32);
-    for (r, rect) in refs.iter().zip(rects) {
-        let id = match *r {
-            ChildRef::Node(rid) => rid.0,
-            ChildRef::Object(oid) => oid,
-        };
-        w.put_u32(id);
-        w.put_f64(rect.min.x);
-        w.put_f64(rect.min.y);
-        w.put_f64(rect.max.x);
-        w.put_f64(rect.max.y);
+fn serialize_node(
+    is_leaf: bool,
+    invfile: RecordId,
+    refs: &[ChildRef],
+    rects: &[Rect],
+    codec: CodecId,
+) -> Vec<u8> {
+    let ref_id = |r: &ChildRef| match *r {
+        ChildRef::Node(rid) => rid.0,
+        ChildRef::Object(oid) => oid,
+    };
+    match codec {
+        CodecId::Verbatim => {
+            let mut w = Writer::with_capacity(9 + refs.len() * 36);
+            w.put_u8(u8::from(is_leaf));
+            w.put_u32(invfile.0);
+            w.put_u32(refs.len() as u32);
+            for (r, rect) in refs.iter().zip(rects) {
+                w.put_u32(ref_id(r));
+                w.put_f64(rect.min.x);
+                w.put_f64(rect.min.y);
+                w.put_f64(rect.max.x);
+                w.put_f64(rect.max.y);
+            }
+            w.into_bytes()
+        }
+        CodecId::Columnar => {
+            let c = storage::codec(codec);
+            let mut w = Writer::with_capacity(3 + refs.len() * 12);
+            w.put_u8(u8::from(is_leaf));
+            w.put_varint_u32(invfile.0);
+            w.put_varint_u32(refs.len() as u32);
+            let ids: Vec<u32> = refs.iter().map(ref_id).collect();
+            c.put_clustered_u32s(&mut w, &ids);
+            let col = |f: fn(&Rect) -> f64| rects.iter().map(f).collect::<Vec<f64>>();
+            let (min_x, min_y) = (col(|r| r.min.x), col(|r| r.min.y));
+            c.put_f64s(&mut w, &min_x);
+            c.put_f64s(&mut w, &min_y);
+            c.put_f64s_vs(&mut w, &col(|r| r.max.x), &min_x);
+            c.put_f64s_vs(&mut w, &col(|r| r.max.y), &min_y);
+            w.into_bytes()
+        }
     }
-    w.into_bytes()
 }
 
-fn deserialize_node(id: RecordId, payload: &[u8]) -> NodeView {
+fn deserialize_node(id: RecordId, payload: &[u8], codec: CodecId) -> NodeView {
     let mut r = Reader::new(payload);
-    let is_leaf = r.get_u8() != 0;
-    let invfile = RecordId(r.get_u32());
-    let n = r.get_u32() as usize;
-    let mut entries = Vec::with_capacity(n);
-    for _ in 0..n {
-        let raw = r.get_u32();
-        let rect = Rect::new(
-            Point::new(r.get_f64(), r.get_f64()),
-            Point::new(r.get_f64(), r.get_f64()),
-        );
-        let child = if is_leaf {
-            ChildRef::Object(raw)
-        } else {
-            ChildRef::Node(RecordId(raw))
-        };
-        entries.push(EntryView { rect, child });
+    let (is_leaf, invfile, n);
+    let mut entries;
+    match codec {
+        CodecId::Verbatim => {
+            is_leaf = r.get_u8() != 0;
+            invfile = RecordId(r.get_u32());
+            n = r.get_u32() as usize;
+            entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let raw = r.get_u32();
+                let rect = Rect::new(
+                    Point::new(r.get_f64(), r.get_f64()),
+                    Point::new(r.get_f64(), r.get_f64()),
+                );
+                let child = if is_leaf {
+                    ChildRef::Object(raw)
+                } else {
+                    ChildRef::Node(RecordId(raw))
+                };
+                entries.push(EntryView { rect, child });
+            }
+        }
+        CodecId::Columnar => {
+            let c = storage::codec(codec);
+            is_leaf = r.get_u8() != 0;
+            invfile = RecordId(r.get_varint_u32());
+            n = r.get_varint_u32() as usize;
+            let mut ids = Vec::new();
+            c.get_clustered_u32s(&mut r, n, &mut ids);
+            let (mut min_x, mut min_y, mut max_x, mut max_y) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            c.get_f64s(&mut r, n, &mut min_x);
+            c.get_f64s(&mut r, n, &mut min_y);
+            c.get_f64s_vs(&mut r, n, &min_x, &mut max_x);
+            c.get_f64s_vs(&mut r, n, &min_y, &mut max_y);
+            entries = Vec::with_capacity(n);
+            for i in 0..n {
+                let rect = Rect::new(
+                    Point::new(min_x[i], min_y[i]),
+                    Point::new(max_x[i], max_y[i]),
+                );
+                let child = if is_leaf {
+                    ChildRef::Object(ids[i])
+                } else {
+                    ChildRef::Node(RecordId(ids[i]))
+                };
+                entries.push(EntryView { rect, child });
+            }
+        }
     }
     debug_assert!(r.is_exhausted());
     NodeView {
@@ -1140,8 +1330,13 @@ fn deserialize_node(id: RecordId, payload: &[u8]) -> NodeView {
     }
 }
 
-fn serialize_invfile(entry_aggs: &[TermAgg], mode: PostingMode) -> Vec<u8> {
-    // Gather term -> [(entry_idx, max, min)].
+/// `term -> [(entry_idx, max, min)]` lists plus the ascending term order.
+type TermLists = (Vec<TermId>, HashMap<TermId, Vec<(u32, f64, f64)>>);
+
+/// Gathers per-entry aggregates into `term -> [(entry_idx, max, min)]`
+/// lists, ascending by term (entry indexes ascend within each list by
+/// construction).
+fn gather_lists(entry_aggs: &[TermAgg]) -> TermLists {
     let mut lists: HashMap<TermId, Vec<(u32, f64, f64)>> = HashMap::new();
     for (i, agg) in entry_aggs.iter().enumerate() {
         for &(t, max, min) in &agg.terms {
@@ -1150,51 +1345,152 @@ fn serialize_invfile(entry_aggs: &[TermAgg], mode: PostingMode) -> Vec<u8> {
     }
     let mut terms: Vec<TermId> = lists.keys().copied().collect();
     terms.sort_unstable();
+    (terms, lists)
+}
 
-    let mut w = Writer::new();
-    w.put_u32(terms.len() as u32);
-    for &t in &terms {
-        w.put_u32(t.0);
-        w.put_u32(lists[&t].len() as u32);
-    }
-    for &t in &terms {
-        for &(idx, max, min) in &lists[&t] {
-            w.put_u32(idx);
-            w.put_f64(max);
-            if mode == PostingMode::MaxMin {
-                w.put_f64(min);
+fn serialize_invfile(entry_aggs: &[TermAgg], mode: PostingMode, codec: CodecId) -> Vec<u8> {
+    let (terms, lists) = gather_lists(entry_aggs);
+    match codec {
+        CodecId::Verbatim => {
+            let mut w = Writer::new();
+            w.put_u32(terms.len() as u32);
+            for &t in &terms {
+                w.put_u32(t.0);
+                w.put_u32(lists[&t].len() as u32);
             }
+            for &t in &terms {
+                for &(idx, max, min) in &lists[&t] {
+                    w.put_u32(idx);
+                    w.put_f64(max);
+                    if mode == PostingMode::MaxMin {
+                        w.put_f64(min);
+                    }
+                }
+            }
+            w.into_bytes()
+        }
+        CodecId::Columnar => {
+            let c = storage::codec(codec);
+            // Encode each term's list block first so the directory can
+            // carry the skip table of encoded sizes.
+            let blocks: Vec<Vec<u8>> = terms
+                .iter()
+                .map(|t| {
+                    let list = &lists[t];
+                    let mut b = Writer::new();
+                    let idxs: Vec<u32> = list.iter().map(|&(i, _, _)| i).collect();
+                    c.put_ascending_u32s(&mut b, &idxs);
+                    let maxs: Vec<f64> = list.iter().map(|&(_, m, _)| m).collect();
+                    c.put_f64s(&mut b, &maxs);
+                    if mode == PostingMode::MaxMin {
+                        let mins: Vec<f64> = list.iter().map(|&(_, _, m)| m).collect();
+                        c.put_f64s_vs(&mut b, &mins, &maxs);
+                    }
+                    b.into_bytes()
+                })
+                .collect();
+            let mut w = Writer::new();
+            w.put_varint_u32(terms.len() as u32);
+            let term_ids: Vec<u32> = terms.iter().map(|t| t.0).collect();
+            c.put_ascending_u32s(&mut w, &term_ids);
+            for &t in &terms {
+                w.put_varint_u32(lists[&t].len() as u32);
+            }
+            for b in &blocks {
+                w.put_varint_u32(b.len() as u32);
+            }
+            for b in &blocks {
+                w.put_bytes(b);
+            }
+            w.into_bytes()
         }
     }
-    w.into_bytes()
+}
+
+/// Decoded columnar inverted-file directory: per term, `(term, list_len,
+/// block_start, block_end)` absolute byte extents, plus the directory's
+/// own end offset.
+fn columnar_directory(r: &mut Reader) -> (Vec<(TermId, usize, usize, usize)>, usize) {
+    let c = storage::codec(CodecId::Columnar);
+    let n_terms = r.get_varint_u32() as usize;
+    let mut term_ids = Vec::new();
+    c.get_ascending_u32s(r, n_terms, &mut term_ids);
+    let lens: Vec<usize> = (0..n_terms).map(|_| r.get_varint_u32() as usize).collect();
+    let bytes: Vec<usize> = (0..n_terms).map(|_| r.get_varint_u32() as usize).collect();
+    let dir_end = r.position();
+    let mut dir = Vec::with_capacity(n_terms);
+    let mut offset = dir_end;
+    for i in 0..n_terms {
+        dir.push((TermId(term_ids[i]), lens[i], offset, offset + bytes[i]));
+        offset += bytes[i];
+    }
+    (dir, dir_end)
+}
+
+/// Decodes one columnar list block (positioned at its start) into
+/// `per_entry` rows.
+fn decode_columnar_list(
+    r: &mut Reader,
+    t: TermId,
+    len: usize,
+    mode: PostingMode,
+    per_entry: &mut [Vec<(TermId, f64, f64)>],
+) {
+    let c = storage::codec(CodecId::Columnar);
+    let mut idxs = Vec::new();
+    c.get_ascending_u32s(r, len, &mut idxs);
+    let mut maxs = Vec::new();
+    c.get_f64s(r, len, &mut maxs);
+    let mut mins = Vec::new();
+    if mode == PostingMode::MaxMin {
+        c.get_f64s_vs(r, len, &maxs, &mut mins);
+    } else {
+        mins.resize(len, 0.0);
+    }
+    for i in 0..len {
+        per_entry[idxs[i] as usize].push((t, maxs[i], mins[i]));
+    }
 }
 
 /// Decodes the entire inverted file into per-entry `(term, max, min)`
-/// rows (maintenance path — query reads use [`deserialize_postings`]).
+/// rows (maintenance path — query reads use [`deserialize_postings`] /
+/// [`deserialize_postings_columnar`]).
 fn deserialize_all_postings(
     payload: &[u8],
     mode: PostingMode,
     num_entries: usize,
+    codec: CodecId,
 ) -> Vec<Vec<(TermId, f64, f64)>> {
     let mut r = Reader::new(payload);
-    let n_terms = r.get_u32() as usize;
-    let mut dir = Vec::with_capacity(n_terms);
-    for _ in 0..n_terms {
-        let t = TermId(r.get_u32());
-        let len = r.get_u32() as usize;
-        dir.push((t, len));
-    }
     let mut per_entry: Vec<Vec<(TermId, f64, f64)>> = vec![Vec::new(); num_entries];
-    for (t, len) in dir {
-        for _ in 0..len {
-            let idx = r.get_u32() as usize;
-            let max = r.get_f64();
-            let min = if mode == PostingMode::MaxMin {
-                r.get_f64()
-            } else {
-                0.0
-            };
-            per_entry[idx].push((t, max, min));
+    match codec {
+        CodecId::Verbatim => {
+            let n_terms = r.get_u32() as usize;
+            let mut dir = Vec::with_capacity(n_terms);
+            for _ in 0..n_terms {
+                let t = TermId(r.get_u32());
+                let len = r.get_u32() as usize;
+                dir.push((t, len));
+            }
+            for (t, len) in dir {
+                for _ in 0..len {
+                    let idx = r.get_u32() as usize;
+                    let max = r.get_f64();
+                    let min = if mode == PostingMode::MaxMin {
+                        r.get_f64()
+                    } else {
+                        0.0
+                    };
+                    per_entry[idx].push((t, max, min));
+                }
+            }
+        }
+        CodecId::Columnar => {
+            let (dir, _) = columnar_directory(&mut r);
+            for (t, len, start, _) in dir {
+                debug_assert_eq!(r.position(), start);
+                decode_columnar_list(&mut r, t, len, mode, &mut per_entry);
+            }
         }
     }
     debug_assert!(r.is_exhausted());
@@ -1253,6 +1549,38 @@ fn deserialize_postings(
         offset += len * posting_width;
     }
     Postings { per_entry }
+}
+
+/// Columnar twin of [`deserialize_postings`]: decodes only the directory
+/// and the wanted lists, and returns the byte extents it touched so the
+/// caller can charge partial pages ([`StTree::read_postings`]).
+fn deserialize_postings_columnar(
+    payload: &[u8],
+    mode: PostingMode,
+    wanted: &[TermId],
+    num_entries: usize,
+) -> (Postings, Vec<(usize, usize)>) {
+    let mut r = Reader::new(payload);
+    let (dir, dir_end) = columnar_directory(&mut r);
+    let mut touched = vec![(0, dir_end)];
+    let mut per_entry: Vec<Vec<(TermId, f64, f64)>> = vec![Vec::new(); num_entries];
+    let mut want = wanted.iter().peekable();
+    for (t, len, start, end) in dir {
+        while let Some(&&wt) = want.peek() {
+            if wt < t {
+                want.next();
+            } else {
+                break;
+            }
+        }
+        if matches!(want.peek(), Some(&&wt) if wt == t) {
+            r.seek(start);
+            decode_columnar_list(&mut r, t, len, mode, &mut per_entry);
+            debug_assert_eq!(r.position(), end);
+            touched.push((start, end));
+        }
+    }
+    (Postings { per_entry }, touched)
 }
 
 #[cfg(test)]
@@ -1409,6 +1737,100 @@ mod tests {
         let mir = StTree::build_with_fanout(&objects, PostingMode::MaxMin, 4);
         assert!(ir.invfile_bytes() < mir.invfile_bytes());
         assert_eq!(ir.node_bytes(), mir.node_bytes());
+    }
+
+    /// A node's decoded view plus its full per-entry postings.
+    type NodeFingerprint = (NodeView, Vec<Vec<(TermId, f64, f64)>>);
+
+    /// Walks `tree` depth-first and returns every node's decoded view plus
+    /// its full postings, in a stable order — the equivalence fingerprint
+    /// for cross-codec comparison.
+    fn fingerprint(tree: &StTree, terms: &[TermId]) -> Vec<NodeFingerprint> {
+        let io = IoStats::new();
+        let mut out = Vec::new();
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.read_node(id, &io);
+            let p = tree.read_postings(&node, terms, &io);
+            for e in &node.entries {
+                if let ChildRef::Node(c) = e.child {
+                    stack.push(c);
+                }
+            }
+            out.push((node, p.per_entry));
+        }
+        out
+    }
+
+    /// The tentpole contract: both codecs decode to identical trees — same
+    /// structure, same rectangles (bit-exact), same postings — while the
+    /// columnar encoding is strictly smaller on disk.
+    #[test]
+    fn columnar_codec_is_lossless_and_smaller() {
+        let (objects, _, _) = corpus();
+        let all_terms: Vec<TermId> = (0..4).map(t).collect();
+        for mode in [PostingMode::MaxOnly, PostingMode::MaxMin] {
+            let v = StTree::build_with_fanout_codec(&objects, mode, 4, CodecId::Verbatim);
+            let c = StTree::build_with_fanout_codec(&objects, mode, 4, CodecId::Columnar);
+            assert_eq!(v.codec(), CodecId::Verbatim);
+            assert_eq!(c.codec(), CodecId::Columnar);
+
+            let (fv, fc) = (fingerprint(&v, &all_terms), fingerprint(&c, &all_terms));
+            assert_eq!(fv.len(), fc.len(), "{mode:?}: node count");
+            for ((nv, pv), (nc, pc)) in fv.iter().zip(&fc) {
+                assert_eq!(nv.id, nc.id);
+                assert_eq!(nv.is_leaf, nc.is_leaf);
+                assert_eq!(nv.entries, nc.entries, "{mode:?}: node {:?}", nv.id);
+                assert_eq!(pv, pc, "{mode:?}: postings of node {:?}", nv.id);
+            }
+
+            assert!(
+                c.node_bytes() < v.node_bytes(),
+                "{mode:?}: columnar nodes {} !< verbatim {}",
+                c.node_bytes(),
+                v.node_bytes()
+            );
+            assert!(
+                c.invfile_bytes() < v.invfile_bytes(),
+                "{mode:?}: columnar invfiles {} !< verbatim {}",
+                c.invfile_bytes(),
+                v.invfile_bytes()
+            );
+        }
+    }
+
+    /// Mutations re-encode with the tree's own codec and stay equivalent.
+    #[test]
+    fn columnar_codec_survives_mutations() {
+        let (objects, _, _) = corpus();
+        let all_terms: Vec<TermId> = (0..4).map(t).collect();
+        let mut v = StTree::build_with_fanout_codec(
+            &objects[..12],
+            PostingMode::MaxMin,
+            4,
+            CodecId::Verbatim,
+        );
+        let mut c = StTree::build_with_fanout_codec(
+            &objects[..12],
+            PostingMode::MaxMin,
+            4,
+            CodecId::Columnar,
+        );
+        for obj in &objects[12..] {
+            v.insert(obj);
+            c.insert(obj);
+        }
+        for obj in &objects[..4] {
+            assert!(v.remove(obj.id, obj.point).is_some());
+            assert!(c.remove(obj.id, obj.point).is_some());
+        }
+        let (fv, fc) = (fingerprint(&v, &all_terms), fingerprint(&c, &all_terms));
+        assert_eq!(fv.len(), fc.len());
+        for ((nv, pv), (nc, pc)) in fv.iter().zip(&fc) {
+            assert_eq!(nv.entries, nc.entries);
+            assert_eq!(pv, pc);
+        }
+        assert_eq!(c.codec(), CodecId::Columnar, "codec survives mutations");
     }
 
     #[test]

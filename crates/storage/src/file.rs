@@ -3,35 +3,53 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic "MBRS"  u32 version  u32 record-count
+//! magic "MBRS"  u32 version  u8 codec-id  u32 record-count
 //! record-count × u64 record length
+//! ⌈record-count / 8⌉ bytes of freed-flag bitmap (LSB-first)
 //! concatenated record payloads
 //! ```
 //!
 //! The format is deliberately dumb — the simulated-disk abstraction stays
 //! the unit of I/O accounting; persistence only lets an index built once
 //! be reopened later, as a disk-resident index should.
+//!
+//! Version 2 added the codec id and the freed bitmap. The codec stamp is
+//! what lets a reader decode records written under a non-default codec;
+//! the bitmap keeps footprint accounting exact across a save/load cycle —
+//! version 1 dropped the freed flags, so a reopened file counted freed
+//! placeholders as live empty records and `live_records()` /
+//! `freed_records()` (and with them the engines' compaction triggers)
+//! drifted from the in-memory truth.
 
 use std::io::{self, Read as _, Write as _};
 use std::path::Path;
 
-use crate::BlockFile;
+use crate::codec::CodecId;
+use crate::{BlockFile, RecordId};
 
 const MAGIC: &[u8; 4] = b"MBRS";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Writes a [`BlockFile`] to `path`, overwriting any previous content.
 pub fn save_blockfile(bf: &BlockFile, path: &Path) -> io::Result<()> {
     let mut out = io::BufWriter::new(std::fs::File::create(path)?);
     out.write_all(MAGIC)?;
     out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&[bf.codec().as_u8()])?;
     out.write_all(&(bf.len() as u32).to_le_bytes())?;
-    // `raw` tolerates freed records: they persist as empty payloads (the
-    // freed flag itself is not serialized — a reopened file treats them as
-    // ordinary empty records, which nothing references).
+    // `raw` tolerates freed records: they persist as empty payloads, and
+    // the bitmap below records which slots those are so a reopened file
+    // reproduces the exact live/freed accounting.
     for i in 0..bf.len() {
         out.write_all(&(bf.raw(i).len() as u64).to_le_bytes())?;
     }
+    let mut bitmap = vec![0u8; bf.len().div_ceil(8)];
+    for i in 0..bf.len() {
+        if bf.is_freed(RecordId(i as u32)) {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out.write_all(&bitmap)?;
     for i in 0..bf.len() {
         out.write_all(bf.raw(i))?;
     }
@@ -40,11 +58,12 @@ pub fn save_blockfile(bf: &BlockFile, path: &Path) -> io::Result<()> {
 
 /// Reads a [`BlockFile`] previously written by [`save_blockfile`].
 pub fn load_blockfile(path: &Path) -> io::Result<BlockFile> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
     let mut input = io::BufReader::new(std::fs::File::open(path)?);
-    let mut head = [0u8; 12];
+    let mut head = [0u8; 13];
     input.read_exact(&mut head)?;
     if &head[0..4] != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(bad("bad magic"));
     }
     let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
     if version != VERSION {
@@ -53,7 +72,8 @@ pub fn load_blockfile(path: &Path) -> io::Result<BlockFile> {
             format!("unsupported version {version}"),
         ));
     }
-    let count = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+    let codec = CodecId::from_u8(head[8]).ok_or_else(|| bad("unknown codec id"))?;
+    let count = u32::from_le_bytes(head[9..13].try_into().unwrap()) as usize;
 
     let mut lens = Vec::with_capacity(count);
     let mut lenbuf = [0u8; 8];
@@ -61,12 +81,22 @@ pub fn load_blockfile(path: &Path) -> io::Result<BlockFile> {
         input.read_exact(&mut lenbuf)?;
         lens.push(u64::from_le_bytes(lenbuf) as usize);
     }
-    let mut bf = BlockFile::new();
+    let mut bitmap = vec![0u8; count.div_ceil(8)];
+    input.read_exact(&mut bitmap)?;
+
+    let mut bf = BlockFile::with_codec(codec);
     let mut buf = Vec::new();
-    for len in lens {
+    for (i, len) in lens.into_iter().enumerate() {
+        let freed = bitmap[i / 8] & (1 << (i % 8)) != 0;
+        if freed && len != 0 {
+            return Err(bad("freed record with non-empty payload"));
+        }
         buf.resize(len, 0);
         input.read_exact(&mut buf)?;
-        bf.put(&buf);
+        let id = bf.put(&buf);
+        if freed {
+            bf.free(id);
+        }
     }
     Ok(bf)
 }
@@ -95,6 +125,7 @@ mod tests {
         assert_eq!(loaded.get(crate::RecordId(1)), b"");
         assert_eq!(loaded.get(crate::RecordId(2)), &[0u8; 5000]);
         assert_eq!(loaded.bytes(), bf.bytes());
+        assert_eq!(loaded.codec(), CodecId::Verbatim);
         std::fs::remove_file(path).ok();
     }
 
@@ -113,5 +144,45 @@ mod tests {
         std::fs::write(&path, b"JUNKJUNKJUNKJUNK").unwrap();
         assert!(load_blockfile(&path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_codec_rejected() {
+        let bf = BlockFile::new();
+        let path = tmp("badcodec.bin");
+        save_blockfile(&bf, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 0xEE; // clobber the codec id
+        std::fs::write(&path, bytes).unwrap();
+        assert!(load_blockfile(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    /// The regression this version of the format fixes: freed slots used
+    /// to reopen as live empty records, so every footprint accessor lied
+    /// after a save/load cycle.
+    #[test]
+    fn freed_records_survive_roundtrip_exactly() {
+        let mut bf = BlockFile::with_codec(CodecId::Columnar);
+        let a = bf.put(&[1u8; 100]);
+        bf.put(&[2u8; 50]);
+        let c = bf.put(&[3u8; 4097]);
+        bf.free(a);
+        bf.free(c);
+
+        let path = tmp("freed.bin");
+        save_blockfile(&bf, &path).unwrap();
+        let loaded = load_blockfile(&path).unwrap();
+        std::fs::remove_file(path).ok();
+
+        assert_eq!(loaded.codec(), CodecId::Columnar);
+        assert_eq!(loaded.len(), bf.len());
+        assert_eq!(loaded.live_records(), 1);
+        assert_eq!(loaded.freed_records(), 2);
+        assert_eq!(loaded.bytes(), 50);
+        assert_eq!(loaded.live_payload_blocks(), bf.live_payload_blocks());
+        assert!(loaded.is_freed(a) && loaded.is_freed(c));
+        // A stale pointer into the reopened file still fails loudly.
+        assert!(std::panic::catch_unwind(|| loaded.get(a)).is_err());
     }
 }

@@ -184,7 +184,17 @@ impl IoStats {
     /// hit.
     #[inline]
     pub fn charge_invfile_keyed(&self, key: u64, bytes: usize) {
-        let blocks = crate::blocks_for(bytes);
+        self.charge_invfile_blocks_keyed(key, crate::blocks_for(bytes));
+    }
+
+    /// Charge a pre-computed number of blocks for a keyed inverted-file
+    /// access; free on a cache hit. Partial-column reads of compressed
+    /// records compute their touched-page count with
+    /// [`pages_for_ranges`](crate::pages_for_ranges) and charge it here:
+    /// the record keeps one cache key, sized by whatever page count the
+    /// latest access touched (the LRU reconciles size changes on access).
+    #[inline]
+    pub fn charge_invfile_blocks_keyed(&self, key: u64, blocks: u64) {
         if blocks == 0 {
             return;
         }

@@ -10,8 +10,10 @@
 //!   file; records are byte payloads addressed by [`RecordId`],
 //! * [`IoStats`] — the simulated I/O counter with exactly the paper's
 //!   accounting rule,
-//! * [`codec`] — little-endian serialization helpers used by the index
-//!   crate to lay out nodes and inverted files byte-exactly.
+//! * [`mod@codec`] — little-endian serialization helpers plus the pluggable
+//!   per-block-file [`Codec`] implementations ([`CodecId::Verbatim`] lays
+//!   out nodes and inverted files byte-exactly, [`CodecId::Columnar`]
+//!   re-encodes them column-wise).
 //!
 //! Queries in the evaluation are *cold*: the substrate deliberately has no
 //! buffer pool, so every node visit is charged. For warm-cache serving
@@ -27,6 +29,7 @@ mod sharded;
 mod store;
 
 pub use cache::LruSet;
+pub use codec::{codec, Codec, CodecId};
 pub use file::{load_blockfile, save_blockfile};
 pub use io::{IoSnapshot, IoStats};
 pub use sharded::{ShardedLru, DEFAULT_SHARDS, MIN_SHARD_BLOCKS};
@@ -41,6 +44,33 @@ pub fn blocks_for(bytes: usize) -> u64 {
     (bytes as u64).div_ceil(PAGE_SIZE as u64)
 }
 
+/// Number of distinct 4 KB pages overlapped by the half-open byte ranges
+/// `(start, end)` — the charge for a partial-column read that touches only
+/// some extents of a record. Ranges may overlap or arrive unsorted; empty
+/// ranges are free. For a single range `(0, len)` this equals
+/// [`blocks_for`]`(len)`.
+pub fn pages_for_ranges(ranges: &[(usize, usize)]) -> u64 {
+    let mut pages: Vec<(usize, usize)> = ranges
+        .iter()
+        .filter(|&&(start, end)| end > start)
+        .map(|&(start, end)| (start / PAGE_SIZE, (end - 1) / PAGE_SIZE))
+        .collect();
+    pages.sort_unstable();
+    let mut total = 0u64;
+    let mut covered_through: Option<usize> = None;
+    for (first, last) in pages {
+        let from = match covered_through {
+            Some(c) if first <= c => c + 1,
+            _ => first,
+        };
+        if from <= last {
+            total += (last - from + 1) as u64;
+            covered_through = Some(last);
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +82,30 @@ mod tests {
         assert_eq!(blocks_for(PAGE_SIZE), 1);
         assert_eq!(blocks_for(PAGE_SIZE + 1), 2);
         assert_eq!(blocks_for(3 * PAGE_SIZE), 3);
+    }
+
+    #[test]
+    fn pages_for_ranges_matches_blocks_for_whole_records() {
+        for len in [1, PAGE_SIZE, PAGE_SIZE + 1, 5 * PAGE_SIZE + 17] {
+            assert_eq!(pages_for_ranges(&[(0, len)]), blocks_for(len), "{len}");
+        }
+        assert_eq!(pages_for_ranges(&[]), 0);
+        assert_eq!(pages_for_ranges(&[(10, 10)]), 0, "empty range is free");
+    }
+
+    #[test]
+    fn pages_for_ranges_counts_distinct_pages_once() {
+        let p = PAGE_SIZE;
+        // Two ranges inside the same page: one page.
+        assert_eq!(pages_for_ranges(&[(0, 10), (100, 200)]), 1);
+        // Straddling a boundary: two pages.
+        assert_eq!(pages_for_ranges(&[(p - 1, p + 1)]), 2);
+        // Disjoint pages with a skipped page between them.
+        assert_eq!(pages_for_ranges(&[(0, 10), (2 * p + 5, 2 * p + 6)]), 2);
+        // Overlapping and unsorted ranges still count each page once.
+        assert_eq!(
+            pages_for_ranges(&[(3 * p, 4 * p), (0, 2 * p), (p, 3 * p + 1)]),
+            4
+        );
     }
 }

@@ -1,5 +1,7 @@
 //! Append-only simulated disk file.
 
+use crate::codec::CodecId;
+
 /// Identifier of a record inside a [`BlockFile`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordId(pub u32);
@@ -29,12 +31,29 @@ pub struct BlockFile {
     freed: Vec<bool>,
     bytes: u64,
     live: usize,
+    codec: CodecId,
 }
 
 impl BlockFile {
-    /// An empty file.
+    /// An empty file with the default ([`CodecId::Verbatim`]) codec.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty file stamped with `codec`. The stamp travels with the file
+    /// (clones, persistence) so readers always decode records with the
+    /// codec they were written under.
+    pub fn with_codec(codec: CodecId) -> Self {
+        BlockFile {
+            codec,
+            ..Self::default()
+        }
+    }
+
+    /// The codec this file's records are encoded with.
+    #[inline]
+    pub fn codec(&self) -> CodecId {
+        self.codec
     }
 
     /// Appends a record, returning its id.

@@ -66,5 +66,6 @@ pub mod prelude {
     pub use mbrstk_core::{
         Engine, Method, ObjectData, QueryResult, QuerySpec, ScoreContext, UserData, UserGroup,
     };
+    pub use storage::CodecId;
     pub use text::{Dictionary, Document, TermId, TextScorer, WeightModel};
 }

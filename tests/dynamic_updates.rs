@@ -88,6 +88,18 @@ fn build(objects: Vec<ObjectData>, users: Vec<UserData>) -> Engine {
         .with_user_index()
 }
 
+fn build_codec(objects: Vec<ObjectData>, users: Vec<UserData>, codec: CodecId) -> Engine {
+    Engine::build_with_fanout_codec(
+        objects,
+        users,
+        WeightModel::KeywordOverlap,
+        ALPHA,
+        FANOUT,
+        codec,
+    )
+    .with_user_index()
+}
+
 /// A random interleaving of ~40 mutations that only touches churnable
 /// ids and keeps every inserted point strictly inside the anchored hull.
 fn mutation_script(rng: &mut StdRng, objects: &[ObjectData], users: &[UserData]) -> Vec<Mutation> {
@@ -205,7 +217,8 @@ fn assert_equivalent(label: &str, mutated: &Engine, rebuilt: &Engine) {
 
 /// Acceptance (a) + the seeded equivalence property: cold and warm
 /// mutated engines match a fresh build over the survivors, for every
-/// method, across random interleavings.
+/// method, across random interleavings — under both record codecs, which
+/// must also agree with *each other* bit-identically.
 #[test]
 fn mutation_equivalence_warm_and_cold() {
     for seed in [11u64, 42, 77] {
@@ -213,36 +226,47 @@ fn mutation_equivalence_warm_and_cold() {
         let (objects, users) = seed_data(&mut rng);
         let script = mutation_script(&mut rng, &objects, &users);
 
-        // Cold twin: mutations only.
-        let mut cold = build(objects.clone(), users.clone());
-        // Warm twin: serves queries through both caches between chunks.
-        let mut warm = build(objects, users)
-            .with_threshold_cache()
-            .with_page_cache(1 << 12);
+        let mut rebuilt_by_codec = Vec::new();
+        for codec in CodecId::ALL {
+            // Cold twin: mutations only.
+            let mut cold = build_codec(objects.clone(), users.clone(), codec);
+            // Warm twin: serves queries through both caches between chunks.
+            let mut warm = build_codec(objects.clone(), users.clone(), codec)
+                .with_threshold_cache()
+                .with_page_cache(1 << 12);
 
-        for chunk in script.chunks(7) {
-            let a = cold.apply_batch(chunk.to_vec());
-            let b = warm.apply_batch(chunk.to_vec());
-            assert_eq!(a.applied, b.applied, "seed {seed}: twins must agree");
-            assert_eq!(a.rejected, 0, "script only emits valid mutations");
-            // Keep the warm caches genuinely warm across mutations.
-            for spec in specs() {
-                let _ = warm.query(&spec, Method::JointExact);
-                let _ = warm.query(&spec, Method::UserIndexGreedy);
+            for chunk in script.chunks(7) {
+                let a = cold.apply_batch(chunk.to_vec());
+                let b = warm.apply_batch(chunk.to_vec());
+                assert_eq!(a.applied, b.applied, "seed {seed}: twins must agree");
+                assert_eq!(a.rejected, 0, "script only emits valid mutations");
+                // Keep the warm caches genuinely warm across mutations.
+                for spec in specs() {
+                    let _ = warm.query(&spec, Method::JointExact);
+                    let _ = warm.query(&spec, Method::UserIndexGreedy);
+                }
             }
+            assert_eq!(cold.epoch(), script.len() as u64);
+
+            // Fresh build over the surviving sets, in surviving table order.
+            let rebuilt = build_codec(cold.objects.clone(), cold.users.clone(), codec);
+            assert_eq!(rebuilt.mir.num_objects(), cold.mir.num_objects());
+            assert_eq!(
+                rebuilt.miur.as_ref().unwrap().num_users(),
+                cold.miur.as_ref().unwrap().num_users()
+            );
+
+            assert_equivalent(&format!("seed {seed} {codec:?} cold"), &cold, &rebuilt);
+            assert_equivalent(&format!("seed {seed} {codec:?} warm"), &warm, &rebuilt);
+            rebuilt_by_codec.push(rebuilt);
         }
-        assert_eq!(cold.epoch(), script.len() as u64);
-
-        // Fresh build over the surviving sets, in surviving table order.
-        let rebuilt = build(cold.objects.clone(), cold.users.clone());
-        assert_eq!(rebuilt.mir.num_objects(), cold.mir.num_objects());
-        assert_eq!(
-            rebuilt.miur.as_ref().unwrap().num_users(),
-            cold.miur.as_ref().unwrap().num_users()
+        // Cross-codec bit-identity at query level: the codecs only change
+        // the bytes on disk, never an answer.
+        assert_equivalent(
+            &format!("seed {seed} verbatim-vs-columnar"),
+            &rebuilt_by_codec[0],
+            &rebuilt_by_codec[1],
         );
-
-        assert_equivalent(&format!("seed {seed} cold"), &cold, &rebuilt);
-        assert_equivalent(&format!("seed {seed} warm"), &warm, &rebuilt);
     }
 }
 

@@ -66,7 +66,16 @@ fn seed_data(n_objects: u32, n_users: u32, vocab: u32) -> (Vec<ObjectData>, Vec<
 }
 
 fn build(objects: Vec<ObjectData>, users: Vec<UserData>, model: WeightModel) -> Engine {
-    Engine::build_with_fanout(objects, users, model, ALPHA, FANOUT)
+    build_codec(objects, users, model, CodecId::default())
+}
+
+fn build_codec(
+    objects: Vec<ObjectData>,
+    users: Vec<UserData>,
+    model: WeightModel,
+    codec: CodecId,
+) -> Engine {
+    Engine::build_with_fanout_codec(objects, users, model, ALPHA, FANOUT, codec)
         .with_user_index()
         .with_threshold_cache()
         .with_page_cache(1 << 12)
@@ -206,6 +215,15 @@ fn incremental_refresh_is_bit_identical_to_full_and_cold() {
             let (inc, report) = churned.refreshed_incremental();
             let full = churned.refreshed();
             let cold = build(churned.objects.clone(), churned.users.clone(), model);
+            // A cold build under the Columnar codec: cross-engine equality
+            // below then also proves cross-codec bit-identity on the
+            // refresh path.
+            let cold_col = build_codec(
+                churned.objects.clone(),
+                churned.users.clone(),
+                model,
+                CodecId::Columnar,
+            );
             let label = format!("{} / {stream_name}", model.short_name());
 
             // The incremental engine is drift-free, reset, and dense —
@@ -228,10 +246,27 @@ fn incremental_refresh_is_bit_identical_to_full_and_cold() {
             assert_engines_equivalent(
                 &label,
                 VOCAB,
-                &[("incremental", &inc), ("full", &full), ("cold", &cold)],
+                &[
+                    ("incremental", &inc),
+                    ("full", &full),
+                    ("cold", &cold),
+                    ("cold-columnar", &cold_col),
+                ],
             );
         }
     }
+}
+
+/// The refresh seed captures the engine's codec (not the environment),
+/// so refreshing a Columnar engine yields a Columnar engine on both
+/// tiers.
+#[test]
+fn refresh_preserves_engine_codec() {
+    let (objects, users) = seed_data(48, 8, 4);
+    let eng = build_codec(objects, users, WeightModel::lm(), CodecId::Columnar);
+    assert_eq!(eng.refreshed().codec(), CodecId::Columnar);
+    let (inc, _) = eng.refreshed_incremental();
+    assert_eq!(inc.codec(), CodecId::Columnar);
 }
 
 /// How many objects carry the churned ("hot") pool terms in the

@@ -121,3 +121,80 @@ fn cold_queries_charge_every_run() {
     engine.joint_user_topk(5);
     assert_eq!(engine.io.total(), 2 * first, "no caching allowed");
 }
+
+/// Rebuilds the [`setup`] engine under an explicit codec.
+fn setup_with_codec(num_users: usize, codec: CodecId) -> (Engine, QuerySpec) {
+    let objects = generate_objects(&CorpusConfig::flickr_like(4_000));
+    let wl = generate_workload(
+        &objects,
+        &UserGenConfig {
+            num_users,
+            area: 6.0,
+            uw: 15,
+            ul: 3,
+            num_locations: 10,
+            seed: 321,
+        },
+    );
+    let engine =
+        Engine::build_with_fanout_codec(objects, wl.users, WeightModel::lm(), 0.5, 16, codec)
+            .with_user_index();
+    let spec = QuerySpec {
+        ox_doc: Document::new(),
+        locations: wl.candidate_locations,
+        keywords: wl.candidate_keywords,
+        ws: 2,
+        k: 5,
+    };
+    (engine, spec)
+}
+
+/// The columnar partial-column read model: a query touches the inverted
+/// file's directory plus only the wanted term lists, so its page charge
+/// must come in below the Verbatim whole-file charge — while both codecs
+/// agree bit-for-bit on every method's answer.
+#[test]
+fn columnar_partial_reads_charge_fewer_pages_but_answer_identically() {
+    let (verb, spec) = setup_with_codec(50, CodecId::Verbatim);
+    let (col, _) = setup_with_codec(50, CodecId::Columnar);
+    assert_eq!(verb.codec(), CodecId::Verbatim);
+    assert_eq!(col.codec(), CodecId::Columnar);
+
+    let mut col_io_by_method = Vec::new();
+    for method in Method::ALL {
+        verb.io.reset();
+        let rv = verb.query(&spec, method);
+        let verb_io = verb.io.total();
+        col.io.reset();
+        let rc = col.query(&spec, method);
+        let col_io = col.io.total();
+        assert_eq!(
+            (rv.location, &rv.keywords, rv.cardinality()),
+            (rc.location, &rc.keywords, rc.cardinality()),
+            "{method:?}: codecs must answer bit-identically"
+        );
+        assert!(
+            col_io <= verb_io,
+            "{method:?}: columnar {col_io} must not exceed verbatim {verb_io}"
+        );
+        col_io_by_method.push((method, col_io, verb_io));
+    }
+    // The win must be real somewhere, not just a tie across the board.
+    assert!(
+        col_io_by_method.iter().any(|&(_, c, v)| c < v),
+        "at least one method must observe a strictly lower charge: {col_io_by_method:?}"
+    );
+
+    // Partial charging is deterministic: repeat runs double exactly.
+    col.io.reset();
+    col.joint_user_topk(5);
+    let first = col.io.total();
+    col.joint_user_topk(5);
+    assert_eq!(col.io.total(), 2 * first, "partial charges must be stable");
+
+    // Footprint reporting: physical < logical under Columnar, and the
+    // logical size equals the Verbatim twin's physical size.
+    assert!(col.physical_index_bytes() < col.logical_index_bytes());
+    assert_eq!(col.logical_index_bytes(), verb.physical_index_bytes());
+    assert_eq!(verb.physical_index_bytes(), verb.logical_index_bytes());
+}
