@@ -7,7 +7,7 @@
 
 use bench::harness::Criterion;
 use bench::{criterion_group, criterion_main, Params, Scenario};
-use index::{IndexedObject, PostingMode, StTree};
+use index::{IndexedObject, NodeScratch, PostingMode, PostingsScratch, StTree};
 use storage::IoStats;
 use text::TermId;
 
@@ -52,6 +52,25 @@ fn bench_index(c: &mut Criterion) {
     let root = tree.read_node(tree.root(), &io);
     g.bench_function("read_root_postings", |b| {
         b.iter(|| tree.read_postings(&root, &terms, &io))
+    });
+    // Zero-copy counterparts: decode into reused scratch, no per-entry
+    // allocation. The gap between these and the owned reads above is the
+    // per-access win of the ref-based read path.
+    let mut node_scratch = NodeScratch::default();
+    g.bench_function("read_root_node_ref", |b| {
+        b.iter(|| {
+            let view = tree.read_node_ref(tree.root(), &io, &mut node_scratch);
+            view.len()
+        })
+    });
+    let mut node_scratch = NodeScratch::default();
+    let mut postings_scratch = PostingsScratch::default();
+    g.bench_function("read_root_postings_ref", |b| {
+        b.iter(|| {
+            let view = tree.read_node_ref(tree.root(), &io, &mut node_scratch);
+            let postings = tree.read_postings_ref(&view, &terms, &io, &mut postings_scratch);
+            postings.len()
+        })
     });
     g.finish();
 }

@@ -1,0 +1,206 @@
+//! Kernel micro-bench gate: warm single-thread query throughput for all
+//! six methods on the LM scenario.
+//!
+//! Unlike the other benches (which use the internal criterion-shaped
+//! harness and only print), this binary doubles as a CI regression gate:
+//!
+//! ```text
+//! cargo bench -p bench --bench kernels                      # print table
+//! cargo bench -p bench --bench kernels -- --emit base.json  # write baseline
+//! cargo bench -p bench --bench kernels -- --quick \
+//!     --gate crates/bench/benches/kernels_baseline.json     # CI: fail >15%
+//! ```
+//!
+//! The measured quantity is wall-clock nanoseconds per *warm* query: the
+//! threshold cache and page cache are primed first, so what remains is the
+//! in-memory kernel work (decode, bounds, selection) that the zero-copy /
+//! arena refactor targets. Per method the reported figure is the minimum
+//! over several batches — the minimum is far more stable than the mean on
+//! shared CI runners.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use bench::{Params, Scenario};
+use mbrstk_core::{Method, QueryArena, QueryResult};
+
+/// One measured method: name plus warm nanoseconds per query.
+struct Line {
+    name: &'static str,
+    ns: f64,
+}
+
+fn measure(quick: bool) -> Vec<Line> {
+    let p = if quick {
+        Params::quick()
+    } else {
+        Params::default()
+    };
+    let sc = Scenario::build(&p, 0);
+    let spec = sc.spec;
+    // Warm serving configuration: cross-query thresholds + page cache.
+    let engine = sc.engine.with_threshold_cache().with_page_cache(1 << 16);
+
+    let (batches, per_batch) = if quick { (4, 4) } else { (6, 12) };
+    let mut out = Vec::new();
+    for m in Method::ALL {
+        // Steady-state serving shape: one long-lived arena and output
+        // buffer, reused across queries (allocation-free once warm).
+        let mut arena = QueryArena::new();
+        let mut result = QueryResult::default();
+        // Prime the caches (threshold compute + page-cache fill) and the
+        // arena pools.
+        for _ in 0..2 {
+            engine.query_reusing(&spec, m, &mut arena, &mut result);
+            black_box(&result);
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..batches {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                engine.query_reusing(&spec, m, &mut arena, &mut result);
+                black_box(&result);
+            }
+            let ns = start.elapsed().as_nanos() as f64 / per_batch as f64;
+            best = best.min(ns);
+        }
+        out.push(Line {
+            name: m.strategy().name(),
+            ns: best,
+        });
+    }
+    out
+}
+
+fn emit_json(lines: &[Line], scenario: &str) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scenario\": \"{scenario}\",\n"));
+    s.push_str("  \"ns_per_query\": {\n");
+    for (i, l) in lines.iter().enumerate() {
+        let comma = if i + 1 < lines.len() { "," } else { "" };
+        s.push_str(&format!("    \"{}\": {:.0}{}\n", l.name, l.ns, comma));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Extracts `"name": number` pairs from the baseline JSON. The file is
+/// written by `--emit` above, so a full JSON parser is unnecessary; any
+/// quoted key followed by a bare number is taken as a measurement (the
+/// `"scenario"` string value does not match).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(q0) = rest.find('"') {
+        let after = &rest[q0 + 1..];
+        let Some(q1) = after.find('"') else { break };
+        let key = &after[..q1];
+        let tail = &after[q1 + 1..];
+        let tail_trim = tail.trim_start();
+        if let Some(v) = tail_trim.strip_prefix(':') {
+            let v = v.trim_start();
+            let end = v
+                .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+                .unwrap_or(v.len());
+            if let Ok(num) = v[..end].parse::<f64>() {
+                out.push((key.to_string(), num));
+            }
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// `cargo bench` runs the binary with the *package* directory as its cwd,
+/// while CI (and the doc comment above) pass gate/emit paths relative to
+/// the workspace root — resolve relative paths against the root.
+fn resolve(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut gate: Option<String> = None;
+    let mut emit: Option<String> = None;
+    let mut tolerance = 0.15f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--gate" => {
+                i += 1;
+                gate = Some(args[i].clone());
+            }
+            "--emit" => {
+                i += 1;
+                emit = Some(args[i].clone());
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args[i].parse().expect("--tolerance takes a fraction");
+            }
+            // `cargo bench` forwards its own flags (e.g. `--bench`).
+            _ => {}
+        }
+        i += 1;
+    }
+
+    let scenario = if quick { "lm-quick" } else { "lm-default" };
+    let lines = measure(quick);
+
+    println!("\nkernels ({scenario}, warm, single thread)");
+    for l in &lines {
+        println!(
+            "  {:<24} {:>12.0} ns/query  ({:>10.0} q/s)",
+            l.name,
+            l.ns,
+            1e9 / l.ns
+        );
+    }
+
+    if let Some(path) = emit {
+        std::fs::write(resolve(&path), emit_json(&lines, scenario)).expect("write baseline");
+        println!("baseline written to {path}");
+    }
+
+    if let Some(path) = gate {
+        let text = std::fs::read_to_string(resolve(&path)).expect("read baseline");
+        let base = parse_baseline(&text);
+        let mut failed = false;
+        println!("\ngate vs {path} (tolerance {:.0}%)", tolerance * 100.0);
+        for l in &lines {
+            match base.iter().find(|(k, _)| k == l.name) {
+                Some(&(_, b)) => {
+                    let ratio = l.ns / b;
+                    let verdict = if ratio > 1.0 + tolerance {
+                        failed = true;
+                        "FAIL"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "  {:<24} {:>8.0} vs {:>8.0} ns  ({:+6.1}%)  {}",
+                        l.name,
+                        l.ns,
+                        b,
+                        (ratio - 1.0) * 100.0,
+                        verdict
+                    );
+                }
+                None => println!("  {:<24} (no baseline entry — skipped)", l.name),
+            }
+        }
+        if failed {
+            eprintln!("kernel bench gate failed: regression beyond tolerance");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-query reusable scratch memory ([`QueryArena`]).
+//!
+//! Steady-state serving answers the same shape of query over and over;
+//! allocating fresh heaps, candidate buffers, and decode scratch for each
+//! one costs more than the arithmetic it feeds. A [`QueryArena`] owns every
+//! buffer the six query strategies need, is *reset* (cleared, never freed)
+//! between queries, and is pooled per worker thread by
+//! [`crate::Engine::query_batch`]. After one query of a given shape, a
+//! warm-cache repeat allocates nothing (see `tests/alloc_free.rs`).
+//!
+//! The arena is deliberately opaque: strategies reach its fields inside the
+//! crate, while external [`crate::QueryStrategy`] implementations just
+//! thread it through to the built-in strategies they delegate to.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use geo::{Point, Rect};
+use index::MiurScratch;
+use storage::RecordId;
+use text::{Document, TermId};
+
+use crate::data::UserData;
+use crate::group::UserGroup;
+use crate::select::exact::Combinations;
+use crate::select::DeltaScan;
+use crate::topk::ByKey;
+
+/// Reusable backing storage for one [`crate::select::CandidateContext`].
+///
+/// The context takes the buffers by value ([`std::mem::take`] from the
+/// arena), fills them for the query at hand, and hands them back through
+/// `CandidateContext::into_scratch` when it drops — so the maps and the
+/// per-user columns keep their capacity across queries.
+#[derive(Debug, Default)]
+pub(crate) struct CcScratch {
+    pub(crate) cand_w: HashMap<TermId, f64>,
+    pub(crate) n_u: Vec<f64>,
+    pub(crate) ubl_ts: Vec<f64>,
+    pub(crate) ucand_flat: Vec<(TermId, f64)>,
+    pub(crate) ucand_off: Vec<u32>,
+    pub(crate) ws_buf: RefCell<Vec<f64>>,
+}
+
+/// Scratch for the coverage/realized greedy keyword selectors.
+#[derive(Debug, Default)]
+pub(crate) struct GreedyScratch {
+    /// `LUW_w` terms, parallel to `luw_members[..luw_terms.len()]`.
+    pub(crate) luw_terms: Vec<TermId>,
+    /// Member-position rows; pooled, row `i` is live iff `i < luw_terms.len()`.
+    pub(crate) luw_members: Vec<Vec<usize>>,
+    /// `(weight, keyword position, term)` rows for the `HW` construction.
+    pub(crate) others: Vec<(f64, u32, TermId)>,
+    pub(crate) hw: Vec<TermId>,
+    pub(crate) hcand: Document,
+    pub(crate) covered: Vec<bool>,
+    pub(crate) used: Vec<bool>,
+    pub(crate) trial: Vec<TermId>,
+    /// Keyword-holder rows for the realized-gain trial scan.
+    pub(crate) delta: DeltaScan,
+}
+
+/// Scratch for Algorithm 4 (exact keyword selection).
+#[derive(Debug, Default)]
+pub(crate) struct ExactScratch {
+    pub(crate) wc: Vec<TermId>,
+    /// Positions into the current `lu` list.
+    pub(crate) certain: Vec<usize>,
+    pub(crate) uncertain: Vec<usize>,
+    pub(crate) combos: Combinations,
+    pub(crate) chosen: Vec<TermId>,
+    pub(crate) cand: Document,
+    /// Keyword-holder rows over the uncertain users.
+    pub(crate) delta: DeltaScan,
+}
+
+/// Scratch for the selection phase (Algorithm 3, the §4 baseline scan, and
+/// the per-location keyword selection inside the §7 pipeline).
+#[derive(Debug, Default)]
+pub(crate) struct SelectScratch {
+    /// Best-first location queue; payload is `(location idx, lu slot)`.
+    pub(crate) ql: BinaryHeap<ByKey<(usize, usize)>>,
+    /// Pooled per-location candidate-user lists.
+    pub(crate) lu_bufs: Vec<Vec<usize>>,
+    /// Spatial scores aligned with the `lu` list under evaluation.
+    pub(crate) ss: Vec<f64>,
+    /// The candidate document `ox.d ∪ W'` under evaluation.
+    pub(crate) cand: Document,
+    /// BRSTkNN user-id output buffer (swapped into the result on improvement).
+    pub(crate) users_out: Vec<u32>,
+    /// Chosen-keyword buffer.
+    pub(crate) kw: Vec<TermId>,
+    /// Keyword combination enumerator for the baseline scan.
+    pub(crate) combos: Combinations,
+    pub(crate) combo_kw: Vec<TermId>,
+    /// Keyword-holder rows for the baseline scan.
+    pub(crate) delta: DeltaScan,
+    pub(crate) gr: GreedyScratch,
+    pub(crate) ex: ExactScratch,
+}
+
+/// One pooled element of the §7 expansion frontier — the reusable twin of
+/// `user_index::Elem`, with the query-independent fields of the seed copied
+/// in and the per-query bound parts (`ubl_ts`, `reachable`) cached so the
+/// keep-test per ⟨location, element⟩ is a couple of float ops.
+#[derive(Debug)]
+pub(crate) struct ElemSlot {
+    pub(crate) is_group: bool,
+    // Group fields (valid when `is_group`).
+    pub(crate) node: RecordId,
+    pub(crate) group: UserGroup,
+    pub(crate) rsk_lb: f64,
+    // User fields (valid otherwise).
+    pub(crate) user: UserData,
+    pub(crate) rsk: f64,
+    pub(crate) n_u: f64,
+    /// Location-independent textual part of this element's `UBL`.
+    pub(crate) ubl_ts: f64,
+    /// Users only: shares a term with `ox.d ∪ W`.
+    pub(crate) reachable: bool,
+}
+
+impl ElemSlot {
+    pub(crate) fn blank() -> Self {
+        ElemSlot {
+            is_group: false,
+            node: RecordId(0),
+            group: UserGroup {
+                mbr: Rect::from_point(Point::new(0.0, 0.0)),
+                d_uni: Document::new(),
+                d_int: Document::new(),
+                n_min: 0.0,
+                n_max: 0.0,
+                count: 0,
+            },
+            rsk_lb: 0.0,
+            user: UserData {
+                id: 0,
+                point: Point::new(0.0, 0.0),
+                doc: Document::new(),
+            },
+            rsk: 0.0,
+            n_u: 0.0,
+            ubl_ts: 0.0,
+            reachable: false,
+        }
+    }
+
+    /// Users this element stands for.
+    pub(crate) fn count(&self) -> usize {
+        if self.is_group {
+            self.group.count
+        } else {
+            1
+        }
+    }
+}
+
+/// Scratch for the §7 user-index pipeline.
+#[derive(Debug, Default)]
+pub(crate) struct UserIndexScratch {
+    /// Pooled frontier elements; slot `i` is live iff `i < live`.
+    pub(crate) elems: Vec<ElemSlot>,
+    pub(crate) live: usize,
+    /// Flat child element-id lists, addressed by `expanded`.
+    pub(crate) children: Vec<u32>,
+    /// Node → `(start, len)` into `children`.
+    pub(crate) expanded: HashMap<RecordId, (u32, u32)>,
+    /// Per-location frontier element-id lists (pooled rows).
+    pub(crate) lu_lists: Vec<Vec<u32>>,
+    pub(crate) ql: BinaryHeap<ByKey<usize>>,
+    /// `group_rsk_lb` lower-bound collection buffer.
+    pub(crate) lbs: Vec<f64>,
+    /// Reused min-heap for per-user `RSk` refinement at materialization.
+    pub(crate) ind_heap: BinaryHeap<Reverse<ByKey<u32>>>,
+    /// Pooled users/thresholds backing the per-location local context.
+    pub(crate) users_buf: Vec<UserData>,
+    pub(crate) rsk_buf: Vec<f64>,
+    /// `0..n` identity list the local selection kernels index with.
+    pub(crate) lu_seq: Vec<usize>,
+    pub(crate) miur: MiurScratch,
+}
+
+/// Reusable per-query scratch memory for every built-in query strategy.
+///
+/// Create one with [`QueryArena::new`] (or [`Default`]), then pass it to
+/// [`crate::Engine::query_reusing`] across queries: buffers are cleared,
+/// never freed, so a warm arena makes steady-state queries allocation-free.
+/// An arena is cheap when cold (every pool starts empty) and must not be
+/// shared across threads mid-query; batch serving keeps one per worker.
+#[derive(Debug, Default)]
+pub struct QueryArena {
+    /// Backing store for the outer candidate context.
+    pub(crate) cc: CcScratch,
+    /// Backing store for the §7 per-location local contexts.
+    pub(crate) cc_local: CcScratch,
+    /// Per-user thresholds for the baseline strategy.
+    pub(crate) rsk: Vec<f64>,
+    pub(crate) sel: SelectScratch,
+    pub(crate) ui: UserIndexScratch,
+}
+
+impl QueryArena {
+    /// An empty arena; pools grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -49,7 +49,7 @@ impl QuerySpec {
 }
 
 /// The answer to a `MaxBRSTkNN` query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryResult {
     /// Index into [`QuerySpec::locations`] of the chosen location `ℓ`.
     pub location: usize,
@@ -64,6 +64,13 @@ impl QueryResult {
     /// The optimization objective: `|BRSTkNN|` of the chosen tuple.
     pub fn cardinality(&self) -> usize {
         self.brstknn.len()
+    }
+
+    /// Resets to the empty answer at location 0, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.location = 0;
+        self.keywords.clear();
+        self.brstknn.clear();
     }
 }
 

@@ -24,6 +24,9 @@
 //! the individual modules stay public because the paper evaluates them
 //! separately (and the joint top-k is of independent interest).
 
+#![deny(clippy::redundant_clone)]
+
+mod arena;
 mod bounds;
 mod cache;
 mod data;
@@ -37,6 +40,7 @@ pub mod select;
 pub mod topk;
 pub mod user_index;
 
+pub use arena::QueryArena;
 pub use cache::{JointThresholds, ThresholdCache, DEFAULT_K_CAPACITY};
 pub use data::{ObjectData, QueryResult, QuerySpec, UserData};
 pub use dynamic::{BatchReport, EpochGuard, MaintenanceIo, Mutation};

@@ -25,9 +25,15 @@
 //!
 //! impl QueryStrategy for FirstLocationOnly {
 //!     fn name(&self) -> &'static str { "first-location-only" }
-//!     fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+//!     fn execute(
+//!         &self,
+//!         engine: &Engine,
+//!         spec: &QuerySpec,
+//!         arena: &mut QueryArena,
+//!         out: &mut QueryResult,
+//!     ) {
 //!         let narrowed = QuerySpec { locations: spec.locations[..1].to_vec(), ..spec.clone() };
-//!         engine.query(&narrowed, Method::JointGreedy)
+//!         JOINT_GREEDY.execute(engine, &narrowed, arena, out);
 //!     }
 //! }
 //!
@@ -39,10 +45,11 @@ use std::time::{Duration, Instant};
 
 use storage::IoSnapshot;
 
-use crate::select::baseline::baseline_select;
-use crate::select::location::{select_candidate, KeywordSelector};
+use crate::arena::QueryArena;
+use crate::select::baseline::baseline_select_into;
+use crate::select::location::{select_candidate_into, KeywordSelector};
 use crate::select::CandidateContext;
-use crate::user_index::{select_with_user_index, select_with_user_index_seeded};
+use crate::user_index::{compute_user_index_seed, run_selection};
 use crate::{Engine, Method, QueryResult, QuerySpec};
 
 /// One end-to-end way of answering a `MaxBRSTkNN` query.
@@ -60,13 +67,27 @@ pub trait QueryStrategy: Send + Sync {
         false
     }
 
-    /// Answers the query. Must be deterministic (the same engine and spec
-    /// give the same result, on any thread) and must do all its work on
-    /// the calling thread: per-query I/O accounting in
+    /// Answers the query into `out` (overwritten, not appended — buffer
+    /// capacity is the only state that survives from its previous value).
+    /// `arena` supplies every scratch buffer the built-in kernels use;
+    /// passing the same arena across calls makes warm queries
+    /// allocation-free, and a fresh [`QueryArena`] is always valid. Custom
+    /// strategies just thread both through to the built-in strategies they
+    /// delegate to.
+    ///
+    /// Must be deterministic (the same engine and spec give the same
+    /// result, on any thread, whatever the arena's history) and must do
+    /// all its work on the calling thread: per-query I/O accounting in
     /// [`Engine::query_batch`] measures the calling thread's charges, so
     /// an implementation that spawns threads of its own would silently
     /// under-report its I/O.
-    fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult;
+    fn execute(
+        &self,
+        engine: &Engine,
+        spec: &QuerySpec,
+        arena: &mut QueryArena,
+        out: &mut QueryResult,
+    );
 }
 
 /// §4: per-user top-k on the IR-tree + exhaustive candidate scan.
@@ -78,11 +99,25 @@ impl QueryStrategy for BaselineScan {
         "baseline"
     }
 
-    fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+    fn execute(
+        &self,
+        engine: &Engine,
+        spec: &QuerySpec,
+        arena: &mut QueryArena,
+        out: &mut QueryResult,
+    ) {
         let tks = engine.baseline_thresholds(spec.k);
-        let rsk: Vec<f64> = tks.iter().map(|t| t.rsk).collect();
-        let cc = CandidateContext::new(&engine.ctx, spec, &engine.users, &rsk);
-        baseline_select(&cc)
+        arena.rsk.clear();
+        arena.rsk.extend(tks.iter().map(|t| t.rsk));
+        let cc = CandidateContext::new_reusing(
+            &engine.ctx,
+            spec,
+            &engine.users,
+            &arena.rsk,
+            std::mem::take(&mut arena.cc),
+        );
+        baseline_select_into(&cc, &mut arena.sel, out);
+        arena.cc = cc.into_scratch();
     }
 }
 
@@ -103,10 +138,30 @@ impl QueryStrategy for JointPipeline {
         }
     }
 
-    fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+    fn execute(
+        &self,
+        engine: &Engine,
+        spec: &QuerySpec,
+        arena: &mut QueryArena,
+        out: &mut QueryResult,
+    ) {
         let jt = engine.joint_thresholds(spec.k);
-        let cc = CandidateContext::new(&engine.ctx, spec, &engine.users, &jt.rsk);
-        select_candidate(&cc, &jt.su, jt.out.rsk_us, self.selector)
+        let cc = CandidateContext::new_reusing(
+            &engine.ctx,
+            spec,
+            &engine.users,
+            &jt.rsk,
+            std::mem::take(&mut arena.cc),
+        );
+        select_candidate_into(
+            &cc,
+            &jt.su,
+            jt.out.rsk_us,
+            self.selector,
+            &mut arena.sel,
+            out,
+        );
+        arena.cc = cc.into_scratch();
     }
 }
 
@@ -130,7 +185,17 @@ impl QueryStrategy for UserIndexPipeline {
         true
     }
 
-    fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+    fn execute(
+        &self,
+        engine: &Engine,
+        spec: &QuerySpec,
+        arena: &mut QueryArena,
+        out: &mut QueryResult,
+    ) {
+        assert!(
+            !spec.locations.is_empty(),
+            "MaxBRSTkNN requires at least one candidate location"
+        );
         let miur = engine
             .miur
             .as_ref()
@@ -140,18 +205,28 @@ impl QueryStrategy for UserIndexPipeline {
             // MIR traversal) comes from the threshold cache; only the
             // location-dependent MIUR expansion runs per query.
             let seed = engine.user_index_seed(spec.k);
-            select_with_user_index_seeded(miur, spec, &engine.ctx, self.selector, &engine.io, &seed)
-                .result
-        } else {
-            select_with_user_index(
+            run_selection(
                 miur,
-                &engine.mir,
                 spec,
                 &engine.ctx,
                 self.selector,
                 &engine.io,
-            )
-            .result
+                &seed,
+                arena,
+                out,
+            );
+        } else {
+            let seed = compute_user_index_seed(miur, &engine.mir, spec.k, &engine.ctx, &engine.io);
+            run_selection(
+                miur,
+                spec,
+                &engine.ctx,
+                self.selector,
+                &engine.io,
+                &seed,
+                arena,
+                out,
+            );
         }
     }
 }
@@ -223,8 +298,46 @@ impl Engine {
     /// Panics when the strategy requires the user index and
     /// [`Engine::with_user_index`] was not called.
     pub fn query_with(&self, spec: &QuerySpec, strategy: &dyn QueryStrategy) -> QueryResult {
+        let mut arena = QueryArena::new();
+        let mut out = QueryResult::default();
+        self.query_with_reusing(spec, strategy, &mut arena, &mut out);
+        out
+    }
+
+    /// [`Engine::query`] into caller-owned scratch: the answer lands in
+    /// `out` (overwritten) and every intermediate buffer comes from
+    /// `arena`. Passing the same arena across calls makes warm steady-state
+    /// queries allocation-free (see `tests/alloc_free.rs`); results are
+    /// bit-identical to [`Engine::query`] whatever the arena's history.
+    ///
+    /// # Panics
+    /// Panics when a user-index method is requested without
+    /// [`Engine::with_user_index`].
+    pub fn query_reusing(
+        &self,
+        spec: &QuerySpec,
+        method: Method,
+        arena: &mut QueryArena,
+        out: &mut QueryResult,
+    ) {
+        self.query_with_reusing(spec, method.strategy(), arena, out);
+    }
+
+    /// [`Engine::query_with`] into caller-owned scratch (the strategy
+    /// counterpart of [`Engine::query_reusing`]).
+    ///
+    /// # Panics
+    /// Panics when the strategy requires the user index and
+    /// [`Engine::with_user_index`] was not called.
+    pub fn query_with_reusing(
+        &self,
+        spec: &QuerySpec,
+        strategy: &dyn QueryStrategy,
+        arena: &mut QueryArena,
+        out: &mut QueryResult,
+    ) {
         self.assert_strategy_ready(strategy);
-        strategy.execute(self, spec)
+        strategy.execute(self, spec, arena, out);
     }
 
     /// Answers a whole batch of queries in parallel, using all available
@@ -295,16 +408,23 @@ impl Engine {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
+                        // One arena per worker: buffers warm up on the
+                        // worker's first query and are reused for every
+                        // spec it claims afterwards.
+                        let mut arena = QueryArena::new();
+                        let mut result = QueryResult::default();
                         let mut local = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(spec) = specs.get(i) else { break };
                             let start = Instant::now();
-                            let (result, io) = self.io.scoped(|| strategy.execute(self, spec));
+                            let ((), io) = self
+                                .io
+                                .scoped(|| strategy.execute(self, spec, &mut arena, &mut result));
                             local.push((
                                 i,
                                 BatchOutcome {
-                                    result,
+                                    result: result.clone(),
                                     stats: QueryStats {
                                         elapsed: start.elapsed(),
                                         io,
@@ -506,12 +626,18 @@ mod tests {
             fn name(&self) -> &'static str {
                 "first-location-only"
             }
-            fn execute(&self, engine: &Engine, spec: &QuerySpec) -> QueryResult {
+            fn execute(
+                &self,
+                engine: &Engine,
+                spec: &QuerySpec,
+                arena: &mut QueryArena,
+                out: &mut QueryResult,
+            ) {
                 let narrowed = QuerySpec {
                     locations: spec.locations[..1].to_vec(),
                     ..spec.clone()
                 };
-                JOINT_EXACT.execute(engine, &narrowed)
+                JOINT_EXACT.execute(engine, &narrowed, arena, out);
             }
         }
 

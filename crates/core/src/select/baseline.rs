@@ -1,13 +1,18 @@
 //! §4 baseline candidate selection: exhaustive enumeration.
 //!
-//! Generates every combination of exactly `ws` keywords from `W`, and for
-//! every ⟨location, combination⟩ tuple scores *all* users — no bounds, no
-//! pruning, no best-first ordering. This is the comparison point for the
-//! candidate-selection runtimes in Figs. 5c–14c.
+//! Generates every combination of exactly `ws` keywords from `W` and
+//! considers every ⟨location, combination⟩ tuple against all users — no
+//! bounds, no pruning, no best-first ordering. This is the comparison
+//! point for the candidate-selection runtimes in Figs. 5c–14c.
+//!
+//! The enumeration is semantically exhaustive but *scored incrementally*:
+//! per location the `ox.d`-only verdict is computed once per user, and
+//! each combination then re-evaluates only the users holding one of its
+//! keywords (via the crate-private `DeltaScan`) — every untouched user's
+//! score is bit-identical to the `ox.d`-only one, so the counts (and the
+//! winning tuple) are exactly those of the naive full rescan.
 
-use text::TermId;
-
-use crate::select::exact::Combinations;
+use crate::arena::SelectScratch;
 use crate::select::CandidateContext;
 use crate::QueryResult;
 
@@ -17,42 +22,122 @@ use crate::QueryResult;
 /// # Panics
 /// Panics when the query has no candidate locations.
 pub fn baseline_select(cc: &CandidateContext<'_>) -> QueryResult {
+    let mut sel = SelectScratch::default();
+    let mut out = QueryResult::default();
+    baseline_select_into(cc, &mut sel, &mut out);
+    out
+}
+
+/// [`baseline_select`] into arena scratch: the winning tuple lands in
+/// `out`, and every buffer the scan touches comes from `sel`.
+///
+/// # Panics
+/// Panics when the query has no candidate locations.
+pub(crate) fn baseline_select_into(
+    cc: &CandidateContext<'_>,
+    sel: &mut SelectScratch,
+    out: &mut QueryResult,
+) {
     assert!(
         !cc.spec.locations.is_empty(),
         "MaxBRSTkNN requires at least one candidate location"
     );
-    let all_users: Vec<usize> = (0..cc.users.len()).collect();
+    out.clear();
+
+    let SelectScratch {
+        lu_bufs,
+        ss,
+        cand,
+        users_out,
+        kw,
+        combos,
+        combo_kw,
+        delta,
+        ..
+    } = sel;
+    if lu_bufs.is_empty() {
+        lu_bufs.push(Vec::new());
+    }
+    let all_users = &mut lu_bufs[0];
+    all_users.clear();
+    all_users.extend(0..cc.users.len());
 
     // All combinations of exactly ws keywords (or all of W when smaller —
     // the baseline returns exactly ws keywords per the paper).
     let k = cc.spec.ws.min(cc.spec.keywords.len());
-    let combos: Vec<Vec<TermId>> = if k == 0 {
-        vec![Vec::new()]
-    } else {
-        Combinations::new(cc.spec.keywords.len(), k)
-            .map(|ix| ix.iter().map(|&i| cc.spec.keywords[i]).collect())
-            .collect()
-    };
 
-    let mut best = QueryResult {
-        location: 0,
-        keywords: Vec::new(),
-        brstknn: Vec::new(),
-    };
+    if k == 0 {
+        // The single (empty) combination per location.
+        for (li, loc) in cc.spec.locations.iter().enumerate() {
+            cc.fill_ss(loc, all_users, ss);
+            cand.assign_with_terms(&cc.spec.ox_doc, &[]);
+            cc.brstknn_into(cand, all_users, ss, users_out);
+            if users_out.len() > out.brstknn.len() {
+                out.location = li;
+                out.keywords.clear();
+                std::mem::swap(users_out, &mut out.brstknn);
+            }
+        }
+        return;
+    }
+
+    // The holder rows are location-independent; build them once.
+    delta.build(cc, &cc.spec.keywords, all_users, 0..all_users.len());
+    kw.clear();
+    let mut best_count = 0usize;
+    let mut best_li = 0usize;
     for (li, loc) in cc.spec.locations.iter().enumerate() {
-        for combo in &combos {
-            let cand = cc.with_keywords(combo);
-            let users = cc.brstknn(loc, &cand, &all_users);
-            if users.len() > best.cardinality() {
-                best = QueryResult {
-                    location: li,
-                    keywords: combo.clone(),
-                    brstknn: users,
-                };
+        cc.fill_ss(loc, all_users, ss);
+        // ⟨ℓ, ox.d⟩ verdict per user: every combination's count is this
+        // baseline plus a delta over the holders of its keywords.
+        delta.q0.clear();
+        let mut count0 = 0usize;
+        for (pos, &u) in all_users.iter().enumerate() {
+            let q = cc.qualifies_with_ss(ss[pos], &cc.spec.ox_doc, u);
+            delta.q0.push(q);
+            count0 += q as usize;
+        }
+        combos.reset(cc.spec.keywords.len(), k);
+        while let Some(ix) = combos.next_ref() {
+            // A combination can move at most its holders' verdicts.
+            if count0 + delta.potential(ix.iter().copied()) <= best_count {
+                continue;
+            }
+            let touched = delta.gather(ix.iter().copied());
+            if count0 + touched <= best_count {
+                continue;
+            }
+            combo_kw.clear();
+            combo_kw.extend(ix.iter().map(|&i| cc.spec.keywords[i]));
+            cand.assign_with_terms(&cc.spec.ox_doc, combo_kw);
+            let mut count = count0;
+            for &p in delta.touched() {
+                let p = p as usize;
+                let q1 = cc.qualifies_with_ss(ss[p], cand, all_users[p]);
+                if q1 && !delta.q0[p] {
+                    count += 1;
+                } else if !q1 && delta.q0[p] {
+                    count -= 1;
+                }
+            }
+            if count > best_count {
+                best_count = count;
+                best_li = li;
+                kw.clear();
+                kw.extend_from_slice(combo_kw);
             }
         }
     }
-    best
+
+    // Materialize the winner once (the scan above only counted).
+    if best_count > 0 {
+        out.location = best_li;
+        out.keywords.extend_from_slice(kw);
+        cc.fill_ss(&cc.spec.locations[best_li], all_users, ss);
+        cand.assign_with_terms(&cc.spec.ox_doc, kw);
+        cc.brstknn_into(cand, all_users, ss, users_out);
+        std::mem::swap(users_out, &mut out.brstknn);
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +164,39 @@ mod tests {
         let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
         let b = baseline_select(&cc);
         assert_eq!(b.keywords.len(), f.spec.ws);
+    }
+
+    /// The delta-scan enumeration must reproduce the naive full rescan —
+    /// winning tuple and member list — on messy random instances
+    /// (duplicate keywords, unreachable users, LM weights).
+    #[test]
+    fn baseline_matches_naive_rescan_on_random_instances() {
+        use crate::select::exact::Combinations;
+        use crate::select::test_fixture::random_fixture;
+        for seed in 0..4 {
+            let f = random_fixture(seed, 48, 9);
+            let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+            let got = baseline_select(&cc);
+
+            let all: Vec<usize> = (0..f.users.len()).collect();
+            let k = f.spec.ws.min(f.spec.keywords.len());
+            let mut best = QueryResult::default();
+            for (li, loc) in f.spec.locations.iter().enumerate() {
+                for ix in Combinations::new(f.spec.keywords.len(), k) {
+                    let kw: Vec<_> = ix.iter().map(|&i| f.spec.keywords[i]).collect();
+                    let cand = cc.with_keywords(&kw);
+                    let users = cc.brstknn(loc, &cand, &all);
+                    if users.len() > best.brstknn.len() {
+                        best.location = li;
+                        best.keywords = kw;
+                        best.brstknn = users;
+                    }
+                }
+            }
+            assert_eq!(got.location, best.location, "seed {seed}");
+            assert_eq!(got.keywords, best.keywords, "seed {seed}");
+            assert_eq!(got.brstknn, best.brstknn, "seed {seed}");
+        }
     }
 
     #[test]

@@ -12,36 +12,59 @@
 
 use text::TermId;
 
+use crate::arena::ExactScratch;
 use crate::select::CandidateContext;
 
 /// Iterator over `k`-combinations of `0..n` (lexicographic index tuples).
+///
+/// Also usable as a resettable borrowing enumerator
+/// ([`Combinations::reset`] / [`Combinations::next_ref`]) so the query
+/// arenas can re-enumerate without reallocating the index tuple.
+#[derive(Debug)]
 pub(crate) struct Combinations {
     n: usize,
     k: usize,
     idx: Vec<usize>,
     done: bool,
+    started: bool,
+}
+
+impl Default for Combinations {
+    fn default() -> Self {
+        Combinations {
+            n: 0,
+            k: 0,
+            idx: Vec::new(),
+            done: true,
+            started: false,
+        }
+    }
 }
 
 impl Combinations {
+    #[cfg(test)]
     pub(crate) fn new(n: usize, k: usize) -> Self {
         Combinations {
             n,
             k,
             idx: (0..k).collect(),
             done: k > n || k == 0,
+            started: false,
         }
     }
-}
 
-impl Iterator for Combinations {
-    type Item = Vec<usize>;
+    /// Rewinds to the first `k`-combination of `0..n`, reusing the buffer.
+    pub(crate) fn reset(&mut self, n: usize, k: usize) {
+        self.n = n;
+        self.k = k;
+        self.idx.clear();
+        self.idx.extend(0..k);
+        self.done = k > n || k == 0;
+        self.started = false;
+    }
 
-    fn next(&mut self) -> Option<Vec<usize>> {
-        if self.done {
-            return None;
-        }
-        let current = self.idx.clone();
-        // Advance to the next combination.
+    /// Advances self's index tuple in place (lexicographic order).
+    fn advance(&mut self) {
         let mut i = self.k;
         loop {
             if i == 0 {
@@ -57,6 +80,34 @@ impl Iterator for Combinations {
                 break;
             }
         }
+    }
+
+    /// Borrowing twin of [`Iterator::next`]: yields the same sequence of
+    /// combinations without allocating per step.
+    pub(crate) fn next_ref(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if self.started {
+            self.advance();
+            if self.done {
+                return None;
+            }
+        }
+        self.started = true;
+        Some(&self.idx)
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let current = self.idx.clone();
+        self.advance();
         Some(current)
     }
 }
@@ -67,57 +118,103 @@ impl Iterator for Combinations {
 /// Returns the chosen keywords (ascending). When several combinations tie,
 /// the lexicographically first is returned.
 pub fn exact_keywords(cc: &CandidateContext<'_>, loc_idx: usize, lu: &[usize]) -> Vec<TermId> {
-    let loc = &cc.spec.locations[loc_idx];
+    let mut ss = Vec::new();
+    cc.fill_ss(&cc.spec.locations[loc_idx], lu, &mut ss);
+    let mut ex = ExactScratch::default();
+    let mut out = Vec::new();
+    exact_keywords_into(cc, lu, &ss, &mut ex, &mut out);
+    out
+}
+
+/// [`exact_keywords`] into arena scratch: `ss_lu` carries the location's
+/// spatial scores aligned with `lu`, and the chosen keywords land in
+/// `out`. Allocation-free once the scratch is warm.
+pub(crate) fn exact_keywords_into(
+    cc: &CandidateContext<'_>,
+    lu: &[usize],
+    ss_lu: &[f64],
+    ex: &mut ExactScratch,
+    out: &mut Vec<TermId>,
+) {
+    let ExactScratch {
+        wc,
+        certain,
+        uncertain,
+        combos,
+        chosen,
+        cand,
+        delta,
+    } = ex;
+    out.clear();
 
     // Pruning 2: candidate keywords present in at least one LU user.
-    let mut wc: Vec<TermId> = cc
-        .spec
-        .keywords
-        .iter()
-        .copied()
-        .filter(|&w| lu.iter().any(|&u| cc.users[u].doc.contains(w)))
-        .collect();
+    wc.clear();
+    wc.extend(
+        cc.spec
+            .keywords
+            .iter()
+            .copied()
+            .filter(|&w| lu.iter().any(|&u| cc.users[u].doc.contains(w))),
+    );
     wc.sort_unstable();
     wc.dedup();
 
     // Early termination (pruning 3): only one sensible choice.
     if wc.len() <= cc.spec.ws {
-        return wc;
+        out.extend_from_slice(wc);
+        return;
     }
 
     // Pruning 4: users certain regardless of the keyword choice. They need
     // textual overlap with ox.d for the no-keyword score to mean
     // qualification.
-    let certain: Vec<usize> = lu
-        .iter()
-        .copied()
-        .filter(|&u| cc.users[u].doc.overlaps(&cc.spec.ox_doc) && cc.lbl_user(loc, u) >= cc.rsk[u])
-        .collect();
-    let uncertain: Vec<usize> = lu
-        .iter()
-        .copied()
-        .filter(|u| !certain.contains(u))
-        .collect();
+    certain.clear();
+    uncertain.clear();
+    for (pos, &u) in lu.iter().enumerate() {
+        let sure = cc.users[u].doc.overlaps(&cc.spec.ox_doc)
+            && cc.sts_with_ss(ss_lu[pos], &cc.spec.ox_doc, u) >= cc.rsk[u];
+        if sure {
+            certain.push(pos);
+        } else {
+            uncertain.push(pos);
+        }
+    }
+
+    // Uncertain users fail with `ox.d` alone by construction, and an
+    // uncertain user holding none of a combination's keywords computes the
+    // bit-identical score — so each combination only has to re-evaluate
+    // the holders of its keywords (gathered from the inverted rows).
+    delta.build(cc, wc, lu, uncertain.iter().copied());
 
     let mut best_count = 0usize;
-    let mut best: Vec<TermId> = Vec::new();
-    for combo in Combinations::new(wc.len(), cc.spec.ws) {
-        let chosen: Vec<TermId> = combo.iter().map(|&i| wc[i]).collect();
-        let cand = cc.with_keywords(&chosen);
+    let mut best_set = false;
+    combos.reset(wc.len(), cc.spec.ws);
+    while let Some(combo) = combos.next_ref() {
+        // A combination qualifies at most `certain + holders` users.
+        if best_set && certain.len() + delta.potential(combo.iter().copied()) <= best_count {
+            continue;
+        }
+        let touched = delta.gather(combo.iter().copied());
+        if best_set && certain.len() + touched <= best_count {
+            continue;
+        }
+        chosen.clear();
+        chosen.extend(combo.iter().map(|&i| wc[i]));
+        cand.assign_with_terms(&cc.spec.ox_doc, chosen);
         let mut count = certain.len();
-        for &u in &uncertain {
-            // Only users sharing a term with the combination (or with
-            // ox.d) can have gained anything.
-            if cc.qualifies(loc, &cand, u) {
+        for &pos in delta.touched() {
+            let pos = pos as usize;
+            if cc.qualifies_with_ss(ss_lu[pos], cand, lu[pos]) {
                 count += 1;
             }
         }
-        if count > best_count || best.is_empty() {
+        if count > best_count || !best_set {
             best_count = count;
-            best = chosen;
+            best_set = true;
+            out.clear();
+            out.extend_from_slice(chosen);
         }
     }
-    best
 }
 
 /// Exact BRSTkNN cardinality for a fixed tuple (used by tests and the
@@ -162,6 +259,25 @@ mod tests {
         assert_eq!(Combinations::new(30, 2).count(), 435);
     }
 
+    /// The borrowing enumerator must yield exactly the iterator's sequence,
+    /// including across a reset.
+    #[test]
+    fn next_ref_matches_iterator() {
+        for (n, k) in [(4, 2), (3, 0), (2, 3), (3, 3), (5, 1), (6, 4)] {
+            let want: Vec<Vec<usize>> = Combinations::new(n, k).collect();
+            let mut c = Combinations::default();
+            for _ in 0..2 {
+                c.reset(n, k);
+                let mut got: Vec<Vec<usize>> = Vec::new();
+                while let Some(ix) = c.next_ref() {
+                    got.push(ix.to_vec());
+                }
+                assert_eq!(got, want, "n={n} k={k}");
+                assert!(c.next_ref().is_none(), "exhausted enumerator stays done");
+            }
+        }
+    }
+
     #[test]
     fn exact_matches_exhaustive_enumeration() {
         let f = fixture();
@@ -181,6 +297,52 @@ mod tests {
                 }
             }
             assert_eq!(got_count, best, "loc {loc_idx}");
+        }
+    }
+
+    /// The holder-row shortcut must reproduce the full per-combination
+    /// rescan — chosen keyword set included, ties and all — on messy
+    /// random instances.
+    #[test]
+    fn exact_matches_naive_rescan_on_random_instances() {
+        use crate::select::test_fixture::random_fixture;
+        use text::TermId;
+        for seed in 0..4 {
+            let f = random_fixture(seed + 10, 48, 9);
+            let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+            let lu: Vec<usize> = (0..f.users.len()).collect();
+            for li in 0..f.spec.locations.len() {
+                let got = exact_keywords(&cc, li, &lu);
+
+                // Reference: Algorithm 4 without the holder rows — every
+                // combination of the pruned pool scores every user.
+                let loc = &f.spec.locations[li];
+                let mut wc: Vec<TermId> = f
+                    .spec
+                    .keywords
+                    .iter()
+                    .copied()
+                    .filter(|&w| lu.iter().any(|&u| cc.users[u].doc.contains(w)))
+                    .collect();
+                wc.sort_unstable();
+                wc.dedup();
+                let expect = if wc.len() <= f.spec.ws {
+                    wc
+                } else {
+                    let mut best: Option<(usize, Vec<TermId>)> = None;
+                    for ix in Combinations::new(wc.len(), f.spec.ws) {
+                        let kw: Vec<TermId> = ix.iter().map(|&i| wc[i]).collect();
+                        let cand = cc.with_keywords(&kw);
+                        let count = cc.brstknn(loc, &cand, &lu).len();
+                        match &best {
+                            Some((c, _)) if count <= *c => {}
+                            _ => best = Some((count, kw)),
+                        }
+                    }
+                    best.unwrap().1
+                };
+                assert_eq!(got, expect, "seed {seed}, loc {li}");
+            }
         }
     }
 

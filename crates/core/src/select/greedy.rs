@@ -15,6 +15,7 @@
 
 use text::TermId;
 
+use crate::arena::GreedyScratch;
 use crate::select::CandidateContext;
 
 /// Builds `LUW_w` for every candidate keyword, restricted to the users of
@@ -24,35 +25,79 @@ pub fn build_luw(
     loc_idx: usize,
     lu: &[usize],
 ) -> Vec<(TermId, Vec<usize>)> {
-    let loc = &cc.spec.locations[loc_idx];
-    let mut out: Vec<(TermId, Vec<usize>)> = Vec::with_capacity(cc.spec.keywords.len());
-    for &w in &cc.spec.keywords {
-        let mut members = Vec::new();
-        for &u in lu {
-            if !cc.users[u].doc.contains(w) {
-                continue;
-            }
-            // HW_{w,u}: w plus the heaviest remaining candidates from
-            // W ∩ u.d, at most ws total.
-            let mut others: Vec<TermId> = cc
-                .spec
-                .keywords
-                .iter()
-                .copied()
-                .filter(|&t| t != w && cc.users[u].doc.contains(t))
-                .collect();
-            others.sort_by(|&a, &b| cc.cw(b).total_cmp(&cc.cw(a)));
-            others.truncate(cc.spec.ws.saturating_sub(1));
-            let mut hw = others;
-            hw.push(w);
-            let cand = cc.with_keywords(&hw);
-            if cc.sts_candidate(loc, &cand, u) >= cc.rsk[u] {
-                members.push(u);
+    let mut ss = Vec::new();
+    cc.fill_ss(&cc.spec.locations[loc_idx], lu, &mut ss);
+    let mut gr = GreedyScratch::default();
+    build_luw_into(cc, lu, &ss, &mut gr);
+    gr.luw_terms
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (w, gr.luw_members[i].iter().map(|&pos| lu[pos]).collect()))
+        .collect()
+}
+
+/// [`build_luw`] into arena scratch. Members are recorded as *positions*
+/// within `lu` (what the coverage step needs); `ss_lu` carries the
+/// location's spatial scores aligned with `lu`.
+pub(crate) fn build_luw_into(
+    cc: &CandidateContext<'_>,
+    lu: &[usize],
+    ss_lu: &[f64],
+    gr: &mut GreedyScratch,
+) {
+    let GreedyScratch {
+        luw_terms,
+        luw_members,
+        others,
+        hw,
+        hcand,
+        ..
+    } = gr;
+    luw_terms.clear();
+    luw_terms.extend_from_slice(&cc.spec.keywords);
+    while luw_members.len() < luw_terms.len() {
+        luw_members.push(Vec::new());
+    }
+    for members in &mut luw_members[..luw_terms.len()] {
+        members.clear();
+    }
+    // One pass per user: sort the held candidate keywords once, then every
+    // held keyword's HW set is a prefix of that order. (The reference
+    // construction loops keywords-outer and re-sorts per holder; same
+    // (weight desc, keyword position asc) key, same members.)
+    for (pos, &u) in lu.iter().enumerate() {
+        others.clear();
+        for &(t, cw) in cc.ucand(u) {
+            for (j, &w) in cc.spec.keywords.iter().enumerate() {
+                if w == t {
+                    others.push((cw, j as u32, t));
+                }
             }
         }
-        out.push((w, members));
+        if others.is_empty() {
+            continue;
+        }
+        others.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, j, w) in others.iter() {
+            // HW_{w,u}: w plus the heaviest remaining candidates from
+            // W ∩ u.d, at most ws total.
+            let cap = cc.spec.ws.saturating_sub(1);
+            hw.clear();
+            for &(_, _, t) in others.iter() {
+                if hw.len() == cap {
+                    break;
+                }
+                if t != w {
+                    hw.push(t);
+                }
+            }
+            hw.push(w);
+            hcand.assign_with_terms(&cc.spec.ox_doc, hw);
+            if cc.sts_with_ss(ss_lu[pos], hcand, u) >= cc.rsk[u] {
+                luw_members[j as usize].push(pos);
+            }
+        }
     }
-    out
 }
 
 /// Greedy maximum coverage over the `LUW_w` sets.
@@ -66,48 +111,103 @@ pub fn build_luw(
 /// realized count the early-stopping variant leaves behind (clearly
 /// visible at large `ws`, Fig. 11b).
 pub fn greedy_cover(luw: &[(TermId, Vec<usize>)], ws: usize, num_users: usize) -> Vec<TermId> {
-    let mut covered = vec![false; num_users];
-    let mut chosen: Vec<TermId> = Vec::with_capacity(ws);
-    let mut used = vec![false; luw.len()];
+    let terms: Vec<TermId> = luw.iter().map(|(w, _)| *w).collect();
+    let members: Vec<&[usize]> = luw.iter().map(|(_, m)| m.as_slice()).collect();
+    let mut covered = Vec::new();
+    let mut used = Vec::new();
+    let mut chosen = Vec::new();
+    greedy_cover_core(
+        &terms,
+        &members,
+        ws,
+        num_users,
+        &mut covered,
+        &mut used,
+        &mut chosen,
+    );
+    chosen
+}
+
+/// [`greedy_cover`] over split term/member columns and caller scratch.
+fn greedy_cover_core<M: AsRef<[usize]>>(
+    terms: &[TermId],
+    members: &[M],
+    ws: usize,
+    num_users: usize,
+    covered: &mut Vec<bool>,
+    used: &mut Vec<bool>,
+    chosen: &mut Vec<TermId>,
+) {
+    covered.clear();
+    covered.resize(num_users, false);
+    used.clear();
+    used.resize(terms.len(), false);
+    chosen.clear();
 
     for _ in 0..ws {
-        // (luw idx, uncovered gain, total size) — gain first, size as the
+        // (idx, uncovered gain, total size) — gain first, size as the
         // tiebreak that also drives the zero-gain picks.
         let mut best: Option<(usize, usize, usize)> = None;
-        for (i, (_, members)) in luw.iter().enumerate() {
-            if used[i] || members.is_empty() {
+        for (i, m) in members.iter().enumerate() {
+            let m = m.as_ref();
+            if used[i] || m.is_empty() {
                 continue;
             }
-            let gain = members.iter().filter(|&&u| !covered[u]).count();
+            let gain = m.iter().filter(|&&u| !covered[u]).count();
             let better = match best {
                 None => true,
-                Some((_, g, s)) => gain > g || (gain == g && members.len() > s),
+                Some((_, g, s)) => gain > g || (gain == g && m.len() > s),
             };
             if better {
-                best = Some((i, gain, members.len()));
+                best = Some((i, gain, m.len()));
             }
         }
         let Some((i, _, _)) = best else { break };
         used[i] = true;
-        chosen.push(luw[i].0);
-        for &u in &luw[i].1 {
+        chosen.push(terms[i]);
+        for &u in members[i].as_ref() {
             covered[u] = true;
         }
     }
     chosen.sort_unstable();
-    chosen
 }
 
 /// The full §6.2.1 approximate keyword selection for one location.
 pub fn greedy_keywords(cc: &CandidateContext<'_>, loc_idx: usize, lu: &[usize]) -> Vec<TermId> {
-    // Coverage works on positions within `lu`.
-    let luw_raw = build_luw(cc, loc_idx, lu);
-    let pos_of = |u: usize| lu.iter().position(|&x| x == u).unwrap();
-    let luw: Vec<(TermId, Vec<usize>)> = luw_raw
-        .into_iter()
-        .map(|(w, members)| (w, members.into_iter().map(pos_of).collect()))
-        .collect();
-    greedy_cover(&luw, cc.spec.ws, lu.len())
+    let mut ss = Vec::new();
+    cc.fill_ss(&cc.spec.locations[loc_idx], lu, &mut ss);
+    let mut gr = GreedyScratch::default();
+    let mut out = Vec::new();
+    greedy_keywords_into(cc, lu, &ss, &mut gr, &mut out);
+    out
+}
+
+/// [`greedy_keywords`] into arena scratch (coverage works on positions
+/// within `lu`, which is exactly how `build_luw_into` records members).
+pub(crate) fn greedy_keywords_into(
+    cc: &CandidateContext<'_>,
+    lu: &[usize],
+    ss_lu: &[f64],
+    gr: &mut GreedyScratch,
+    out: &mut Vec<TermId>,
+) {
+    build_luw_into(cc, lu, ss_lu, gr);
+    let GreedyScratch {
+        luw_terms,
+        luw_members,
+        covered,
+        used,
+        ..
+    } = gr;
+    greedy_cover_core(
+        luw_terms,
+        &luw_members[..luw_terms.len()],
+        cc.spec.ws,
+        lu.len(),
+        covered,
+        used,
+        out,
+    );
 }
 
 /// Greedy on the *realized* objective (extension beyond the paper).
@@ -125,37 +225,81 @@ pub fn greedy_plus_keywords(
     loc_idx: usize,
     lu: &[usize],
 ) -> Vec<TermId> {
-    let loc = &cc.spec.locations[loc_idx];
-    let mut chosen: Vec<TermId> = Vec::new();
-    let mut best_count = {
-        let cand = cc.with_keywords(&chosen);
-        cc.brstknn(loc, &cand, lu).len()
-    };
+    let mut ss = Vec::new();
+    cc.fill_ss(&cc.spec.locations[loc_idx], lu, &mut ss);
+    let mut gr = GreedyScratch::default();
+    let mut out = Vec::new();
+    greedy_plus_keywords_into(cc, lu, &ss, &mut gr, &mut out);
+    out
+}
+
+/// [`greedy_plus_keywords`] into arena scratch.
+///
+/// Each round's trials add exactly one keyword to the current selection,
+/// so a trial's count is the selection's count plus a delta over the
+/// keyword's holders (everyone else scores bit-identically) — the same
+/// incremental argument the baseline scan uses.
+pub(crate) fn greedy_plus_keywords_into(
+    cc: &CandidateContext<'_>,
+    lu: &[usize],
+    ss_lu: &[f64],
+    gr: &mut GreedyScratch,
+    out: &mut Vec<TermId>,
+) {
+    out.clear();
+    gr.delta.build(cc, &cc.spec.keywords, lu, 0..lu.len());
     for _ in 0..cc.spec.ws {
+        // Realized verdict per user under the current selection. On the
+        // first round this is the `ox.d`-only count; afterwards it equals
+        // the picked trial's count (same evaluations).
+        gr.hcand.assign_with_terms(&cc.spec.ox_doc, out);
+        gr.delta.q0.clear();
+        let mut count0 = 0usize;
+        for (pos, &u) in lu.iter().enumerate() {
+            let q = cc.qualifies_with_ss(ss_lu[pos], &gr.hcand, u);
+            gr.delta.q0.push(q);
+            count0 += q as usize;
+        }
+        let best_count = count0;
         let mut round_best: Option<(TermId, usize)> = None;
-        for &w in &cc.spec.keywords {
-            if chosen.contains(&w) {
+        for (j, &w) in cc.spec.keywords.iter().enumerate() {
+            if out.contains(&w) {
                 continue;
             }
-            let mut trial = chosen.clone();
-            trial.push(w);
-            let cand = cc.with_keywords(&trial);
-            let count = cc.brstknn(loc, &cand, lu).len();
+            let row = gr.delta.row(j);
+            // The trial can at most flip its holders to qualifying.
+            let bar = round_best.map_or(best_count, |(_, c)| best_count.max(c));
+            if count0 + row.len() <= bar {
+                continue;
+            }
+            gr.trial.clear();
+            gr.trial.extend_from_slice(out);
+            gr.trial.push(w);
+            gr.hcand.assign_with_terms(&cc.spec.ox_doc, &gr.trial);
+            let mut count = count0;
+            for &p in gr.delta.row(j) {
+                let p = p as usize;
+                let q1 = cc.qualifies_with_ss(ss_lu[p], &gr.hcand, lu[p]);
+                if q1 && !gr.delta.q0[p] {
+                    count += 1;
+                } else if !q1 && gr.delta.q0[p] {
+                    count -= 1;
+                }
+            }
             if count > best_count && round_best.is_none_or(|(_, c)| count > c) {
                 round_best = Some((w, count));
             }
         }
-        let Some((w, count)) = round_best else { break };
-        chosen.push(w);
-        best_count = count;
+        let Some((w, _)) = round_best else { break };
+        out.push(w);
     }
-    if chosen.is_empty() {
+    if out.is_empty() {
         // Thresholds needing several keywords at once defeat single-step
         // gains; fall back to the coverage greedy rather than give up.
-        return greedy_keywords(cc, loc_idx, lu);
+        greedy_keywords_into(cc, lu, ss_lu, gr, out);
+        return;
     }
-    chosen.sort_unstable();
-    chosen
+    out.sort_unstable();
 }
 
 #[cfg(test)]
@@ -203,6 +347,95 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// The one-sort-per-user construction must reproduce the keyword-outer
+    /// reference (re-sorting `W ∩ u.d` per holder) exactly — members, order,
+    /// duplicate keywords and all.
+    #[test]
+    fn build_luw_matches_per_holder_reference() {
+        use crate::select::test_fixture::random_fixture;
+        for seed in 0..4 {
+            let f = random_fixture(seed + 20, 48, 9);
+            let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+            let lu: Vec<usize> = (0..f.users.len()).collect();
+            for li in 0..f.spec.locations.len() {
+                let got = build_luw(&cc, li, &lu);
+                assert_eq!(got.len(), f.spec.keywords.len());
+                let loc = &f.spec.locations[li];
+                for (j, &w) in f.spec.keywords.iter().enumerate() {
+                    assert_eq!(got[j].0, w, "seed {seed}");
+                    let mut expect = Vec::new();
+                    for &u in &lu {
+                        let held = cc.ucand(u);
+                        if !held.iter().any(|&(t, _)| t == w) {
+                            continue;
+                        }
+                        let mut others: Vec<(f64, u32, TermId)> = Vec::new();
+                        for (i, &t) in f.spec.keywords.iter().enumerate() {
+                            if let Some(&(_, cw)) = held.iter().find(|&&(h, _)| h == t) {
+                                others.push((cw, i as u32, t));
+                            }
+                        }
+                        others.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                        let mut hw: Vec<TermId> = others
+                            .iter()
+                            .filter(|&&(_, _, t)| t != w)
+                            .take(f.spec.ws.saturating_sub(1))
+                            .map(|&(_, _, t)| t)
+                            .collect();
+                        hw.push(w);
+                        let cand = cc.with_keywords(&hw);
+                        if cc.sts_candidate(loc, &cand, u) >= cc.rsk[u] {
+                            expect.push(u);
+                        }
+                    }
+                    assert_eq!(got[j].1, expect, "seed {seed}, loc {li}, kw {j}");
+                }
+            }
+        }
+    }
+
+    /// The holder-row trial scan must pick the same keyword sequence as a
+    /// reference that rescans every user for every trial.
+    #[test]
+    fn greedy_plus_matches_full_rescan_reference() {
+        use crate::select::test_fixture::random_fixture;
+        for seed in 0..4 {
+            let f = random_fixture(seed + 30, 48, 9);
+            let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+            let lu: Vec<usize> = (0..f.users.len()).collect();
+            for li in 0..f.spec.locations.len() {
+                let got = greedy_plus_keywords(&cc, li, &lu);
+
+                let loc = &f.spec.locations[li];
+                let mut sel: Vec<TermId> = Vec::new();
+                for _ in 0..f.spec.ws {
+                    let best_count = cc.brstknn(loc, &cc.with_keywords(&sel), &lu).len();
+                    let mut round_best: Option<(TermId, usize)> = None;
+                    for &w in &f.spec.keywords {
+                        if sel.contains(&w) {
+                            continue;
+                        }
+                        let mut trial = sel.clone();
+                        trial.push(w);
+                        let count = cc.brstknn(loc, &cc.with_keywords(&trial), &lu).len();
+                        if count > best_count && round_best.is_none_or(|(_, c)| count > c) {
+                            round_best = Some((w, count));
+                        }
+                    }
+                    let Some((w, _)) = round_best else { break };
+                    sel.push(w);
+                }
+                let expect = if sel.is_empty() {
+                    greedy_keywords(&cc, li, &lu)
+                } else {
+                    sel.sort_unstable();
+                    sel
+                };
+                assert_eq!(got, expect, "seed {seed}, loc {li}");
             }
         }
     }

@@ -9,8 +9,7 @@
 //! shortcut skips keyword selection entirely when the location already
 //! guarantees every listed user.
 
-use std::collections::BinaryHeap;
-
+use crate::arena::SelectScratch;
 use crate::select::{exact, greedy, CandidateContext};
 use crate::topk::ByKey;
 use crate::{QueryResult, UserGroup};
@@ -42,76 +41,118 @@ pub fn select_candidate(
     rsk_us: f64,
     selector: KeywordSelector,
 ) -> QueryResult {
+    let mut sel = SelectScratch::default();
+    let mut out = QueryResult::default();
+    select_candidate_into(cc, su, rsk_us, selector, &mut sel, &mut out);
+    out
+}
+
+/// [`select_candidate`] into arena scratch: the winning tuple lands in
+/// `out`; queue, per-location `LU` lists, spatial-score columns, and the
+/// keyword-selection buffers all come from `sel`.
+///
+/// # Panics
+/// Panics when the query has no candidate locations.
+pub(crate) fn select_candidate_into(
+    cc: &CandidateContext<'_>,
+    su: &UserGroup,
+    rsk_us: f64,
+    selector: KeywordSelector,
+    sel: &mut SelectScratch,
+    out: &mut QueryResult,
+) {
     assert!(
         !cc.spec.locations.is_empty(),
         "MaxBRSTkNN requires at least one candidate location"
     );
+    out.clear();
 
-    // Step 1: per-location candidate user lists from the UBL bounds.
-    let mut ql: BinaryHeap<ByKey<(usize, Vec<usize>)>> = BinaryHeap::new();
+    let SelectScratch {
+        ql,
+        lu_bufs,
+        ss,
+        cand,
+        users_out,
+        kw,
+        gr,
+        ex,
+        ..
+    } = sel;
+
+    // The textual halves of the group bounds don't depend on the location;
+    // hoist them so the per-location checks are two float ops each.
+    let su_ubl_ts = cc.ubl_group_ts(su);
+    let su_lbl_ts = cc.lbl_group_ts(su);
+
+    // Step 1: per-location candidate user lists from the UBL bounds. The
+    // lists live in pooled slots; the queue carries (location, slot).
+    ql.clear();
+    let mut slots = 0usize;
     for (li, loc) in cc.spec.locations.iter().enumerate() {
-        if cc.ubl_group(loc, su) < rsk_us {
+        if cc.ubl_group_with_ts(loc, su, su_ubl_ts) < rsk_us {
             continue; // no user can be a BRSTkNN here (Lemma 2/3)
         }
-        let lu: Vec<usize> = (0..cc.users.len())
-            .filter(|&u| cc.user_reachable(u) && cc.ubl_user(loc, u) >= cc.rsk[u])
-            .collect();
+        if slots == lu_bufs.len() {
+            lu_bufs.push(Vec::new());
+        }
+        let lu = &mut lu_bufs[slots];
+        lu.clear();
+        for u in 0..cc.users.len() {
+            if cc.user_reachable(u) && cc.ubl_user_with_ss(cc.ss_at(loc, u), u) >= cc.rsk[u] {
+                lu.push(u);
+            }
+        }
         if !lu.is_empty() {
             ql.push(ByKey {
                 key: lu.len() as f64,
-                item: (li, lu),
+                item: (li, slots),
             });
+            slots += 1;
         }
     }
 
-    let mut best = QueryResult {
-        location: 0,
-        keywords: Vec::new(),
-        brstknn: Vec::new(),
-    };
-
     // Step 2: best-first over locations with early termination.
-    while let Some(ByKey { item: (li, lu), .. }) = ql.pop() {
-        if lu.len() <= best.cardinality() && !best.brstknn.is_empty() {
+    while let Some(ByKey {
+        item: (li, slot), ..
+    }) = ql.pop()
+    {
+        let lu = &lu_bufs[slot];
+        if lu.len() <= out.brstknn.len() && !out.brstknn.is_empty() {
             break; // |LU| bounds the achievable count — nothing better left
         }
         let loc = &cc.spec.locations[li];
+        cc.fill_ss(loc, lu, ss);
 
         // LBL shortcut: every LU user qualifies with ox.d alone.
-        if cc.lbl_group(loc, su) >= rsk_us && !cc.spec.ox_doc.is_empty() {
-            let users = cc.brstknn(loc, &cc.spec.ox_doc, &lu);
+        if cc.lbl_group_with_ts(loc, su, su_lbl_ts) >= rsk_us && !cc.spec.ox_doc.is_empty() {
+            cc.brstknn_into(&cc.spec.ox_doc, lu, ss, users_out);
             // The shortcut is only complete when it captures the whole
             // list; otherwise keyword selection could still add users.
-            if users.len() == lu.len() {
-                if users.len() > best.cardinality() {
-                    best = QueryResult {
-                        location: li,
-                        keywords: Vec::new(),
-                        brstknn: users,
-                    };
+            if users_out.len() == lu.len() {
+                if users_out.len() > out.brstknn.len() {
+                    out.location = li;
+                    out.keywords.clear();
+                    std::mem::swap(users_out, &mut out.brstknn);
                 }
                 continue;
             }
         }
 
         // Full keyword selection for this location.
-        let keywords = match selector {
-            KeywordSelector::Greedy => greedy::greedy_keywords(cc, li, &lu),
-            KeywordSelector::GreedyPlus => greedy::greedy_plus_keywords(cc, li, &lu),
-            KeywordSelector::Exact => exact::exact_keywords(cc, li, &lu),
-        };
-        let cand = cc.with_keywords(&keywords);
-        let users = cc.brstknn(loc, &cand, &lu);
-        if users.len() > best.cardinality() {
-            best = QueryResult {
-                location: li,
-                keywords,
-                brstknn: users,
-            };
+        match selector {
+            KeywordSelector::Greedy => greedy::greedy_keywords_into(cc, lu, ss, gr, kw),
+            KeywordSelector::GreedyPlus => greedy::greedy_plus_keywords_into(cc, lu, ss, gr, kw),
+            KeywordSelector::Exact => exact::exact_keywords_into(cc, lu, ss, ex, kw),
+        }
+        cand.assign_with_terms(&cc.spec.ox_doc, kw);
+        cc.brstknn_into(cand, lu, ss, users_out);
+        if users_out.len() > out.brstknn.len() {
+            out.location = li;
+            out.keywords.clear();
+            out.keywords.extend_from_slice(kw);
+            std::mem::swap(users_out, &mut out.brstknn);
         }
     }
-
-    best
 }
 
 #[cfg(test)]

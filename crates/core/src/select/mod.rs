@@ -19,11 +19,13 @@ pub mod greedy;
 pub mod location;
 pub mod topl;
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use geo::Point;
 use text::{Document, TermId};
 
+use crate::arena::CcScratch;
 use crate::{QuerySpec, ScoreContext, UserData, UserGroup};
 
 /// Shared state for one candidate-selection run.
@@ -44,6 +46,16 @@ pub struct CandidateContext<'a> {
     pub ref_len: u64,
     /// Candidate term weight `cw(t)` for every term of `W ∪ ox.d`.
     cand_w: HashMap<TermId, f64>,
+    /// Location-independent textual part of `UBL(·, u)` per user.
+    ubl_ts: Vec<f64>,
+    /// Per-user candidate terms `u.d ∩ (W ∪ ox.d)` with their weights,
+    /// flattened; user `u` owns `ucand_flat[ucand_off[u]..ucand_off[u+1]]`.
+    /// The query kernels sum these tiny ascending runs instead of merging
+    /// full documents against the weight map.
+    ucand_flat: Vec<(TermId, f64)>,
+    ucand_off: Vec<u32>,
+    /// Scratch for [`CandidateContext::top_ws_weight_sum`].
+    ws_buf: RefCell<Vec<f64>>,
 }
 
 impl<'a> CandidateContext<'a> {
@@ -54,17 +66,50 @@ impl<'a> CandidateContext<'a> {
         users: &'a [UserData],
         rsk: &'a [f64],
     ) -> Self {
+        Self::new_reusing(ctx, spec, users, rsk, CcScratch::default())
+    }
+
+    /// [`CandidateContext::new`] backed by pooled buffers from a
+    /// [`crate::QueryArena`]; hand them back with
+    /// [`CandidateContext::into_scratch`] when done.
+    pub(crate) fn new_reusing(
+        ctx: &'a ScoreContext,
+        spec: &'a QuerySpec,
+        users: &'a [UserData],
+        rsk: &'a [f64],
+        scratch: CcScratch,
+    ) -> Self {
         assert_eq!(users.len(), rsk.len(), "users and thresholds must align");
+        let CcScratch {
+            mut cand_w,
+            mut n_u,
+            ubl_ts,
+            mut ucand_flat,
+            mut ucand_off,
+            ws_buf,
+        } = scratch;
         let ref_len = spec.ref_len();
-        let mut cand_w = HashMap::new();
+        cand_w.clear();
         for &t in spec.keywords.iter() {
             cand_w.insert(t, ctx.text.candidate_weight(t, ref_len));
         }
         for t in spec.ox_doc.terms() {
             cand_w.insert(t, ctx.text.candidate_weight(t, ref_len));
         }
-        let n_u = users.iter().map(|u| ctx.text.normalizer(&u.doc)).collect();
-        CandidateContext {
+        n_u.clear();
+        n_u.extend(users.iter().map(|u| ctx.text.normalizer(&u.doc)));
+        ucand_flat.clear();
+        ucand_off.clear();
+        ucand_off.push(0);
+        for u in users {
+            for t in u.doc.terms() {
+                if let Some(&w) = cand_w.get(&t) {
+                    ucand_flat.push((t, w));
+                }
+            }
+            ucand_off.push(ucand_flat.len() as u32);
+        }
+        let mut cc = CandidateContext {
             ctx,
             spec,
             users,
@@ -72,6 +117,29 @@ impl<'a> CandidateContext<'a> {
             n_u,
             ref_len,
             cand_w,
+            ubl_ts,
+            ucand_flat,
+            ucand_off,
+            ws_buf,
+        };
+        let mut ubl = std::mem::take(&mut cc.ubl_ts);
+        ubl.clear();
+        for (u, user) in users.iter().enumerate() {
+            ubl.push(cc.ubl_ts_doc(&user.doc, cc.n_u[u]));
+        }
+        cc.ubl_ts = ubl;
+        cc
+    }
+
+    /// Returns the pooled buffers to the arena.
+    pub(crate) fn into_scratch(self) -> CcScratch {
+        CcScratch {
+            cand_w: self.cand_w,
+            n_u: self.n_u,
+            ubl_ts: self.ubl_ts,
+            ucand_flat: self.ucand_flat,
+            ucand_off: self.ucand_off,
+            ws_buf: self.ws_buf,
         }
     }
 
@@ -82,25 +150,26 @@ impl<'a> CandidateContext<'a> {
     }
 
     /// True when user `u` could ever find `ox` relevant: `u.d` shares a
-    /// term with `ox.d ∪ W` (the paper's relevance precondition).
+    /// term with `ox.d ∪ W` (the paper's relevance precondition) — i.e.
+    /// the user's precomputed candidate-term list is non-empty.
+    #[inline]
     pub fn user_reachable(&self, u: usize) -> bool {
-        let doc = &self.users[u].doc;
-        doc.overlaps(&self.spec.ox_doc) || self.spec.keywords.iter().any(|&t| doc.contains(t))
+        self.ucand_off[u] != self.ucand_off[u + 1]
     }
 
     /// Sum of the `ws` largest candidate weights among `terms` (Lemma 3's
     /// `Wh` / `Wu` construction).
     pub fn top_ws_weight_sum(&self, terms: impl Iterator<Item = TermId>) -> f64 {
-        let mut ws: Vec<f64> = terms.map(|t| self.cw(t)).filter(|&w| w > 0.0).collect();
-        ws.sort_by(|a, b| b.total_cmp(a));
-        ws.truncate(self.spec.ws);
-        ws.iter().sum()
+        let mut buf = self.ws_buf.borrow_mut();
+        buf.clear();
+        buf.extend(terms.map(|t| self.cw(t)).filter(|&w| w > 0.0));
+        buf.sort_unstable_by(|a, b| b.total_cmp(a));
+        buf.truncate(self.spec.ws);
+        buf.iter().sum()
     }
 
-    /// `UBL(ℓ, g)` (§6.1): upper bound on `STS(ox@ℓ, u)` over every user in
-    /// `g` and every admissible keyword choice.
-    pub fn ubl_group(&self, loc: &Point, group: &UserGroup) -> f64 {
-        let ss = self.ctx.spatial.min_ss_point(loc, &group.mbr);
+    /// The location-independent textual part of `UBL(·, g)`.
+    pub(crate) fn ubl_group_ts(&self, group: &UserGroup) -> f64 {
         // Existing text: terms of ox.d visible to some user in the group.
         let fixed: f64 = self
             .spec
@@ -117,24 +186,24 @@ impl<'a> CandidateContext<'a> {
                 .copied()
                 .filter(|&t| group.d_uni.contains(t) && !self.spec.ox_doc.contains(t)),
         );
-        self.ctx.combine(ss, group.ts_upper(fixed + added))
+        group.ts_upper(fixed + added)
     }
 
-    /// `UBL(ℓ, u)` (§6.1): per-user upper bound.
-    pub fn ubl_user(&self, loc: &Point, u: usize) -> f64 {
-        self.ubl_user_data(loc, &self.users[u], self.n_u[u])
+    /// `UBL(ℓ, g)` (§6.1): upper bound on `STS(ox@ℓ, u)` over every user in
+    /// `g` and every admissible keyword choice.
+    pub fn ubl_group(&self, loc: &Point, group: &UserGroup) -> f64 {
+        let ss = self.ctx.spatial.min_ss_point(loc, &group.mbr);
+        self.ctx.combine(ss, self.ubl_group_ts(group))
     }
 
-    /// [`CandidateContext::ubl_user`] for a user outside the context's
-    /// slice (the §7 pipeline discovers users dynamically from the
-    /// MIUR-tree).
-    pub fn ubl_user_data(&self, loc: &Point, user: &UserData, n_u: f64) -> f64 {
-        let ss = self.ctx.spatial.ss_points(loc, &user.point);
+    /// The location-independent textual part of `UBL(·, u)` for an
+    /// arbitrary user document.
+    pub(crate) fn ubl_ts_doc(&self, doc: &Document, n_u: f64) -> f64 {
         let fixed: f64 = self
             .spec
             .ox_doc
             .terms()
-            .filter(|&t| user.doc.contains(t))
+            .filter(|&t| doc.contains(t))
             .map(|t| self.cw(t))
             .sum();
         let added = self.top_ws_weight_sum(
@@ -142,20 +211,31 @@ impl<'a> CandidateContext<'a> {
                 .keywords
                 .iter()
                 .copied()
-                .filter(|&t| user.doc.contains(t) && !self.spec.ox_doc.contains(t)),
+                .filter(|&t| doc.contains(t) && !self.spec.ox_doc.contains(t)),
         );
-        let ts = if n_u > 0.0 {
+        if n_u > 0.0 {
             ((fixed + added) / n_u).min(1.0)
         } else {
             0.0
-        };
-        self.ctx.combine(ss, ts)
+        }
     }
 
-    /// `LBL(ℓ, g)` (§6.1): guaranteed score for every user in `g` with the
-    /// *original* text `ox.d` only.
-    pub fn lbl_group(&self, loc: &Point, group: &UserGroup) -> f64 {
-        let ss = self.ctx.spatial.max_ss_point(loc, &group.mbr);
+    /// `UBL(ℓ, u)` (§6.1): per-user upper bound (textual part cached).
+    pub fn ubl_user(&self, loc: &Point, u: usize) -> f64 {
+        let ss = self.ctx.spatial.ss_points(loc, &self.users[u].point);
+        self.ctx.combine(ss, self.ubl_ts[u])
+    }
+
+    /// [`CandidateContext::ubl_user`] for a user outside the context's
+    /// slice (the §7 pipeline discovers users dynamically from the
+    /// MIUR-tree).
+    pub fn ubl_user_data(&self, loc: &Point, user: &UserData, n_u: f64) -> f64 {
+        let ss = self.ctx.spatial.ss_points(loc, &user.point);
+        self.ctx.combine(ss, self.ubl_ts_doc(&user.doc, n_u))
+    }
+
+    /// The location-independent textual part of `LBL(·, g)`.
+    pub(crate) fn lbl_group_ts(&self, group: &UserGroup) -> f64 {
         let fixed: f64 = self
             .spec
             .ox_doc
@@ -163,7 +243,14 @@ impl<'a> CandidateContext<'a> {
             .filter(|&t| group.d_int.contains(t))
             .map(|t| self.cw(t))
             .sum();
-        self.ctx.combine(ss, group.ts_lower(fixed))
+        group.ts_lower(fixed)
+    }
+
+    /// `LBL(ℓ, g)` (§6.1): guaranteed score for every user in `g` with the
+    /// *original* text `ox.d` only.
+    pub fn lbl_group(&self, loc: &Point, group: &UserGroup) -> f64 {
+        let ss = self.ctx.spatial.max_ss_point(loc, &group.mbr);
+        self.ctx.combine(ss, self.lbl_group_ts(group))
     }
 
     /// `LBL(ℓ, u)`: the user's exact score with the original `ox.d` —
@@ -222,6 +309,221 @@ impl<'a> CandidateContext<'a> {
     pub fn with_keywords(&self, extra: &[TermId]) -> Document {
         self.spec.ox_doc.with_terms(extra.iter().copied())
     }
+
+    // ---- allocation-free fast paths -------------------------------------
+    //
+    // The kernels below are the steady-state inner loops. They are exact
+    // twins of the public methods above, restricted to candidate documents
+    // `cand ⊆ ox.d ∪ W` (every internal selection kernel builds them that
+    // way), with the spatial score hoisted out by the caller and the
+    // per-user term merge replaced by the precomputed `ucand` runs. The
+    // public slow paths stay as the reference implementations the
+    // brute-force tests compare against.
+
+    /// User `u`'s candidate terms `u.d ∩ (W ∪ ox.d)` with weights,
+    /// ascending by term.
+    #[inline]
+    pub(crate) fn ucand(&self, u: usize) -> &[(TermId, f64)] {
+        &self.ucand_flat[self.ucand_off[u] as usize..self.ucand_off[u + 1] as usize]
+    }
+
+    /// Spatial score of `loc` for user `u`.
+    #[inline]
+    pub(crate) fn ss_at(&self, loc: &Point, u: usize) -> f64 {
+        self.ctx.spatial.ss_points(loc, &self.users[u].point)
+    }
+
+    /// `UBL(ℓ, u)` with the spatial part precomputed.
+    #[inline]
+    pub(crate) fn ubl_user_with_ss(&self, ss: f64, u: usize) -> f64 {
+        self.ctx.combine(ss, self.ubl_ts[u])
+    }
+
+    /// `UBL(ℓ, g)` with the textual part precomputed (hoisted across the
+    /// location loop by the selection kernels).
+    #[inline]
+    pub(crate) fn ubl_group_with_ts(&self, loc: &Point, group: &UserGroup, ts: f64) -> f64 {
+        let ss = self.ctx.spatial.min_ss_point(loc, &group.mbr);
+        self.ctx.combine(ss, ts)
+    }
+
+    /// `LBL(ℓ, g)` with the textual part precomputed.
+    #[inline]
+    pub(crate) fn lbl_group_with_ts(&self, loc: &Point, group: &UserGroup, ts: f64) -> f64 {
+        let ss = self.ctx.spatial.max_ss_point(loc, &group.mbr);
+        self.ctx.combine(ss, ts)
+    }
+
+    /// [`CandidateContext::sts_candidate`] with the spatial part
+    /// precomputed, for `cand ⊆ ox.d ∪ W`.
+    #[inline]
+    pub(crate) fn sts_with_ss(&self, ss: f64, cand: &Document, u: usize) -> f64 {
+        let n_u = self.n_u[u];
+        let ts = if n_u > 0.0 {
+            let sum: f64 = self
+                .ucand(u)
+                .iter()
+                .filter(|&&(t, _)| cand.contains(t))
+                .map(|&(_, w)| w)
+                .sum();
+            (sum / n_u).min(1.0)
+        } else {
+            0.0
+        };
+        self.ctx.combine(ss, ts)
+    }
+
+    /// [`CandidateContext::qualifies`] with the spatial part precomputed,
+    /// for `cand ⊆ ox.d ∪ W`. Overlap and weight sum come from one pass
+    /// over the user's candidate-term run.
+    #[inline]
+    pub(crate) fn qualifies_with_ss(&self, ss: f64, cand: &Document, u: usize) -> bool {
+        let mut any = false;
+        let mut sum = 0.0;
+        for &(t, w) in self.ucand(u) {
+            if cand.contains(t) {
+                any = true;
+                sum += w;
+            }
+        }
+        if !any {
+            return false;
+        }
+        let n_u = self.n_u[u];
+        let ts = if n_u > 0.0 { (sum / n_u).min(1.0) } else { 0.0 };
+        self.ctx.combine(ss, ts) >= self.rsk[u]
+    }
+
+    /// Fills `out` with the spatial scores of `loc` for `candidates`.
+    pub(crate) fn fill_ss(&self, loc: &Point, candidates: &[usize], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(candidates.iter().map(|&u| self.ss_at(loc, u)));
+    }
+
+    /// [`CandidateContext::brstknn`] into a reusable buffer; `ss` holds the
+    /// spatial scores aligned with `candidates`.
+    pub(crate) fn brstknn_into(
+        &self,
+        cand: &Document,
+        candidates: &[usize],
+        ss: &[f64],
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        for (i, &u) in candidates.iter().enumerate() {
+            if self.qualifies_with_ss(ss[i], cand, u) {
+                out.push(self.users[u].id);
+            }
+        }
+    }
+
+    /// BRSTkNN cardinality without materializing the user ids.
+    #[cfg(test)]
+    pub(crate) fn brstknn_count(&self, cand: &Document, candidates: &[usize], ss: &[f64]) -> usize {
+        candidates
+            .iter()
+            .enumerate()
+            .filter(|&(i, &u)| self.qualifies_with_ss(ss[i], cand, u))
+            .count()
+    }
+}
+
+/// Inverted ⟨keyword → holder positions⟩ index for the combination scans
+/// (the §4 baseline, Algorithm 4, and the realized-gain greedy).
+///
+/// Scoring a candidate `ox.d ∪ C` differs from scoring `ox.d` alone only
+/// for the users holding a term of `C \ ox.d` — everyone else filters the
+/// exact same terms out of their candidate run and therefore computes the
+/// *bit-identical* score. The scans exploit that: precompute the `ox.d`
+/// verdict per user once per location, then per combination re-evaluate
+/// just the holders of its keywords (gathered from these rows), instead of
+/// every user. With `|W| = 20`, `ws = 3` and a handful of terms per user
+/// that turns `C(20,3) · |U|` scoring calls into `C(20,3) · ~|touched|`.
+#[derive(Debug, Default)]
+pub(crate) struct DeltaScan {
+    /// Holder-position rows, parallel to the `terms` column of the last
+    /// [`DeltaScan::build`] (pooled; rows past `terms.len()` are stale).
+    inv: Vec<Vec<u32>>,
+    /// Positions gathered for the current combination.
+    touched: Vec<u32>,
+    /// Epoch stamps deduplicating positions across a combination's rows.
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Per-position verdict with `ox.d` alone (filled by callers that
+    /// count by delta against it).
+    pub(crate) q0: Vec<bool>,
+}
+
+impl DeltaScan {
+    /// Rebuilds the holder rows: `inv[j]` lists the positions `p` (into
+    /// `lu` and its aligned `ss` column) whose user holds `terms[j]`,
+    /// restricted to `positions`. Terms of `ox.d` get empty rows — adding
+    /// them to a candidate never changes a score, because they already
+    /// count through `ox.d` itself.
+    pub(crate) fn build(
+        &mut self,
+        cc: &CandidateContext<'_>,
+        terms: &[TermId],
+        lu: &[usize],
+        positions: impl IntoIterator<Item = usize>,
+    ) {
+        while self.inv.len() < terms.len() {
+            self.inv.push(Vec::new());
+        }
+        for row in &mut self.inv[..terms.len()] {
+            row.clear();
+        }
+        self.stamp.clear();
+        self.stamp.resize(lu.len(), 0);
+        self.epoch = 0;
+        for pos in positions {
+            for &(t, _) in cc.ucand(lu[pos]) {
+                if cc.spec.ox_doc.contains(t) {
+                    continue;
+                }
+                // Duplicate terms each get the holder — combinations
+                // address terms by position, not value.
+                for (j, &w) in terms.iter().enumerate() {
+                    if w == t {
+                        self.inv[j].push(pos as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Upper bound on how many positions a combination can touch (summed
+    /// row lengths, before deduplication) — the pre-gather skip test.
+    pub(crate) fn potential(&self, combo: impl IntoIterator<Item = usize>) -> usize {
+        combo.into_iter().map(|j| self.inv[j].len()).sum()
+    }
+
+    /// Holder row of a single term position.
+    pub(crate) fn row(&self, j: usize) -> &[u32] {
+        &self.inv[j]
+    }
+
+    /// Collects the deduplicated positions holding any of the
+    /// combination's terms; returns the count, positions via
+    /// [`DeltaScan::touched`].
+    pub(crate) fn gather(&mut self, combo: impl IntoIterator<Item = usize>) -> usize {
+        self.epoch += 1;
+        let e = self.epoch;
+        self.touched.clear();
+        for j in combo {
+            for &p in &self.inv[j] {
+                if self.stamp[p as usize] != e {
+                    self.stamp[p as usize] = e;
+                    self.touched.push(p);
+                }
+            }
+        }
+        self.touched.len()
+    }
+
+    pub(crate) fn touched(&self) -> &[u32] {
+        &self.touched
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +541,60 @@ pub(crate) mod test_fixture {
         pub users: Vec<UserData>,
         pub spec: QuerySpec,
         pub rsk: Vec<f64>,
+    }
+
+    /// Deterministic pseudo-random instances for the differential tests
+    /// of the combination scans — bigger and messier than [`fixture`]:
+    /// LM weights, duplicate-prone keyword pools, users holding 1–4
+    /// terms, some users unreachable.
+    pub(crate) fn random_fixture(seed: u64, n_users: usize, n_kws: usize) -> Fix {
+        let mut state = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(0x2545F4914F6CDD1D);
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        const VOCAB: u64 = 25;
+        let docs: Vec<Document> = (0..40)
+            .map(|_| {
+                let n = 1 + next(4);
+                Document::from_terms((0..n).map(|_| t(next(VOCAB) as u32)))
+            })
+            .collect();
+        let text = TextScorer::from_docs(WeightModel::lm(), &docs);
+        let users: Vec<UserData> = (0..n_users)
+            .map(|i| {
+                let n = 1 + next(4);
+                UserData {
+                    id: i as u32,
+                    point: Point::new(next(1000) as f64 / 100.0, next(1000) as f64 / 100.0),
+                    doc: Document::from_terms((0..n).map(|_| t(next(VOCAB) as u32))),
+                }
+            })
+            .collect();
+        let space = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        let ctx = ScoreContext::new(0.5, SpatialContext::from_dataspace(&space), text);
+        let spec = QuerySpec {
+            ox_doc: Document::from_terms([t(next(VOCAB) as u32), t(next(VOCAB) as u32)]),
+            locations: (0..4)
+                .map(|_| Point::new(next(1000) as f64 / 100.0, next(1000) as f64 / 100.0))
+                .collect(),
+            keywords: (0..n_kws).map(|_| t(next(VOCAB) as u32)).collect(),
+            ws: 3,
+            k: 2,
+        };
+        let rsk = (0..n_users)
+            .map(|_| 0.3 + next(60) as f64 / 100.0)
+            .collect();
+        Fix {
+            ctx,
+            users,
+            spec,
+            rsk,
+        }
     }
 
     /// A small, fully-deterministic selection scenario used across the
@@ -353,6 +709,50 @@ mod tests {
         let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
         for u in 0..f.users.len() {
             assert!(cc.user_reachable(u)); // everyone shares t4 with ox.d
+        }
+    }
+
+    /// The allocation-free kernels must be bit-identical to the public
+    /// reference paths for every candidate document `⊆ ox.d ∪ W`.
+    #[test]
+    fn fast_kernels_match_reference_paths() {
+        let f = fixture();
+        let cc = CandidateContext::new(&f.ctx, &f.spec, &f.users, &f.rsk);
+        let kws = &f.spec.keywords;
+        let mut cands = vec![cc.with_keywords(&[])];
+        for i in 0..kws.len() {
+            cands.push(cc.with_keywords(&[kws[i]]));
+            for j in (i + 1)..kws.len() {
+                cands.push(cc.with_keywords(&[kws[i], kws[j]]));
+            }
+        }
+        for loc in &f.spec.locations {
+            for u in 0..f.users.len() {
+                let ss = cc.ss_at(loc, u);
+                assert_eq!(
+                    cc.ubl_user_with_ss(ss, u).to_bits(),
+                    cc.ubl_user(loc, u).to_bits()
+                );
+                for cand in &cands {
+                    assert_eq!(
+                        cc.sts_with_ss(ss, cand, u).to_bits(),
+                        cc.sts_candidate(loc, cand, u).to_bits()
+                    );
+                    assert_eq!(
+                        cc.qualifies_with_ss(ss, cand, u),
+                        cc.qualifies(loc, cand, u)
+                    );
+                }
+            }
+            let all: Vec<usize> = (0..f.users.len()).collect();
+            let mut ss = Vec::new();
+            cc.fill_ss(loc, &all, &mut ss);
+            for cand in &cands {
+                let mut got = Vec::new();
+                cc.brstknn_into(cand, &all, &ss, &mut got);
+                assert_eq!(got, cc.brstknn(loc, cand, &all));
+                assert_eq!(cc.brstknn_count(cand, &all, &ss), got.len());
+            }
         }
     }
 

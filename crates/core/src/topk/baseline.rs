@@ -9,7 +9,7 @@
 
 use std::collections::BinaryHeap;
 
-use index::{ChildRef, StTree};
+use index::{ChildRef, NodeScratch, PostingsScratch, StTree};
 use storage::{IoStats, RecordId};
 use text::TermId;
 
@@ -19,6 +19,18 @@ use crate::{ScoreContext, UserData};
 enum Item {
     Node(RecordId),
     Obj(u32),
+}
+
+/// Reusable traversal state for the per-user searches: the priority queue,
+/// the user's term list, and the zero-copy node/postings decode scratch.
+/// Hoisted across the user loop so repeated searches reuse one set of
+/// buffers instead of rebuilding heaps per user.
+#[derive(Default)]
+struct BaselineTopkScratch {
+    pq: BinaryHeap<ByKey<Item>>,
+    terms: Vec<TermId>,
+    node: NodeScratch,
+    postings: PostingsScratch,
 }
 
 /// Computes one user's exact top-k by best-first IR-tree search.
@@ -34,11 +46,29 @@ pub fn user_topk_baseline(
     ctx: &ScoreContext,
     io: &IoStats,
 ) -> UserTopk {
+    user_topk_baseline_with(tree, user, k, ctx, io, &mut BaselineTopkScratch::default())
+}
+
+fn user_topk_baseline_with(
+    tree: &StTree,
+    user: &UserData,
+    k: usize,
+    ctx: &ScoreContext,
+    io: &IoStats,
+    scratch: &mut BaselineTopkScratch,
+) -> UserTopk {
     assert!(k > 0, "k must be positive");
-    let terms: Vec<TermId> = user.doc.terms().collect();
+    let BaselineTopkScratch {
+        pq,
+        terms,
+        node: node_scratch,
+        postings: postings_scratch,
+    } = scratch;
+    terms.clear();
+    terms.extend(user.doc.terms());
     let n_u = ctx.text.normalizer(&user.doc);
 
-    let mut pq: BinaryHeap<ByKey<Item>> = BinaryHeap::new();
+    pq.clear();
     pq.push(ByKey {
         key: f64::INFINITY,
         item: Item::Node(tree.root()),
@@ -56,19 +86,19 @@ pub fn user_topk_baseline(
                 }
             }
             Item::Node(rec) => {
-                let node = tree.read_node(rec, io);
-                let postings = tree.read_postings(&node, &terms, io);
-                for (i, entry) in node.entries.iter().enumerate() {
-                    let sum_max: f64 = postings.per_entry[i].iter().map(|&(_, mx, _)| mx).sum();
+                let node = tree.read_node_ref(rec, io, node_scratch);
+                let postings = tree.read_postings_ref(&node, terms, io, postings_scratch);
+                for i in 0..node.len() {
+                    let sum_max: f64 = postings.entry(i).iter().map(|&(_, mx, _)| mx).sum();
                     let ts_ub = if n_u > 0.0 {
                         (sum_max / n_u).min(1.0)
                     } else {
                         0.0
                     };
-                    match entry.child {
+                    match node.child(i) {
                         ChildRef::Object(oid) => {
                             // Leaf postings are exact weights → exact STS.
-                            let ss = ctx.spatial.ss_points(&node.entry_point(i), &user.point);
+                            let ss = ctx.spatial.ss_points(&node.point(i), &user.point);
                             pq.push(ByKey {
                                 key: ctx.combine(ss, ts_ub),
                                 item: Item::Obj(oid),
@@ -77,7 +107,7 @@ pub fn user_topk_baseline(
                         ChildRef::Node(child) => {
                             let ss = ctx
                                 .spatial
-                                .proximity(entry.rect.min_dist_point(&user.point));
+                                .proximity(node.rect(i).min_dist_point(&user.point));
                             pq.push(ByKey {
                                 key: ctx.combine(ss, ts_ub),
                                 item: Item::Node(child),
@@ -101,7 +131,8 @@ pub fn user_topk_baseline(
     }
 }
 
-/// The full §4 baseline: every user independently.
+/// The full §4 baseline: every user independently (shared scratch — the
+/// queue and decode buffers warm up on the first user and are reused).
 pub fn all_users_topk_baseline(
     tree: &StTree,
     users: &[UserData],
@@ -109,9 +140,10 @@ pub fn all_users_topk_baseline(
     ctx: &ScoreContext,
     io: &IoStats,
 ) -> Vec<UserTopk> {
+    let mut scratch = BaselineTopkScratch::default();
     users
         .iter()
-        .map(|u| user_topk_baseline(tree, u, k, ctx, io))
+        .map(|u| user_topk_baseline_with(tree, u, k, ctx, io, &mut scratch))
         .collect()
 }
 

@@ -14,17 +14,23 @@ use std::collections::BinaryHeap;
 use crate::topk::{ByKey, TopkOutcome, UserTopk};
 use crate::{ScoreContext, UserData};
 
-/// Computes the top-k of a single user from a joint-traversal outcome.
-pub fn individual_topk_user(
+/// The refinement core shared by the top-k listing and the `RSk`-only path
+/// of the §7 pipeline: fills `hu` (min-heap by score, best k kept) and
+/// returns `RSk(u)`. The heap is cleared first, so a pooled heap can be
+/// reused across users without reallocating.
+///
+/// # Panics
+/// Panics when `k == 0`.
+pub(crate) fn refine_user_heap(
     user: &UserData,
     out: &TopkOutcome,
     k: usize,
     ctx: &ScoreContext,
-) -> UserTopk {
+    hu: &mut BinaryHeap<Reverse<ByKey<u32>>>,
+) -> f64 {
     assert!(k > 0, "k must be positive");
     let n_u = ctx.text.normalizer(&user.doc);
-    // Hu: min-heap by score keeping the best k.
-    let mut hu: BinaryHeap<Reverse<ByKey<u32>>> = BinaryHeap::new();
+    hu.clear();
     let mut rsk = f64::NEG_INFINITY;
 
     for obj in &out.lo {
@@ -59,9 +65,29 @@ pub fn individual_topk_user(
             }
         }
     }
+    rsk
+}
 
-    let mut topk: Vec<(u32, f64)> = hu.into_iter().map(|r| (r.0.item, r.0.key)).collect();
-    topk.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+/// Computes the top-k of a single user from a joint-traversal outcome.
+pub fn individual_topk_user(
+    user: &UserData,
+    out: &TopkOutcome,
+    k: usize,
+    ctx: &ScoreContext,
+) -> UserTopk {
+    individual_topk_user_with(user, out, k, ctx, &mut BinaryHeap::new())
+}
+
+fn individual_topk_user_with(
+    user: &UserData,
+    out: &TopkOutcome,
+    k: usize,
+    ctx: &ScoreContext,
+    hu: &mut BinaryHeap<Reverse<ByKey<u32>>>,
+) -> UserTopk {
+    let rsk = refine_user_heap(user, out, k, ctx, hu);
+    let mut topk: Vec<(u32, f64)> = hu.drain().map(|r| (r.0.item, r.0.key)).collect();
+    topk.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     UserTopk {
         user: user.id,
         topk,
@@ -69,16 +95,17 @@ pub fn individual_topk_user(
     }
 }
 
-/// Algorithm 2 over all users.
+/// Algorithm 2 over all users (one pooled heap across the user loop).
 pub fn individual_topk(
     users: &[UserData],
     out: &TopkOutcome,
     k: usize,
     ctx: &ScoreContext,
 ) -> Vec<UserTopk> {
+    let mut hu: BinaryHeap<Reverse<ByKey<u32>>> = BinaryHeap::new();
     users
         .iter()
-        .map(|u| individual_topk_user(u, out, k, ctx))
+        .map(|u| individual_topk_user_with(u, out, k, ctx, &mut hu))
         .collect()
 }
 

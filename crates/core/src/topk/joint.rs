@@ -12,7 +12,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use index::{ChildRef, PostingMode, StTree};
+use index::{ChildRef, NodeScratch, PostingMode, PostingsScratch, StTree};
 use storage::{IoStats, RecordId};
 use text::WeightedDoc;
 
@@ -50,6 +50,8 @@ pub fn joint_topk(
     );
 
     let uni = group.uni_terms();
+    let mut node_scratch = NodeScratch::default();
+    let mut postings_scratch = PostingsScratch::default();
     let mut pq: BinaryHeap<ByKey<Item>> = BinaryHeap::new();
     // LO: min-heap by LB holding the k best lower-bounded objects.
     let mut lo: BinaryHeap<Reverse<ByKey<ScoredObject>>> = BinaryHeap::new();
@@ -89,13 +91,13 @@ pub fn joint_topk(
                 if lo.len() >= k && ub < rsk_us {
                     continue; // pruned (RSk grew since this node was queued)
                 }
-                let node = tree.read_node(rec, io);
-                let postings = tree.read_postings(&node, &uni, io);
-                for (i, entry) in node.entries.iter().enumerate() {
-                    let row = &postings.per_entry[i];
-                    match entry.child {
+                let node = tree.read_node_ref(rec, io, &mut node_scratch);
+                let postings = tree.read_postings_ref(&node, &uni, io, &mut postings_scratch);
+                for i in 0..node.len() {
+                    let row = postings.entry(i);
+                    match node.child(i) {
                         ChildRef::Object(oid) => {
-                            let point = node.entry_point(i);
+                            let point = node.point(i);
                             let weights = WeightedDoc::from_pairs(
                                 row.iter().map(|&(t, mx, _)| (t, mx)).collect(),
                             );
@@ -116,11 +118,12 @@ pub fn joint_topk(
                             });
                         }
                         ChildRef::Node(child) => {
-                            let child_ub = ub_entry(ctx, group, &entry.rect, row);
+                            let rect = node.rect(i);
+                            let child_ub = ub_entry(ctx, group, &rect, row);
                             if lo.len() >= k && child_ub < rsk_us {
                                 continue;
                             }
-                            let child_lb = lb_entry(ctx, group, &entry.rect, row);
+                            let child_lb = lb_entry(ctx, group, &rect, row);
                             pq.push(ByKey {
                                 key: child_lb,
                                 item: Item::Node {

@@ -10,17 +10,20 @@
 //! (and `RSk(u)`) are never computed. The fraction of such users is the
 //! paper's "Users pruned (%)" metric (Fig. 15b).
 
-use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::BinaryHeap;
 
 use geo::Point;
 use index::{MiurTree, PostingMode, StTree, UserRef};
 use storage::{IoStats, RecordId};
 use text::Document;
 
+use crate::arena::{ElemSlot, QueryArena, SelectScratch, UserIndexScratch};
 use crate::bounds::lb_object;
 use crate::select::location::KeywordSelector;
 use crate::select::{exact, greedy, CandidateContext};
-use crate::topk::individual::individual_topk_user;
+use crate::topk::individual::{individual_topk_user, refine_user_heap};
 use crate::topk::joint::joint_topk;
 use crate::topk::{ByKey, TopkOutcome};
 use crate::{QueryResult, QuerySpec, ScoreContext, UserData, UserGroup};
@@ -70,28 +73,31 @@ pub(crate) enum Elem {
     User { data: UserData, rsk: f64, n_u: f64 },
 }
 
-impl Elem {
-    fn count(&self) -> usize {
-        match self {
-            Elem::Group { group, .. } => group.count,
-            Elem::User { .. } => 1,
-        }
-    }
-}
-
 /// Lower bound on the `RSk` of every user in `group`: the k-th largest
 /// `LB(o, group)` over the retrieved objects `LO ∪ RO`.
 fn group_rsk_lb(out: &TopkOutcome, group: &UserGroup, k: usize, ctx: &ScoreContext) -> f64 {
-    let mut lbs: Vec<f64> = out
-        .lo
-        .iter()
-        .chain(out.ro.iter())
-        .map(|o| lb_object(ctx, group, &o.point, &o.weights))
-        .collect();
+    group_rsk_lb_in(out, group, k, ctx, &mut Vec::new())
+}
+
+/// [`group_rsk_lb`] into a caller-provided collection buffer.
+fn group_rsk_lb_in(
+    out: &TopkOutcome,
+    group: &UserGroup,
+    k: usize,
+    ctx: &ScoreContext,
+    lbs: &mut Vec<f64>,
+) -> f64 {
+    lbs.clear();
+    lbs.extend(
+        out.lo
+            .iter()
+            .chain(out.ro.iter())
+            .map(|o| lb_object(ctx, group, &o.point, &o.weights)),
+    );
     if lbs.len() < k {
         return f64::NEG_INFINITY;
     }
-    lbs.sort_by(|a, b| b.total_cmp(a));
+    lbs.sort_unstable_by(|a, b| b.total_cmp(a));
     lbs[k - 1]
 }
 
@@ -235,17 +241,23 @@ pub fn select_with_user_index(
     // root materialization — the same work as before the seed existed)
     // and move its parts into the selection.
     let seed = compute_user_index_seed(miur, mir, spec.k, ctx, io);
-    run_selection(
+    let mut arena = QueryArena::new();
+    let mut result = QueryResult::default();
+    let (users_scored, users_pruned) = run_selection(
         miur,
         spec,
         ctx,
         selector,
         io,
-        &seed.root_group,
-        &seed.out,
-        seed.root_elems,
-        seed.root_scored,
-    )
+        &seed,
+        &mut arena,
+        &mut result,
+    );
+    UserIndexOutcome {
+        result,
+        users_scored,
+        users_pruned,
+    }
 }
 
 /// [`select_with_user_index`] with the top-k prefix supplied by a
@@ -266,76 +278,207 @@ pub fn select_with_user_index_seeded(
         !spec.locations.is_empty(),
         "MaxBRSTkNN requires at least one candidate location"
     );
-    run_selection(
-        miur,
-        spec,
-        ctx,
-        selector,
-        io,
-        &seed.root_group,
-        &seed.out,
-        seed.root_elems.clone(),
-        seed.root_scored,
-    )
+    let mut arena = QueryArena::new();
+    let mut result = QueryResult::default();
+    let (users_scored, users_pruned) =
+        run_selection(miur, spec, ctx, selector, io, seed, &mut arena, &mut result);
+    UserIndexOutcome {
+        result,
+        users_scored,
+        users_pruned,
+    }
+}
+
+/// Hands out the next pooled frontier slot (the slot's `Document`s keep
+/// their buffers across queries).
+fn alloc_slot<'a>(elems: &'a mut Vec<ElemSlot>, live: &mut usize) -> (u32, &'a mut ElemSlot) {
+    if *live == elems.len() {
+        elems.push(ElemSlot::blank());
+    }
+    let id = *live as u32;
+    *live += 1;
+    (id, &mut elems[id as usize])
+}
+
+/// The reachability precondition of Algorithm 3: the user shares a term
+/// with `ox.d ∪ W`.
+fn user_reachable_doc(doc: &Document, spec: &QuerySpec) -> bool {
+    doc.overlaps(&spec.ox_doc) || spec.keywords.iter().any(|&t| doc.contains(t))
+}
+
+/// Copies a seed element into a pooled slot and caches the per-query bound
+/// parts (location-independent `UBL` text, reachability) so the keep-test
+/// per ⟨location, element⟩ is a couple of float ops.
+fn fill_slot_from_elem(slot: &mut ElemSlot, e: &Elem, cc: &CandidateContext<'_>, spec: &QuerySpec) {
+    match e {
+        Elem::Group {
+            node,
+            group,
+            rsk_lb,
+        } => {
+            slot.is_group = true;
+            slot.node = *node;
+            slot.group.mbr = group.mbr;
+            slot.group.d_uni.clone_from(&group.d_uni);
+            slot.group.d_int.clone_from(&group.d_int);
+            slot.group.n_min = group.n_min;
+            slot.group.n_max = group.n_max;
+            slot.group.count = group.count;
+            slot.rsk_lb = *rsk_lb;
+            slot.ubl_ts = cc.ubl_group_ts(&slot.group);
+            slot.reachable = true;
+        }
+        Elem::User { data, rsk, n_u } => {
+            slot.is_group = false;
+            slot.user.id = data.id;
+            slot.user.point = data.point;
+            slot.user.doc.clone_from(&data.doc);
+            slot.rsk = *rsk;
+            slot.n_u = *n_u;
+            slot.ubl_ts = cc.ubl_ts_doc(&slot.user.doc, *n_u);
+            slot.reachable = user_reachable_doc(&slot.user.doc, spec);
+        }
+    }
+}
+
+/// The pooled twin of [`materialize_node`]'s per-entry step: fills one
+/// slot from a zero-copy MIUR entry view, scoring concrete users via the
+/// reusable refinement heap.
+#[allow(clippy::too_many_arguments)]
+fn fill_slot_from_entry(
+    slot: &mut ElemSlot,
+    e: &index::MiurEntryView,
+    out: &TopkOutcome,
+    k: usize,
+    ctx: &ScoreContext,
+    cc: &CandidateContext<'_>,
+    spec: &QuerySpec,
+    lbs: &mut Vec<f64>,
+    ind_heap: &mut BinaryHeap<Reverse<ByKey<u32>>>,
+    scored: &mut usize,
+) {
+    match e.child {
+        UserRef::Node(rec) => {
+            slot.is_group = true;
+            slot.node = rec;
+            slot.group.mbr = e.rect;
+            slot.group.d_uni.assign_unit_terms(&e.uni);
+            slot.group.d_int.assign_unit_terms(&e.int);
+            slot.group.n_min = e.norm_min;
+            slot.group.n_max = e.norm_max;
+            slot.group.count = e.count as usize;
+            slot.rsk_lb = group_rsk_lb_in(out, &slot.group, k, ctx, lbs);
+            slot.ubl_ts = cc.ubl_group_ts(&slot.group);
+            slot.reachable = true;
+        }
+        UserRef::User(uid) => {
+            slot.is_group = false;
+            slot.user.id = uid;
+            slot.user.point = e.rect.min;
+            slot.user.doc.assign_unit_terms(&e.uni);
+            slot.rsk = refine_user_heap(&slot.user, out, k, ctx, ind_heap);
+            *scored += 1;
+            slot.n_u = ctx.text.normalizer(&slot.user.doc);
+            slot.ubl_ts = cc.ubl_ts_doc(&slot.user.doc, slot.n_u);
+            slot.reachable = user_reachable_doc(&slot.user.doc, spec);
+        }
+    }
 }
 
 /// The location-dependent remainder of the §7 pipeline: per-location
 /// candidate lists, best-first subtree expansion and keyword selection.
-/// `elems` holds the materialized root entries (ids `0..elems.len()`), and
-/// `users_scored` starts at the count of users scored while materializing
-/// them.
+/// Every buffer — the frontier element pool, the expansion memo, the
+/// per-location lists, and the keyword-selection scratch — comes from
+/// `arena`, so a warm arena runs this allocation-free. Returns
+/// `(users_scored, users_pruned)`; the winning tuple lands in `result`.
 #[allow(clippy::too_many_arguments)]
-fn run_selection(
+pub(crate) fn run_selection(
     miur: &MiurTree,
     spec: &QuerySpec,
     ctx: &ScoreContext,
     selector: KeywordSelector,
     io: &IoStats,
-    root_group: &UserGroup,
-    out: &TopkOutcome,
-    mut elems: Vec<Elem>,
-    mut users_scored: usize,
-) -> UserIndexOutcome {
+    seed: &UserIndexSeed,
+    arena: &mut QueryArena,
+    result: &mut QueryResult,
+) -> (usize, usize) {
     debug_assert!(!spec.locations.is_empty(), "checked at both entry points");
-    let total_users = root_group.count;
+    let out = &seed.out;
+    let total_users = seed.root_group.count;
     let rsk_us = out.rsk_us;
+    let k = spec.k;
+    let mut users_scored = seed.root_scored;
+    result.clear();
 
     // Bounds-only candidate context (no user slice).
-    let cc = CandidateContext::new(ctx, spec, &[], &[]);
+    let cc = CandidateContext::new_reusing(ctx, spec, &[], &[], std::mem::take(&mut arena.cc));
 
-    let root_elems: Vec<usize> = (0..elems.len()).collect();
+    let UserIndexScratch {
+        elems,
+        live,
+        children,
+        expanded,
+        lu_lists,
+        ql,
+        lbs,
+        ind_heap,
+        users_buf,
+        rsk_buf,
+        lu_seq,
+        miur: miur_scratch,
+    } = &mut arena.ui;
+    let SelectScratch {
+        ss,
+        cand,
+        users_out,
+        kw,
+        gr,
+        ex,
+        ..
+    } = &mut arena.sel;
 
-    // Expansion memo: node record → element ids of its entries.
-    let mut expanded: HashMap<RecordId, Vec<usize>> = HashMap::new();
-    expanded.insert(miur.root(), root_elems.clone());
+    // Seed the element pool with the root's materialized entries; the
+    // root's child list occupies `children[0..root_len]`.
+    *live = 0;
+    children.clear();
+    expanded.clear();
+    for e in &seed.root_elems {
+        let (id, slot) = alloc_slot(elems, live);
+        fill_slot_from_elem(slot, e, &cc, spec);
+        children.push(id);
+    }
+    let root_len = seed.root_elems.len() as u32;
+    expanded.insert(miur.root(), (0, root_len));
 
-    // --- Per-location lists, filtered by the UBL bounds. ---
-    let keep = |cc: &CandidateContext<'_>, loc: &Point, elem: &Elem| -> bool {
-        match elem {
-            Elem::Group { group, rsk_lb, .. } => cc.ubl_group(loc, group) >= *rsk_lb,
-            Elem::User { data, rsk, n_u } => {
-                // The reachability precondition mirrors Algorithm 3.
-                (data.doc.overlaps(&spec.ox_doc)
-                    || spec.keywords.iter().any(|&t| data.doc.contains(t)))
-                    && cc.ubl_user_data(loc, data, *n_u) >= *rsk
-            }
+    // The root's UBL text part, hoisted across the location loop.
+    let root_ts = cc.ubl_group_ts(&seed.root_group);
+
+    let keep = |slot: &ElemSlot, loc: &Point| -> bool {
+        if slot.is_group {
+            cc.ubl_group_with_ts(loc, &slot.group, slot.ubl_ts) >= slot.rsk_lb
+        } else {
+            slot.reachable
+                && ctx.combine(ctx.spatial.ss_points(loc, &slot.user.point), slot.ubl_ts)
+                    >= slot.rsk
         }
     };
 
-    let mut lu_lists: Vec<Vec<usize>> = Vec::with_capacity(spec.locations.len());
-    let mut ql: BinaryHeap<ByKey<usize>> = BinaryHeap::new();
+    // --- Per-location lists, filtered by the UBL bounds. ---
+    while lu_lists.len() < spec.locations.len() {
+        lu_lists.push(Vec::new());
+    }
+    ql.clear();
     for (li, loc) in spec.locations.iter().enumerate() {
-        let list: Vec<usize> = if cc.ubl_group(loc, root_group) >= rsk_us {
-            root_elems
-                .iter()
-                .copied()
-                .filter(|&e| keep(&cc, loc, &elems[e]))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let count: usize = list.iter().map(|&e| elems[e].count()).sum();
-        lu_lists.push(list);
+        let list = &mut lu_lists[li];
+        list.clear();
+        if cc.ubl_group_with_ts(loc, &seed.root_group, root_ts) >= rsk_us {
+            for id in 0..root_len {
+                if keep(&elems[id as usize], loc) {
+                    list.push(id);
+                }
+            }
+        }
+        let count: usize = list.iter().map(|&e| elems[e as usize].count()).sum();
         if count > 0 {
             ql.push(ByKey {
                 key: count as f64,
@@ -344,14 +487,11 @@ fn run_selection(
         }
     }
 
-    let mut best = QueryResult {
-        location: 0,
-        keywords: Vec::new(),
-        brstknn: Vec::new(),
-    };
-
     while let Some(ByKey { key, item: li }) = ql.pop() {
-        let current: usize = lu_lists[li].iter().map(|&e| elems[e].count()).sum();
+        let current: usize = lu_lists[li]
+            .iter()
+            .map(|&e| elems[e as usize].count())
+            .sum();
         if current != key as usize {
             // Stale entry (a shared subtree was refined since queuing).
             if current > 0 {
@@ -362,7 +502,7 @@ fn run_selection(
             }
             continue;
         }
-        if current <= best.cardinality() && !best.brstknn.is_empty() {
+        if current <= result.brstknn.len() && !result.brstknn.is_empty() {
             break;
         }
         let loc = spec.locations[li];
@@ -371,35 +511,55 @@ fn run_selection(
         let group_pos = lu_lists[li]
             .iter()
             .enumerate()
-            .filter(|&(_, &e)| matches!(elems[e], Elem::Group { .. }))
-            .max_by_key(|&(_, &e)| elems[e].count())
+            .filter(|&(_, &e)| elems[e as usize].is_group)
+            .max_by_key(|&(_, &e)| elems[e as usize].count())
             .map(|(pos, _)| pos);
 
         if let Some(pos) = group_pos {
             let eid = lu_lists[li][pos];
-            let Elem::Group { node, .. } = elems[eid].clone() else {
-                unreachable!()
-            };
+            let node = elems[eid as usize].node;
             // Expand once globally (at most one disk access per node).
-            expanded.entry(node).or_insert_with(|| {
-                let view = miur.read_node(node, io);
-                materialize_node(&view, out, spec.k, ctx, &mut elems, &mut users_scored)
-            });
-            let children = expanded[&node].clone();
+            let (start, len) = match expanded.entry(node) {
+                Entry::Occupied(o) => *o.get(),
+                Entry::Vacant(v) => {
+                    let view = miur.read_node_ref(node, io, miur_scratch);
+                    let start = children.len() as u32;
+                    for entry in view.entries {
+                        let (id, slot) = alloc_slot(elems, live);
+                        fill_slot_from_entry(
+                            slot,
+                            entry,
+                            out,
+                            k,
+                            ctx,
+                            &cc,
+                            spec,
+                            lbs,
+                            ind_heap,
+                            &mut users_scored,
+                        );
+                        children.push(id);
+                    }
+                    *v.insert((start, children.len() as u32 - start))
+                }
+            };
             // Replace the group in every list that holds it.
             for (lj, list) in lu_lists.iter_mut().enumerate() {
                 if let Some(p) = list.iter().position(|&e| e == eid) {
                     list.swap_remove(p);
                     let locj = spec.locations[lj];
-                    list.extend(
-                        children
-                            .iter()
-                            .copied()
-                            .filter(|&c| keep(&cc, &locj, &elems[c])),
-                    );
+                    for ci in start..start + len {
+                        let c = children[ci as usize];
+                        if keep(&elems[c as usize], &locj) {
+                            list.push(c);
+                        }
+                    }
                 }
             }
-            let count: usize = lu_lists[li].iter().map(|&e| elems[e].count()).sum();
+            let count: usize = lu_lists[li]
+                .iter()
+                .map(|&e| elems[e as usize].count())
+                .sum();
             if count > 0 {
                 ql.push(ByKey {
                     key: count as f64,
@@ -409,52 +569,65 @@ fn run_selection(
             continue;
         }
 
-        // All elements are concrete users: run keyword selection.
-        let users: Vec<UserData> = lu_lists[li]
-            .iter()
-            .map(|&e| match &elems[e] {
-                Elem::User { data, .. } => data.clone(),
-                Elem::Group { .. } => unreachable!(),
-            })
-            .collect();
-        let rsk: Vec<f64> = lu_lists[li]
-            .iter()
-            .map(|&e| match &elems[e] {
-                Elem::User { rsk, .. } => *rsk,
-                Elem::Group { .. } => unreachable!(),
-            })
-            .collect();
-        let local = CandidateContext::new(ctx, spec, &users, &rsk);
-        let lu: Vec<usize> = (0..users.len()).collect();
+        // All elements are concrete users: run keyword selection against a
+        // pooled local context (slot-reused user column + thresholds).
+        let n = lu_lists[li].len();
+        while users_buf.len() < n {
+            users_buf.push(UserData {
+                id: 0,
+                point: Point::new(0.0, 0.0),
+                doc: Document::new(),
+            });
+        }
+        rsk_buf.clear();
+        for (i, &e) in lu_lists[li].iter().enumerate() {
+            let slot = &elems[e as usize];
+            let ub = &mut users_buf[i];
+            ub.id = slot.user.id;
+            ub.point = slot.user.point;
+            ub.doc.clone_from(&slot.user.doc);
+            rsk_buf.push(slot.rsk);
+        }
+        let local = CandidateContext::new_reusing(
+            ctx,
+            spec,
+            &users_buf[..n],
+            &rsk_buf[..n],
+            std::mem::take(&mut arena.cc_local),
+        );
+        lu_seq.clear();
+        lu_seq.extend(0..n);
+        local.fill_ss(&loc, lu_seq, ss);
 
         // LBL shortcut, as in Algorithm 3.
-        let keywords = if !spec.ox_doc.is_empty()
-            && lu.iter().all(|&u| local.qualifies(&loc, &spec.ox_doc, u))
-        {
-            Vec::new()
+        let all_qualify = !spec.ox_doc.is_empty()
+            && lu_seq
+                .iter()
+                .all(|&u| local.qualifies_with_ss(ss[u], &spec.ox_doc, u));
+        if all_qualify {
+            kw.clear();
         } else {
             match selector {
-                KeywordSelector::Greedy => greedy::greedy_keywords(&local, li, &lu),
-                KeywordSelector::GreedyPlus => greedy::greedy_plus_keywords(&local, li, &lu),
-                KeywordSelector::Exact => exact::exact_keywords(&local, li, &lu),
+                KeywordSelector::Greedy => greedy::greedy_keywords_into(&local, lu_seq, ss, gr, kw),
+                KeywordSelector::GreedyPlus => {
+                    greedy::greedy_plus_keywords_into(&local, lu_seq, ss, gr, kw)
+                }
+                KeywordSelector::Exact => exact::exact_keywords_into(&local, lu_seq, ss, ex, kw),
             }
-        };
-        let cand = local.with_keywords(&keywords);
-        let qualified = local.brstknn(&loc, &cand, &lu);
-        if qualified.len() > best.cardinality() {
-            best = QueryResult {
-                location: li,
-                keywords,
-                brstknn: qualified,
-            };
         }
+        cand.assign_with_terms(&spec.ox_doc, kw);
+        local.brstknn_into(cand, lu_seq, ss, users_out);
+        if users_out.len() > result.brstknn.len() {
+            result.location = li;
+            result.keywords.clear();
+            result.keywords.extend_from_slice(kw);
+            std::mem::swap(users_out, &mut result.brstknn);
+        }
+        arena.cc_local = local.into_scratch();
     }
 
-    UserIndexOutcome {
-        result: best,
-        users_scored,
-        users_pruned: total_users - users_scored.min(total_users),
-    }
+    arena.cc = cc.into_scratch();
+    (users_scored, total_users - users_scored.min(total_users))
 }
 
 #[cfg(test)]

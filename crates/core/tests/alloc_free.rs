@@ -1,0 +1,138 @@
+//! Allocation-count harness: steady-state queries are allocation-free.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator. After one
+//! cold query (which fills the engine's threshold cache) and one settling
+//! repeat (which finishes growing every pool in the caller's
+//! [`QueryArena`]), a further repeat of the identical query must perform
+//! **zero** heap allocations — for all six methods, under both record
+//! codecs. This pins the tentpole property of the zero-copy read path:
+//! node and postings decode go through caller scratch, candidate contexts
+//! recycle their backing buffers, and every selection kernel writes into
+//! pooled output vectors.
+//!
+//! Everything runs inside a single `#[test]` so no concurrently running
+//! test can perturb the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use geo::Point;
+use mbrstk_core::{Engine, Method, ObjectData, QueryArena, QueryResult, QuerySpec, UserData};
+use storage::CodecId;
+use text::{Document, TermId, WeightModel};
+
+/// System allocator with an allocation counter (frees are not counted:
+/// the property under test is "no new memory", not "no drops").
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn t(i: u32) -> TermId {
+    TermId(i)
+}
+
+fn engine(codec: CodecId) -> Engine {
+    let objects: Vec<ObjectData> = (0..100)
+        .map(|i| ObjectData {
+            id: i,
+            point: Point::new((i % 10) as f64, (i / 10) as f64),
+            doc: Document::from_pairs([(t(i % 6), 1 + i % 3), (t(6), 1)]),
+        })
+        .collect();
+    let users: Vec<UserData> = (0..20)
+        .map(|i| UserData {
+            id: i,
+            point: Point::new((i % 9) as f64 + 0.4, (i % 5) as f64 + 0.6),
+            doc: Document::from_terms([t(i % 6), t(6)]),
+        })
+        .collect();
+    Engine::build_with_fanout_codec(objects, users, WeightModel::lm(), 0.5, 4, codec)
+        .with_user_index()
+        .with_threshold_cache()
+}
+
+fn spec() -> QuerySpec {
+    QuerySpec {
+        ox_doc: Document::from_terms([t(6)]),
+        locations: vec![
+            Point::new(4.0, 2.0),
+            Point::new(0.5, 0.5),
+            Point::new(8.5, 7.0),
+            Point::new(2.0, 6.0),
+        ],
+        keywords: vec![t(0), t(1), t(2), t(3), t(4), t(5)],
+        ws: 2,
+        k: 3,
+    }
+}
+
+#[test]
+fn steady_state_queries_allocate_nothing() {
+    for codec in [CodecId::Verbatim, CodecId::Columnar] {
+        let eng = engine(codec);
+        let spec = spec();
+        for m in Method::ALL {
+            let mut arena = QueryArena::new();
+            let mut out = QueryResult::default();
+
+            // Cold query: fills the threshold cache and grows the arena.
+            let before_cold = allocs();
+            eng.query_reusing(&spec, m, &mut arena, &mut out);
+            assert!(
+                allocs() > before_cold,
+                "{m:?}/{codec:?}: counter must see the cold query's work"
+            );
+            let cold = out.clone();
+
+            // Settling repeat: any pool that only reaches its steady-state
+            // footprint on reuse gets its last growth here.
+            eng.query_reusing(&spec, m, &mut arena, &mut out);
+
+            // Warm repeat: identical query, warm caches, warm arena.
+            let before = allocs();
+            eng.query_reusing(&spec, m, &mut arena, &mut out);
+            let delta = allocs() - before;
+            assert_eq!(
+                delta, 0,
+                "{m:?}/{codec:?}: warm repeat allocated {delta} times"
+            );
+
+            // The recycled buffers answer correctly: warm equals cold
+            // equals a fresh-arena query on the same engine.
+            assert_eq!(out, cold, "{m:?}/{codec:?}: warm result drifted");
+            assert_eq!(
+                out,
+                eng.query(&spec, m),
+                "{m:?}/{codec:?}: arena reuse changed the answer"
+            );
+        }
+    }
+}

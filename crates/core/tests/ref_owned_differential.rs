@@ -1,0 +1,186 @@
+//! Differential leg for the zero-copy read path.
+//!
+//! Two claims are pinned here:
+//!
+//! 1. **Index level** — for every node of an StTree (both posting modes)
+//!    and of a MiurTree, under both codecs, the borrowed views
+//!    (`read_node_ref`, `read_postings_ref`) materialize to exactly what
+//!    the owned readers (`read_node`, `read_postings`) return, and charge
+//!    exactly the same simulated I/O.
+//! 2. **Engine level** — queries answered through a long-lived
+//!    [`QueryArena`] (`query_reusing`) are bit-identical to fresh-arena
+//!    queries (`query`) across all six methods and both codecs, with
+//!    identical per-query I/O charges.
+//!
+//! Views carry `f64`s and no `PartialEq`, so equality is checked on their
+//! `Debug` renderings: Rust prints floats with shortest-roundtrip
+//! precision, which makes the comparison bit-exact.
+
+use geo::Point;
+use index::{ChildRef, MiurScratch, MiurTree, NodeScratch, PostingsScratch};
+use mbrstk_core::{Engine, Method, ObjectData, QueryArena, QueryResult, QuerySpec, UserData};
+use storage::{CodecId, IoStats, RecordId};
+use text::{Document, TermId, WeightModel};
+
+fn t(i: u32) -> TermId {
+    TermId(i)
+}
+
+fn engine(codec: CodecId) -> Engine {
+    let objects: Vec<ObjectData> = (0..90)
+        .map(|i| ObjectData {
+            id: i,
+            point: Point::new((i % 9) as f64, (i / 9) as f64),
+            doc: Document::from_pairs([(t(i % 7), 1 + i % 3), (t(7), 1)]),
+        })
+        .collect();
+    let users: Vec<UserData> = (0..18)
+        .map(|i| UserData {
+            id: i,
+            point: Point::new((i % 8) as f64 + 0.3, (i % 6) as f64 + 0.5),
+            doc: Document::from_terms([t(i % 7), t(7)]),
+        })
+        .collect();
+    Engine::build_with_fanout_codec(objects, users, WeightModel::lm(), 0.5, 4, codec)
+        .with_user_index()
+}
+
+fn specs() -> Vec<QuerySpec> {
+    (0..8)
+        .map(|i| QuerySpec {
+            ox_doc: if i % 3 == 0 {
+                Document::new()
+            } else {
+                Document::from_terms([t(7)])
+            },
+            locations: (0..1 + i % 3)
+                .map(|j| Point::new((2 * j + i % 4) as f64 + 0.5, (i % 5) as f64 + 1.0))
+                .collect(),
+            keywords: vec![t(0), t(1), t(2), t(3), t(4), t(5), t(6)],
+            ws: 1 + i % 3,
+            k: 2 + i % 3,
+        })
+        .collect()
+}
+
+/// Every StTree node: ref view == owned view, ref postings == owned
+/// postings, and both read paths charge identical simulated I/O.
+#[test]
+fn st_tree_ref_views_match_owned_reads() {
+    for codec in [CodecId::Verbatim, CodecId::Columnar] {
+        let eng = engine(codec);
+        let terms: Vec<TermId> = (0..8).map(t).collect();
+        for tree in [&eng.mir, &eng.ir] {
+            let io_owned = IoStats::new();
+            let io_ref = IoStats::new();
+            let mut node_scratch = NodeScratch::default();
+            let mut postings_scratch = PostingsScratch::default();
+
+            let mut frontier: Vec<RecordId> = vec![tree.root()];
+            let mut nodes = 0usize;
+            while let Some(rec) = frontier.pop() {
+                nodes += 1;
+                let owned = tree.read_node(rec, &io_owned);
+                let owned_postings = tree.read_postings(&owned, &terms, &io_owned);
+
+                let view = tree.read_node_ref(rec, &io_ref, &mut node_scratch);
+                let ref_postings =
+                    tree.read_postings_ref(&view, &terms, &io_ref, &mut postings_scratch);
+                assert_eq!(
+                    format!("{:?}", view.to_owned_view().entries),
+                    format!("{:?}", owned.entries),
+                    "{codec:?} node {rec:?}: entry mismatch"
+                );
+                assert_eq!(view.is_leaf(), owned.is_leaf);
+                assert_eq!(view.id(), owned.id);
+                assert_eq!(
+                    format!("{:?}", ref_postings.to_owned_postings().per_entry),
+                    format!("{:?}", owned_postings.per_entry),
+                    "{codec:?} node {rec:?}: postings mismatch"
+                );
+
+                for i in 0..owned.entries.len() {
+                    if let ChildRef::Node(child) = owned.entries[i].child {
+                        frontier.push(child);
+                    }
+                }
+            }
+            assert!(nodes > 1, "fixture must produce a multi-node tree");
+            assert_eq!(
+                io_owned.snapshot(),
+                io_ref.snapshot(),
+                "{codec:?}: owned and ref reads must charge identically"
+            );
+        }
+    }
+}
+
+/// Every MiurTree node: ref view == owned view with identical charges.
+#[test]
+fn miur_tree_ref_views_match_owned_reads() {
+    for codec in [CodecId::Verbatim, CodecId::Columnar] {
+        let eng = engine(codec);
+        let miur: &MiurTree = eng.miur.as_ref().unwrap();
+        let io_owned = IoStats::new();
+        let io_ref = IoStats::new();
+        let mut scratch = MiurScratch::default();
+
+        let mut frontier: Vec<RecordId> = vec![miur.root()];
+        let mut nodes = 0usize;
+        while let Some(rec) = frontier.pop() {
+            nodes += 1;
+            let owned = miur.read_node(rec, &io_owned);
+            let view = miur.read_node_ref(rec, &io_ref, &mut scratch);
+            assert_eq!(
+                format!("{:?}", view.to_owned_view()),
+                format!("{owned:?}"),
+                "{codec:?} node {rec:?}: view mismatch"
+            );
+            for e in &owned.entries {
+                if let index::UserRef::Node(child) = e.child {
+                    frontier.push(child);
+                }
+            }
+        }
+        assert!(nodes > 1, "fixture must produce a multi-node MIUR-tree");
+        assert_eq!(
+            io_owned.snapshot(),
+            io_ref.snapshot(),
+            "{codec:?}: owned and ref MIUR reads must charge identically"
+        );
+    }
+}
+
+/// A long-lived arena answers a varied query stream bit-identically to
+/// fresh-arena execution, with unchanged per-query I/O charges — six
+/// methods, both codecs.
+#[test]
+fn arena_reuse_is_bit_identical_with_equal_io() {
+    for codec in [CodecId::Verbatim, CodecId::Columnar] {
+        // Two engines built from identical inputs: one serves fresh-arena
+        // queries, one serves a reused arena. Separate I/O counters make
+        // the per-query charges directly comparable.
+        let fresh = engine(codec);
+        let reused = engine(codec);
+        let specs = specs();
+        for m in Method::ALL {
+            let mut arena = QueryArena::new();
+            let mut out = QueryResult::default();
+            for (i, spec) in specs.iter().enumerate() {
+                let before_fresh = fresh.io.snapshot();
+                let want = fresh.query(spec, m);
+                let fresh_io = fresh.io.snapshot() - before_fresh;
+
+                let before_reused = reused.io.snapshot();
+                reused.query_reusing(spec, m, &mut arena, &mut out);
+                let reused_io = reused.io.snapshot() - before_reused;
+
+                assert_eq!(out, want, "{m:?}/{codec:?} spec {i}: result drifted");
+                assert_eq!(
+                    reused_io, fresh_io,
+                    "{m:?}/{codec:?} spec {i}: I/O charges drifted"
+                );
+            }
+        }
+    }
+}

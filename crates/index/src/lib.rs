@@ -20,12 +20,21 @@
 //! time, and every query-time access deserializes a record and charges the
 //! paper's simulated I/O ([`storage::IoStats`]).
 
+// The read path is meant to be zero-copy: a clone that merely appeases the
+// borrow checker belongs in a scratch buffer instead.
+#![deny(clippy::redundant_clone)]
+
 mod edit;
 mod miurtree;
 mod rtree;
 mod sttree;
 
 pub use edit::{SpliceReport, TreeEdit};
-pub use miurtree::{IndexedUser, MiurEntryView, MiurNodeView, MiurTree, UserRef};
+pub use miurtree::{
+    IndexedUser, MiurEntryView, MiurNodeRef, MiurNodeView, MiurScratch, MiurTree, UserRef,
+};
 pub use rtree::{BuildItem, BuildTree, RTreeBuilder, DEFAULT_MAX_ENTRIES};
-pub use sttree::{ChildRef, EntryView, IndexedObject, NodeView, PostingMode, Postings, StTree};
+pub use sttree::{
+    ChildRef, EntryView, IndexedObject, NodeRef, NodeScratch, NodeView, PostingMode, Postings,
+    PostingsRef, PostingsScratch, StTree,
+};

@@ -94,6 +94,271 @@ pub struct Postings {
     pub per_entry: Vec<Vec<(TermId, f64, f64)>>,
 }
 
+/// Reusable decode buffers for [`StTree::read_node_ref`].
+///
+/// Verbatim records are read in place and leave the scratch untouched;
+/// Columnar records decode their columns here. Buffers are cleared (not
+/// freed) per read, so a scratch that has seen a node of each size again
+/// never allocates.
+#[derive(Debug, Default)]
+pub struct NodeScratch {
+    ids: Vec<u32>,
+    min_x: Vec<f64>,
+    min_y: Vec<f64>,
+    max_x: Vec<f64>,
+    max_y: Vec<f64>,
+}
+
+/// A zero-copy view of one tree node.
+///
+/// Under [`CodecId::Verbatim`] the view borrows the record payload
+/// directly (the v2 structure-of-arrays layout makes every column
+/// addressable by offset); under [`CodecId::Columnar`] it borrows the
+/// columns decoded into the caller's [`NodeScratch`]. Either way no
+/// per-entry allocation happens on the read path. Mutation and splice
+/// code that needs an owned node keeps using [`NodeRef::to_owned_view`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRef<'a> {
+    id: RecordId,
+    is_leaf: bool,
+    invfile: RecordId,
+    n: usize,
+    repr: NodeRepr<'a>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NodeRepr<'a> {
+    /// Full Verbatim payload; entry columns start at byte 9.
+    Verbatim(&'a [u8]),
+    /// Columnar payload decoded into caller scratch.
+    Columns(&'a NodeScratch),
+}
+
+#[inline]
+fn raw_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap())
+}
+
+#[inline]
+fn raw_f64(bytes: &[u8], off: usize) -> f64 {
+    f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap())
+}
+
+impl<'a> NodeRef<'a> {
+    fn decode(
+        id: RecordId,
+        payload: &'a [u8],
+        codec: CodecId,
+        scratch: &'a mut NodeScratch,
+    ) -> Self {
+        let mut r = Reader::new(payload);
+        match codec {
+            CodecId::Verbatim => {
+                let is_leaf = r.get_u8() != 0;
+                let invfile = RecordId(r.get_u32());
+                let n = r.get_u32() as usize;
+                debug_assert_eq!(payload.len(), 9 + 36 * n);
+                NodeRef {
+                    id,
+                    is_leaf,
+                    invfile,
+                    n,
+                    repr: NodeRepr::Verbatim(payload),
+                }
+            }
+            CodecId::Columnar => {
+                let c = storage::codec(codec);
+                let is_leaf = r.get_u8() != 0;
+                let invfile = RecordId(r.get_varint_u32());
+                let n = r.get_varint_u32() as usize;
+                let NodeScratch {
+                    ids,
+                    min_x,
+                    min_y,
+                    max_x,
+                    max_y,
+                } = &mut *scratch;
+                ids.clear();
+                min_x.clear();
+                min_y.clear();
+                max_x.clear();
+                max_y.clear();
+                c.get_clustered_u32s(&mut r, n, ids);
+                c.get_f64s(&mut r, n, min_x);
+                c.get_f64s(&mut r, n, min_y);
+                c.get_f64s_vs(&mut r, n, min_x, max_x);
+                c.get_f64s_vs(&mut r, n, min_y, max_y);
+                debug_assert!(r.is_exhausted());
+                NodeRef {
+                    id,
+                    is_leaf,
+                    invfile,
+                    n,
+                    repr: NodeRepr::Columns(scratch),
+                }
+            }
+        }
+    }
+
+    /// Record id of this node.
+    #[inline]
+    pub fn id(&self) -> RecordId {
+        self.id
+    }
+
+    /// True for leaves (entries are objects).
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.is_leaf
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the node has no entries (empty root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn raw_id(&self, i: usize) -> u32 {
+        debug_assert!(i < self.n);
+        match self.repr {
+            NodeRepr::Verbatim(b) => raw_u32(b, 9 + 4 * i),
+            NodeRepr::Columns(s) => s.ids[i],
+        }
+    }
+
+    /// Target of entry `i`.
+    #[inline]
+    pub fn child(&self, i: usize) -> ChildRef {
+        let raw = self.raw_id(i);
+        if self.is_leaf {
+            ChildRef::Object(raw)
+        } else {
+            ChildRef::Node(RecordId(raw))
+        }
+    }
+
+    /// MBR of entry `i` (degenerate for leaf entries).
+    #[inline]
+    pub fn rect(&self, i: usize) -> Rect {
+        debug_assert!(i < self.n);
+        match self.repr {
+            NodeRepr::Verbatim(b) => {
+                let n = self.n;
+                Rect::new(
+                    Point::new(
+                        raw_f64(b, 9 + 4 * n + 8 * i),
+                        raw_f64(b, 9 + 12 * n + 8 * i),
+                    ),
+                    Point::new(
+                        raw_f64(b, 9 + 20 * n + 8 * i),
+                        raw_f64(b, 9 + 28 * n + 8 * i),
+                    ),
+                )
+            }
+            NodeRepr::Columns(s) => Rect::new(
+                Point::new(s.min_x[i], s.min_y[i]),
+                Point::new(s.max_x[i], s.max_y[i]),
+            ),
+        }
+    }
+
+    /// Location of leaf entry `i` (its degenerate MBR corner).
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        self.rect(i).min
+    }
+
+    /// Entry `i` as an owned [`EntryView`].
+    #[inline]
+    pub fn entry(&self, i: usize) -> EntryView {
+        EntryView {
+            rect: self.rect(i),
+            child: self.child(i),
+        }
+    }
+
+    /// Materializes an owned [`NodeView`] — the escape hatch for mutation
+    /// and splice paths that outlive the borrow.
+    pub fn to_owned_view(&self) -> NodeView {
+        NodeView {
+            id: self.id,
+            is_leaf: self.is_leaf,
+            entries: (0..self.n).map(|i| self.entry(i)).collect(),
+            invfile: self.invfile,
+        }
+    }
+}
+
+/// Reusable decode buffers for [`StTree::read_postings_ref`].
+///
+/// Rows are cleared, never dropped, between reads; columnar list columns
+/// decode into the column buffers. After one read per distinct node shape
+/// the scratch stops allocating.
+#[derive(Debug, Default)]
+pub struct PostingsScratch {
+    rows: Vec<Vec<(TermId, f64, f64)>>,
+    touched: Vec<(usize, usize)>,
+    idxs: Vec<u32>,
+    maxs: Vec<f64>,
+    mins: Vec<f64>,
+    term_ids: Vec<u32>,
+    lens: Vec<u32>,
+    sizes: Vec<u32>,
+}
+
+impl PostingsScratch {
+    /// Clears and exposes the first `n` rows.
+    fn reset_rows(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, Vec::new);
+        }
+        for row in &mut self.rows[..n] {
+            row.clear();
+        }
+    }
+}
+
+/// Borrowed postings of one node restricted to a set of query terms —
+/// the zero-copy twin of [`Postings`], living in a [`PostingsScratch`].
+#[derive(Debug, Clone, Copy)]
+pub struct PostingsRef<'a> {
+    rows: &'a [Vec<(TermId, f64, f64)>],
+}
+
+impl PostingsRef<'_> {
+    /// `(term, maxw, minw)` rows for entry `i`, ascending by term.
+    #[inline]
+    pub fn entry(&self, i: usize) -> &[(TermId, f64, f64)] {
+        &self.rows[i]
+    }
+
+    /// Number of entries covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the node had no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Materializes owned [`Postings`].
+    pub fn to_owned_postings(&self) -> Postings {
+        Postings {
+            per_entry: self.rows.to_vec(),
+        }
+    }
+}
+
 /// A disk-resident IR-tree / MIR-tree.
 ///
 /// `Clone` duplicates the tree record-for-record (the block files are
@@ -1071,14 +1336,37 @@ impl StTree {
     }
 
     /// Reads (visits) a node, charging one simulated I/O (free on a warm
-    /// cache hit when the counter carries one).
+    /// cache hit when the counter carries one). Owned-view convenience
+    /// over [`StTree::read_node_ref`] for mutation paths and tests.
     pub fn read_node(&self, id: RecordId, io: &IoStats) -> NodeView {
+        let mut scratch = NodeScratch::default();
+        self.read_node_ref(id, io, &mut scratch).to_owned_view()
+    }
+
+    /// Reads (visits) a node zero-copy: Verbatim payloads are viewed in
+    /// place, Columnar payloads decode into `scratch`. Charges exactly
+    /// like [`StTree::read_node`] (one node visit, free on warm cache
+    /// hit).
+    pub fn read_node_ref<'a>(
+        &'a self,
+        id: RecordId,
+        io: &IoStats,
+        scratch: &'a mut NodeScratch,
+    ) -> NodeRef<'a> {
         io.charge_node_visit_keyed(node_cache_key(self.mode, id));
-        deserialize_node(id, self.nodes.get(id), self.codec)
+        NodeRef::decode(id, self.nodes.record_bytes(id), self.codec, scratch)
     }
 
     /// Loads the node's inverted file and extracts postings for `terms`
-    /// (which must be sorted ascending).
+    /// (which must be sorted ascending). Owned convenience over
+    /// [`StTree::read_postings_ref`] — identical I/O charges.
+    pub fn read_postings(&self, node: &NodeView, terms: &[TermId], io: &IoStats) -> Postings {
+        let mut scratch = PostingsScratch::default();
+        self.postings_impl(node.invfile, node.entries.len(), terms, io, &mut scratch)
+            .to_owned_postings()
+    }
+
+    /// Zero-copy postings read for a [`NodeRef`].
     ///
     /// Under [`CodecId::Verbatim`] the whole file is loaded and charged
     /// ⌈file bytes / 4096⌉ simulated I/Os — the paper's inverted-file
@@ -1086,25 +1374,44 @@ impl StTree {
     /// touch only the directory and the wanted term lists, so the charge
     /// is the number of *distinct 4 KB pages those extents overlap* — a
     /// partial-column read of a cold record. The record keeps one cache
-    /// key either way; a warm hit is free.
-    pub fn read_postings(&self, node: &NodeView, terms: &[TermId], io: &IoStats) -> Postings {
+    /// key either way; a warm hit is free. Rows decode into `scratch`,
+    /// which is cleared, not freed, between reads.
+    pub fn read_postings_ref<'a>(
+        &self,
+        node: &NodeRef<'_>,
+        terms: &[TermId],
+        io: &IoStats,
+        scratch: &'a mut PostingsScratch,
+    ) -> PostingsRef<'a> {
+        self.postings_impl(node.invfile, node.len(), terms, io, scratch)
+    }
+
+    fn postings_impl<'a>(
+        &self,
+        invfile: RecordId,
+        num_entries: usize,
+        terms: &[TermId],
+        io: &IoStats,
+        scratch: &'a mut PostingsScratch,
+    ) -> PostingsRef<'a> {
         debug_assert!(
             terms.windows(2).all(|w| w[0] < w[1]),
             "terms must be sorted"
         );
-        let payload = self.invfiles.get(node.invfile);
-        let key = invfile_cache_key(self.mode, node.invfile);
+        let payload = self.invfiles.record_bytes(invfile);
+        let key = invfile_cache_key(self.mode, invfile);
         match self.codec {
             CodecId::Verbatim => {
                 io.charge_invfile_keyed(key, payload.len());
-                deserialize_postings(payload, self.mode, terms, node.entries.len())
+                deserialize_postings_into(payload, self.mode, terms, num_entries, scratch);
             }
             CodecId::Columnar => {
-                let (postings, touched) =
-                    deserialize_postings_columnar(payload, self.mode, terms, node.entries.len());
-                io.charge_invfile_blocks_keyed(key, storage::pages_for_ranges(&touched));
-                postings
+                deserialize_postings_columnar_into(payload, self.mode, terms, num_entries, scratch);
+                io.charge_invfile_blocks_keyed(key, storage::pages_for_ranges(&scratch.touched));
             }
+        }
+        PostingsRef {
+            rows: &scratch.rows[..num_entries],
         }
     }
 }
@@ -1189,18 +1496,23 @@ impl TermAgg {
 // ---------------------------------------------------------------------
 // On-disk layouts.
 //
-// Verbatim node record (the paper-faithful baseline, bit-identical to the
-// pre-codec format):
+// Verbatim node record, v2 (fixed-stride structure-of-arrays; same byte
+// count as the interleaved v1 — 9 + 36·n — so every block/byte accounting
+// formula is unchanged, but each column is addressable by offset and a
+// [`NodeRef`] can read fields in place without decoding the record):
 //   u8  is_leaf
 //   u32 invfile record id
 //   u32 n entries
-//   n × { u32 ref, f64 min.x, f64 min.y, f64 max.x, f64 max.y }
+//   n × u32 child refs
+//   n × f64 min.x   n × f64 min.y   n × f64 max.x   n × f64 max.y
 //
-// Verbatim inverted-file record (directory + data, lists ascending by
-// term):
+// Verbatim inverted-file record, v2 (directory + per-term SoA blocks,
+// lists ascending by term; block bytes = list_len × 12 (MaxOnly) / 20
+// (MaxMin), identical to v1):
 //   u32 n_terms
 //   n_terms × { u32 term, u32 list_len }
-//   concatenated lists: list_len × { u32 entry_idx, f64 max [, f64 min] }
+//   per-term blocks: list_len × u32 entry_idx,
+//                    list_len × f64 max [, list_len × f64 min]
 //
 // Columnar node record — every field becomes a column encoded through the
 // Columnar codec primitives:
@@ -1241,11 +1553,19 @@ fn serialize_node(
             w.put_u8(u8::from(is_leaf));
             w.put_u32(invfile.0);
             w.put_u32(refs.len() as u32);
-            for (r, rect) in refs.iter().zip(rects) {
+            for r in refs {
                 w.put_u32(ref_id(r));
+            }
+            for rect in rects {
                 w.put_f64(rect.min.x);
+            }
+            for rect in rects {
                 w.put_f64(rect.min.y);
+            }
+            for rect in rects {
                 w.put_f64(rect.max.x);
+            }
+            for rect in rects {
                 w.put_f64(rect.max.y);
             }
             w.into_bytes()
@@ -1270,64 +1590,8 @@ fn serialize_node(
 }
 
 fn deserialize_node(id: RecordId, payload: &[u8], codec: CodecId) -> NodeView {
-    let mut r = Reader::new(payload);
-    let (is_leaf, invfile, n);
-    let mut entries;
-    match codec {
-        CodecId::Verbatim => {
-            is_leaf = r.get_u8() != 0;
-            invfile = RecordId(r.get_u32());
-            n = r.get_u32() as usize;
-            entries = Vec::with_capacity(n);
-            for _ in 0..n {
-                let raw = r.get_u32();
-                let rect = Rect::new(
-                    Point::new(r.get_f64(), r.get_f64()),
-                    Point::new(r.get_f64(), r.get_f64()),
-                );
-                let child = if is_leaf {
-                    ChildRef::Object(raw)
-                } else {
-                    ChildRef::Node(RecordId(raw))
-                };
-                entries.push(EntryView { rect, child });
-            }
-        }
-        CodecId::Columnar => {
-            let c = storage::codec(codec);
-            is_leaf = r.get_u8() != 0;
-            invfile = RecordId(r.get_varint_u32());
-            n = r.get_varint_u32() as usize;
-            let mut ids = Vec::new();
-            c.get_clustered_u32s(&mut r, n, &mut ids);
-            let (mut min_x, mut min_y, mut max_x, mut max_y) =
-                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-            c.get_f64s(&mut r, n, &mut min_x);
-            c.get_f64s(&mut r, n, &mut min_y);
-            c.get_f64s_vs(&mut r, n, &min_x, &mut max_x);
-            c.get_f64s_vs(&mut r, n, &min_y, &mut max_y);
-            entries = Vec::with_capacity(n);
-            for i in 0..n {
-                let rect = Rect::new(
-                    Point::new(min_x[i], min_y[i]),
-                    Point::new(max_x[i], max_y[i]),
-                );
-                let child = if is_leaf {
-                    ChildRef::Object(ids[i])
-                } else {
-                    ChildRef::Node(RecordId(ids[i]))
-                };
-                entries.push(EntryView { rect, child });
-            }
-        }
-    }
-    debug_assert!(r.is_exhausted());
-    NodeView {
-        id,
-        is_leaf,
-        entries,
-        invfile,
-    }
+    let mut scratch = NodeScratch::default();
+    NodeRef::decode(id, payload, codec, &mut scratch).to_owned_view()
 }
 
 /// `term -> [(entry_idx, max, min)]` lists plus the ascending term order.
@@ -1359,10 +1623,15 @@ fn serialize_invfile(entry_aggs: &[TermAgg], mode: PostingMode, codec: CodecId) 
                 w.put_u32(lists[&t].len() as u32);
             }
             for &t in &terms {
-                for &(idx, max, min) in &lists[&t] {
+                let list = &lists[&t];
+                for &(idx, _, _) in list {
                     w.put_u32(idx);
+                }
+                for &(_, max, _) in list {
                     w.put_f64(max);
-                    if mode == PostingMode::MaxMin {
+                }
+                if mode == PostingMode::MaxMin {
+                    for &(_, _, min) in list {
                         w.put_f64(min);
                     }
                 }
@@ -1436,14 +1705,31 @@ fn decode_columnar_list(
     mode: PostingMode,
     per_entry: &mut [Vec<(TermId, f64, f64)>],
 ) {
+    let (mut idxs, mut maxs, mut mins) = (Vec::new(), Vec::new(), Vec::new());
+    decode_columnar_list_into(r, t, len, mode, &mut idxs, &mut maxs, &mut mins, per_entry);
+}
+
+/// Scratch-buffer core of [`decode_columnar_list`]: columns decode into
+/// the caller's reusable buffers before scattering into `per_entry` rows.
+#[allow(clippy::too_many_arguments)]
+fn decode_columnar_list_into(
+    r: &mut Reader,
+    t: TermId,
+    len: usize,
+    mode: PostingMode,
+    idxs: &mut Vec<u32>,
+    maxs: &mut Vec<f64>,
+    mins: &mut Vec<f64>,
+    per_entry: &mut [Vec<(TermId, f64, f64)>],
+) {
     let c = storage::codec(CodecId::Columnar);
-    let mut idxs = Vec::new();
-    c.get_ascending_u32s(r, len, &mut idxs);
-    let mut maxs = Vec::new();
-    c.get_f64s(r, len, &mut maxs);
-    let mut mins = Vec::new();
+    idxs.clear();
+    maxs.clear();
+    mins.clear();
+    c.get_ascending_u32s(r, len, idxs);
+    c.get_f64s(r, len, maxs);
     if mode == PostingMode::MaxMin {
-        c.get_f64s_vs(r, len, &maxs, &mut mins);
+        c.get_f64s_vs(r, len, maxs, mins);
     } else {
         mins.resize(len, 0.0);
     }
@@ -1472,16 +1758,25 @@ fn deserialize_all_postings(
                 let len = r.get_u32() as usize;
                 dir.push((t, len));
             }
+            let mut idxs = Vec::new();
+            let mut maxs = Vec::new();
             for (t, len) in dir {
+                // SoA block: indexes, then maxima, then minima.
+                idxs.clear();
+                maxs.clear();
                 for _ in 0..len {
-                    let idx = r.get_u32() as usize;
-                    let max = r.get_f64();
+                    idxs.push(r.get_u32() as usize);
+                }
+                for _ in 0..len {
+                    maxs.push(r.get_f64());
+                }
+                for i in 0..len {
                     let min = if mode == PostingMode::MaxMin {
                         r.get_f64()
                     } else {
                         0.0
                     };
-                    per_entry[idx].push((t, max, min));
+                    per_entry[idxs[i]].push((t, maxs[i], min));
                 }
             }
         }
@@ -1498,89 +1793,107 @@ fn deserialize_all_postings(
     per_entry
 }
 
-fn deserialize_postings(
+/// Decodes the wanted term lists of a Verbatim (v2 SoA) inverted file
+/// into `scratch.rows` — fully in place: the fixed-stride directory and
+/// the per-term column blocks are addressed by offset, so nothing but the
+/// output rows is written.
+fn deserialize_postings_into(
     payload: &[u8],
     mode: PostingMode,
     wanted: &[TermId],
     num_entries: usize,
-) -> Postings {
-    let mut r = Reader::new(payload);
-    let n_terms = r.get_u32() as usize;
+    scratch: &mut PostingsScratch,
+) {
+    scratch.reset_rows(num_entries);
+    let n_terms = raw_u32(payload, 0) as usize;
     let posting_width = match mode {
         PostingMode::MaxOnly => 12,
         PostingMode::MaxMin => 20,
     };
-
-    // Directory: (term, list_len) pairs, plus running data offsets.
-    let mut dir = Vec::with_capacity(n_terms);
-    for _ in 0..n_terms {
-        let t = TermId(r.get_u32());
-        let len = r.get_u32() as usize;
-        dir.push((t, len));
-    }
-    let data_start = 4 + n_terms * 8;
-
-    let mut per_entry: Vec<Vec<(TermId, f64, f64)>> = vec![Vec::new(); num_entries];
-    let mut offset = data_start;
-    let mut want = wanted.iter().peekable();
-    for &(t, len) in &dir {
+    let mut offset = 4 + n_terms * 8;
+    let mut w = 0usize;
+    for j in 0..n_terms {
+        // Directory entry j: (term, list_len) at fixed stride 8.
+        let t = TermId(raw_u32(payload, 4 + 8 * j));
+        let len = raw_u32(payload, 8 + 8 * j) as usize;
         // Advance the wanted cursor (both sides ascend).
-        while let Some(&&wt) = want.peek() {
-            if wt < t {
-                want.next();
-            } else {
-                break;
-            }
+        while w < wanted.len() && wanted[w] < t {
+            w += 1;
         }
-        let is_wanted = matches!(want.peek(), Some(&&wt) if wt == t);
-        if is_wanted {
-            let mut lr = Reader::new(&payload[offset..offset + len * posting_width]);
-            for _ in 0..len {
-                let idx = lr.get_u32() as usize;
-                let max = lr.get_f64();
+        if w < wanted.len() && wanted[w] == t {
+            let max_base = offset + 4 * len;
+            let min_base = max_base + 8 * len;
+            for i in 0..len {
+                let idx = raw_u32(payload, offset + 4 * i) as usize;
+                let max = raw_f64(payload, max_base + 8 * i);
                 let min = if mode == PostingMode::MaxMin {
-                    lr.get_f64()
+                    raw_f64(payload, min_base + 8 * i)
                 } else {
                     0.0
                 };
-                per_entry[idx].push((t, max, min));
+                scratch.rows[idx].push((t, max, min));
             }
         }
         offset += len * posting_width;
     }
-    Postings { per_entry }
+    debug_assert_eq!(offset, payload.len());
 }
 
-/// Columnar twin of [`deserialize_postings`]: decodes only the directory
-/// and the wanted lists, and returns the byte extents it touched so the
-/// caller can charge partial pages ([`StTree::read_postings`]).
-fn deserialize_postings_columnar(
+/// Columnar twin of [`deserialize_postings_into`]: decodes only the
+/// directory and the wanted lists into `scratch`, recording the byte
+/// extents it touched in `scratch.touched` (ascending — the caller
+/// charges partial pages from them).
+fn deserialize_postings_columnar_into(
     payload: &[u8],
     mode: PostingMode,
     wanted: &[TermId],
     num_entries: usize,
-) -> (Postings, Vec<(usize, usize)>) {
+    scratch: &mut PostingsScratch,
+) {
+    scratch.reset_rows(num_entries);
+    let PostingsScratch {
+        rows,
+        touched,
+        idxs,
+        maxs,
+        mins,
+        term_ids,
+        lens,
+        sizes,
+    } = scratch;
+    touched.clear();
+    term_ids.clear();
+    lens.clear();
+    sizes.clear();
+    let c = storage::codec(CodecId::Columnar);
     let mut r = Reader::new(payload);
-    let (dir, dir_end) = columnar_directory(&mut r);
-    let mut touched = vec![(0, dir_end)];
-    let mut per_entry: Vec<Vec<(TermId, f64, f64)>> = vec![Vec::new(); num_entries];
-    let mut want = wanted.iter().peekable();
-    for (t, len, start, end) in dir {
-        while let Some(&&wt) = want.peek() {
-            if wt < t {
-                want.next();
-            } else {
-                break;
-            }
-        }
-        if matches!(want.peek(), Some(&&wt) if wt == t) {
-            r.seek(start);
-            decode_columnar_list(&mut r, t, len, mode, &mut per_entry);
-            debug_assert_eq!(r.position(), end);
-            touched.push((start, end));
-        }
+    let n_terms = r.get_varint_u32() as usize;
+    c.get_ascending_u32s(&mut r, n_terms, term_ids);
+    for _ in 0..n_terms {
+        lens.push(r.get_varint_u32());
     }
-    (Postings { per_entry }, touched)
+    for _ in 0..n_terms {
+        sizes.push(r.get_varint_u32());
+    }
+    let dir_end = r.position();
+    touched.push((0, dir_end));
+    let mut offset = dir_end;
+    let mut w = 0usize;
+    for j in 0..n_terms {
+        let t = TermId(term_ids[j]);
+        let len = lens[j] as usize;
+        let end = offset + sizes[j] as usize;
+        while w < wanted.len() && wanted[w] < t {
+            w += 1;
+        }
+        if w < wanted.len() && wanted[w] == t {
+            r.seek(offset);
+            decode_columnar_list_into(&mut r, t, len, mode, idxs, maxs, mins, rows);
+            debug_assert_eq!(r.position(), end);
+            touched.push((offset, end));
+        }
+        offset = end;
+    }
 }
 
 #[cfg(test)]

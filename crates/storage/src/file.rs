@@ -20,6 +20,12 @@
 //! placeholders as live empty records and `live_records()` /
 //! `freed_records()` (and with them the engines' compaction triggers)
 //! drifted from the in-memory truth.
+//!
+//! Version 3 marks the switch to the fixed-stride, structure-of-arrays v2
+//! record layout for Verbatim tree nodes and inverted files (the layout
+//! the zero-copy `NodeRef` readers decode in place). The container format
+//! itself is unchanged, but payloads written under the old interleaved
+//! layout would decode to garbage, so the version stamp fences them off.
 
 use std::io::{self, Read as _, Write as _};
 use std::path::Path;
@@ -28,7 +34,7 @@ use crate::codec::CodecId;
 use crate::{BlockFile, RecordId};
 
 const MAGIC: &[u8; 4] = b"MBRS";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Writes a [`BlockFile`] to `path`, overwriting any previous content.
 pub fn save_blockfile(bf: &BlockFile, path: &Path) -> io::Result<()> {

@@ -50,6 +50,29 @@ pub fn blocks_for(bytes: usize) -> u64 {
 /// ranges are free. For a single range `(0, len)` this equals
 /// [`blocks_for`]`(len)`.
 pub fn pages_for_ranges(ranges: &[(usize, usize)]) -> u64 {
+    // Fast path: ranges already ascending by start — the layout order the
+    // columnar decoders emit touched extents in. Counting distinct pages
+    // then needs one pass and no allocation, which keeps warm query
+    // kernels allocation-free.
+    if ranges.windows(2).all(|w| w[0].0 <= w[1].0) {
+        let mut total = 0u64;
+        let mut covered_through: Option<usize> = None;
+        for &(start, end) in ranges {
+            if end <= start {
+                continue;
+            }
+            let (first, last) = (start / PAGE_SIZE, (end - 1) / PAGE_SIZE);
+            let from = match covered_through {
+                Some(c) if first <= c => c + 1,
+                _ => first,
+            };
+            if from <= last {
+                total += (last - from + 1) as u64;
+                covered_through = Some(last);
+            }
+        }
+        return total;
+    }
     let mut pages: Vec<(usize, usize)> = ranges
         .iter()
         .filter(|&&(start, end)| end > start)

@@ -89,6 +89,20 @@ impl BlockFile {
         self.freed[id.idx()]
     }
 
+    /// Borrowed view of a record's payload — the zero-copy read API.
+    ///
+    /// The returned slice borrows the file: readers that understand the
+    /// record layout (the index crate's fixed-stride v2 node records and
+    /// SoA weight columns) can decode fields in place without copying the
+    /// payload into owned buffers first.
+    ///
+    /// # Panics
+    /// Panics on an unknown or freed id, like [`BlockFile::get`].
+    #[inline]
+    pub fn record_bytes(&self, id: RecordId) -> &[u8] {
+        self.get(id)
+    }
+
     /// Reads a record's payload.
     ///
     /// # Panics

@@ -7,12 +7,28 @@ use crate::TermId;
 ///
 /// Both objects (`o.d`) and users (`u.d`) carry a `Document`. User keyword
 /// sets are documents whose frequencies are all 1.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct Document {
     /// `(term, tf)` pairs, strictly ascending by term.
     entries: Vec<(TermId, u32)>,
     /// Total token count `|d| = Σ tf` (the LM document length).
     len: u64,
+}
+
+impl Clone for Document {
+    fn clone(&self) -> Self {
+        Document {
+            entries: self.entries.clone(),
+            len: self.len,
+        }
+    }
+
+    /// Reuses the destination's entry buffer — `a.clone_from(&b)` on a
+    /// warm buffer is allocation-free, which the query arenas rely on.
+    fn clone_from(&mut self, src: &Self) {
+        self.entries.clone_from(&src.entries);
+        self.len = src.len;
+    }
 }
 
 impl Document {
@@ -130,6 +146,40 @@ impl Document {
                 .copied()
                 .chain(extra.into_iter().map(|t| (t, 1))),
         )
+    }
+
+    /// In-place twin of [`Document::with_terms`]: overwrites `self` with
+    /// `base` plus the extra unit-frequency terms, reusing the entry
+    /// buffer. Produces exactly `base.with_terms(extra)`.
+    pub fn assign_with_terms(&mut self, base: &Document, extra: &[TermId]) {
+        self.entries.clear();
+        self.entries.extend(base.entries.iter().copied());
+        self.entries.extend(extra.iter().map(|&t| (t, 1)));
+        self.normalize();
+    }
+
+    /// In-place twin of [`Document::from_terms`]: overwrites `self` with a
+    /// unit-frequency keyword-set document, reusing the entry buffer.
+    pub fn assign_unit_terms(&mut self, terms: &[TermId]) {
+        self.entries.clear();
+        self.entries.extend(terms.iter().map(|&t| (t, 1)));
+        self.normalize();
+    }
+
+    /// Sorts, merges duplicates, drops zero frequencies, and recomputes
+    /// the token count — the [`Document::from_pairs`] invariant.
+    fn normalize(&mut self) {
+        self.entries.retain(|&(_, tf)| tf > 0);
+        self.entries.sort_unstable_by_key(|&(t, _)| t);
+        self.entries.dedup_by(|next, acc| {
+            if next.0 == acc.0 {
+                acc.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
+        self.len = self.entries.iter().map(|&(_, tf)| u64::from(tf)).sum();
     }
 }
 
@@ -270,6 +320,34 @@ mod tests {
         assert_eq!(extended.entries(), &[(t(1), 2), (t(3), 1)]);
         // The original is untouched.
         assert_eq!(base.entries(), &[(t(1), 1)]);
+    }
+
+    #[test]
+    fn assign_with_terms_matches_with_terms() {
+        let base = Document::from_pairs([(t(1), 2), (t(4), 1)]);
+        let mut d = Document::from_terms([t(9)]);
+        d.assign_with_terms(&base, &[t(4), t(2), t(2)]);
+        assert_eq!(d, base.with_terms([t(4), t(2), t(2)]));
+        d.assign_with_terms(&base, &[]);
+        assert_eq!(d, base);
+    }
+
+    #[test]
+    fn assign_unit_terms_matches_from_terms() {
+        let mut d = Document::from_pairs([(t(1), 7)]);
+        d.assign_unit_terms(&[t(5), t(2), t(5)]);
+        assert_eq!(d, Document::from_terms([t(5), t(2), t(5)]));
+        d.assign_unit_terms(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn clone_from_reuses_buffer() {
+        let src = Document::from_terms([t(1), t(2), t(3)]);
+        let mut dst = Document::from_terms([t(9), t(8), t(7), t(6)]);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]
