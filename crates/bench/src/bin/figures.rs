@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch cache churn refresh refresh-incremental codec | all]
+//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch cache churn refresh refresh-incremental codec obs | all]
 //! ```
 //!
 //! `--quick` shrinks the collection for smoke runs; default scales are the
@@ -39,6 +39,7 @@ fn main() {
             "refresh",
             "refresh-incremental",
             "codec",
+            "obs",
         ];
     }
 
@@ -97,6 +98,7 @@ fn main() {
             "refresh" => figs::refresh(&p),
             "refresh-incremental" => figs::refresh_incremental(&p),
             "codec" => figs::codec(&p),
+            "obs" => figs::obs(&p),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);

@@ -3,12 +3,17 @@
 //! The container this reproduction builds in has no network access to
 //! crates.io, so the `criterion` dependency is replaced by this module: it
 //! keeps the familiar `Criterion` / `benchmark_group` / `bench_function` /
-//! `iter` surface (the subset our benches use) and reports min / mean /
-//! max wall-clock per iteration on stdout. Benches still run with
-//! `cargo bench`, each as a `harness = false` binary.
+//! `iter` surface (the subset our benches use) and reports min / p50 /
+//! p95 / p99 / max wall-clock per iteration on stdout. Samples feed the
+//! shared [`mbrstk_obs::Histogram`] (the same log-bucketed layout the
+//! engine's telemetry uses), so percentiles carry its ≤1/32 relative
+//! error. Benches still run with `cargo bench`, each as a
+//! `harness = false` binary.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+use mbrstk_obs::Histogram;
 
 /// Harness entry point; mirrors `criterion::Criterion`.
 #[derive(Debug, Clone)]
@@ -136,15 +141,20 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, warmup: usize, mut 
         println!("  {id:<40} (no samples)");
         return;
     }
-    let min = b.samples.iter().min().unwrap();
-    let max = b.samples.iter().max().unwrap();
-    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let hist = Histogram::new();
+    for s in &b.samples {
+        hist.record(s.as_nanos().min(u64::MAX as u128) as u64);
+    }
+    let snap = hist.snapshot();
+    let d = Duration::from_nanos;
     println!(
-        "  {id:<40} min {:>12?}  mean {:>12?}  max {:>12?}  ({} samples)",
-        min,
-        mean,
-        max,
-        b.samples.len()
+        "  {id:<40} min {:>10?}  p50 {:>10?}  p95 {:>10?}  p99 {:>10?}  max {:>10?}  ({} samples)",
+        d(snap.min()),
+        d(snap.p50()),
+        d(snap.p95()),
+        d(snap.p99()),
+        d(snap.max()),
+        snap.count()
     );
 }
 

@@ -174,6 +174,9 @@ pub struct BatchMeasure {
     pub wall_ms: f64,
     /// Mean per-query latency as measured on the worker threads, ms.
     pub mean_query_ms: f64,
+    /// 99th-percentile per-query latency, ms (log-bucketed
+    /// [`mbrstk_obs::Histogram`], ≤1/32 relative error).
+    pub p99_query_ms: f64,
     /// Mean simulated I/O per query (from the per-thread deltas).
     pub mean_query_io: f64,
     /// Total simulated I/O of the batch (sum of per-query deltas).
@@ -206,9 +209,14 @@ pub fn measure_query_batch(
         .iter()
         .map(|o| o.stats.elapsed.as_secs_f64() * 1e3)
         .sum();
+    let latency = mbrstk_obs::Histogram::new();
+    for o in &outcomes {
+        latency.record_duration_us(o.stats.elapsed);
+    }
     BatchMeasure {
         wall_ms,
         mean_query_ms: total_query_ms / n,
+        p99_query_ms: latency.snapshot().p99() as f64 / 1e3,
         mean_query_io: total_io as f64 / n,
         total_io,
         qps: if wall_ms > 0.0 {
@@ -292,5 +300,8 @@ mod tests {
         assert_eq!(seq.total_io, par.total_io);
         assert!(par.qps > 0.0);
         assert!(par.mean_query_io > 0.0);
+        // p99 comes off the obs histogram; it must bracket the observed mean.
+        assert!(par.p99_query_ms > 0.0);
+        assert!(par.p99_query_ms * 1.1 >= par.mean_query_ms.min(seq.mean_query_ms));
     }
 }

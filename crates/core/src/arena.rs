@@ -26,6 +26,7 @@ use crate::group::UserGroup;
 use crate::select::exact::Combinations;
 use crate::select::DeltaScan;
 use crate::topk::ByKey;
+use crate::trace::{Phase, PhaseBreakdown, Trace};
 
 /// Reusable backing storage for one [`crate::select::CandidateContext`].
 ///
@@ -199,11 +200,37 @@ pub struct QueryArena {
     pub(crate) rsk: Vec<f64>,
     pub(crate) sel: SelectScratch,
     pub(crate) ui: UserIndexScratch,
+    /// Phase-trace scratch the strategies stamp (see [`crate::trace`]).
+    trace: Trace,
 }
 
 impl QueryArena {
     /// An empty arena; pools grow on first use and are then reused.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Re-arms the phase trace: zeroes the breakdown and baselines the
+    /// clock and this thread's I/O mirror. Built-in strategies call this
+    /// on entry to `execute`; a custom strategy that delegates needs no
+    /// call of its own (the delegate re-arms).
+    #[inline]
+    pub fn trace_arm(&mut self) {
+        self.trace.arm();
+    }
+
+    /// Charges everything since the previous stamp (or
+    /// [`QueryArena::trace_arm`]) to `phase`. Stamping a phase twice
+    /// accumulates.
+    #[inline]
+    pub fn trace_stamp(&mut self, phase: Phase) {
+        self.trace.stamp(phase);
+    }
+
+    /// Per-phase breakdown of the most recent query traced through this
+    /// arena (what the engine surfaces as `QueryStats::phases`).
+    #[inline]
+    pub fn phases(&self) -> PhaseBreakdown {
+        self.trace.breakdown()
     }
 }

@@ -32,12 +32,14 @@ mod cache;
 mod data;
 pub mod dynamic;
 mod group;
+mod metrics;
 pub mod pipeline;
 mod query;
 pub mod refresh;
 mod score;
 pub mod select;
 pub mod topk;
+pub mod trace;
 pub mod user_index;
 
 pub use arena::QueryArena;
@@ -53,4 +55,5 @@ pub use refresh::{
 };
 pub use score::ScoreContext;
 pub use topk::{ScoredObject, TopkOutcome, UserTopk};
+pub use trace::{Phase, PhaseBreakdown, PhaseStat};
 pub use user_index::UserIndexSeed;

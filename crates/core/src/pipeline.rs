@@ -49,6 +49,7 @@ use crate::arena::QueryArena;
 use crate::select::baseline::baseline_select_into;
 use crate::select::location::{select_candidate_into, KeywordSelector};
 use crate::select::CandidateContext;
+use crate::trace::{Phase, PhaseBreakdown};
 use crate::user_index::{compute_user_index_seed, run_selection};
 use crate::{Engine, Method, QueryResult, QuerySpec};
 
@@ -106,7 +107,9 @@ impl QueryStrategy for BaselineScan {
         arena: &mut QueryArena,
         out: &mut QueryResult,
     ) {
+        arena.trace_arm();
         let tks = engine.baseline_thresholds(spec.k);
+        arena.trace_stamp(Phase::TopK);
         arena.rsk.clear();
         arena.rsk.extend(tks.iter().map(|t| t.rsk));
         let cc = CandidateContext::new_reusing(
@@ -118,6 +121,7 @@ impl QueryStrategy for BaselineScan {
         );
         baseline_select_into(&cc, &mut arena.sel, out);
         arena.cc = cc.into_scratch();
+        arena.trace_stamp(Phase::Select);
     }
 }
 
@@ -145,7 +149,9 @@ impl QueryStrategy for JointPipeline {
         arena: &mut QueryArena,
         out: &mut QueryResult,
     ) {
+        arena.trace_arm();
         let jt = engine.joint_thresholds(spec.k);
+        arena.trace_stamp(Phase::TopK);
         let cc = CandidateContext::new_reusing(
             &engine.ctx,
             spec,
@@ -162,6 +168,7 @@ impl QueryStrategy for JointPipeline {
             out,
         );
         arena.cc = cc.into_scratch();
+        arena.trace_stamp(Phase::Select);
     }
 }
 
@@ -200,11 +207,13 @@ impl QueryStrategy for UserIndexPipeline {
             .miur
             .as_ref()
             .expect("call with_user_index() before querying with a user-index method");
+        arena.trace_arm();
         if engine.thresholds.is_some() {
             // Cached mode: the k-dependent prefix (root super-user + joint
             // MIR traversal) comes from the threshold cache; only the
             // location-dependent MIUR expansion runs per query.
             let seed = engine.user_index_seed(spec.k);
+            arena.trace_stamp(Phase::TopK);
             run_selection(
                 miur,
                 spec,
@@ -217,6 +226,7 @@ impl QueryStrategy for UserIndexPipeline {
             );
         } else {
             let seed = compute_user_index_seed(miur, &engine.mir, spec.k, &engine.ctx, &engine.io);
+            arena.trace_stamp(Phase::TopK);
             run_selection(
                 miur,
                 spec,
@@ -228,6 +238,7 @@ impl QueryStrategy for UserIndexPipeline {
                 out,
             );
         }
+        arena.trace_stamp(Phase::Select);
     }
 }
 
@@ -271,6 +282,12 @@ pub struct QueryStats {
     /// miss (and its charge) is interleaving-dependent — see the warm-cache
     /// note on [`Engine::query_batch`].
     pub io: IoSnapshot,
+    /// Per-phase split of `elapsed`/`io` (top-k vs. selection), stamped by
+    /// the strategy through the arena's [`crate::trace::Trace`]. For
+    /// built-in strategies the phase I/O *partitions* `io` exactly:
+    /// `phases.total_io() == io`. A custom strategy that never stamps
+    /// reports an all-zero breakdown.
+    pub phases: PhaseBreakdown,
 }
 
 /// One query's answer plus its measured cost.
@@ -337,7 +354,36 @@ impl Engine {
         out: &mut QueryResult,
     ) {
         self.assert_strategy_ready(strategy);
-        strategy.execute(self, spec, arena, out);
+        let _ = self.run_instrumented(spec, strategy, arena, out);
+    }
+
+    /// The one execution point every query funnels through: runs the
+    /// strategy under wall-clock + per-thread I/O measurement and records
+    /// the outcome into the engine's always-on telemetry
+    /// ([`Engine::metrics`]). Recording is relaxed atomics through handles
+    /// resolved at engine build, so a warm call stays allocation-free
+    /// (`tests/alloc_free.rs` pins this with telemetry enabled).
+    fn run_instrumented(
+        &self,
+        spec: &QuerySpec,
+        strategy: &dyn QueryStrategy,
+        arena: &mut QueryArena,
+        out: &mut QueryResult,
+    ) -> QueryStats {
+        // Arm before executing so a custom strategy that never stamps
+        // reports an all-zero breakdown instead of the previous query's.
+        // Built-in strategies re-arm on entry (harmless).
+        arena.trace_arm();
+        let start = Instant::now();
+        let ((), io) = self.io.scoped(|| strategy.execute(self, spec, arena, out));
+        let stats = QueryStats {
+            elapsed: start.elapsed(),
+            io,
+            phases: arena.phases(),
+        };
+        self.metrics
+            .record_query(strategy.name(), &stats, &self.io, self.thresholds.as_ref());
+        stats
     }
 
     /// Answers a whole batch of queries in parallel, using all available
@@ -417,18 +463,13 @@ impl Engine {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(spec) = specs.get(i) else { break };
-                            let start = Instant::now();
-                            let ((), io) = self
-                                .io
-                                .scoped(|| strategy.execute(self, spec, &mut arena, &mut result));
+                            let stats =
+                                self.run_instrumented(spec, strategy, &mut arena, &mut result);
                             local.push((
                                 i,
                                 BatchOutcome {
                                     result: result.clone(),
-                                    stats: QueryStats {
-                                        elapsed: start.elapsed(),
-                                        io,
-                                    },
+                                    stats,
                                 },
                             ));
                         }

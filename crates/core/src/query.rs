@@ -13,7 +13,10 @@ use index::{IndexedObject, IndexedUser, MiurTree, PostingMode, StTree};
 use storage::{CodecId, IoStats};
 use text::{CorpusStats, TextScorer, WeightModel};
 
+use mbrstk_obs::MetricsRegistry;
+
 use crate::cache::{JointThresholds, ThresholdCache};
+use crate::metrics::EngineMetrics;
 use crate::pipeline::{
     QueryStrategy, BASELINE, JOINT_EXACT, JOINT_GREEDY, JOINT_GREEDY_PLUS, USER_INDEX_EXACT,
     USER_INDEX_GREEDY,
@@ -128,6 +131,13 @@ pub struct Engine {
     /// longer see — the next refresh must escalate to a full re-weigh.
     /// See [`Engine::has_stale_weights`](crate::refresh::incremental).
     pub(crate) stale_weights: bool,
+    /// Always-on telemetry: per-method latency/I-O histograms plus cache
+    /// hit-ratio gauges, with every handle resolved at build so the warm
+    /// query path records through relaxed atomics only. Unlike the caches,
+    /// the `Arc` is *shared* by clones and refreshes — serving history is
+    /// continuous across copy-on-write fallbacks and engine swaps. Read it
+    /// through [`Engine::metrics`].
+    pub(crate) metrics: Arc<EngineMetrics>,
 }
 
 /// A deep copy: tables and disk-resident indexes are duplicated
@@ -135,7 +145,9 @@ pub struct Engine {
 /// the original and the clone stay comparable. The simulated I/O counter
 /// and both caches restart *cold* with the same configuration (page-cache
 /// capacity and shard layout, threshold-cache `k` bound) — cached state is
-/// engine-local by design. The concurrent serving layer
+/// engine-local by design. The metrics registry is the one exception: the
+/// clone *shares* it, so telemetry stays continuous across the serving
+/// layer's copy-on-write fallbacks. The concurrent serving layer
 /// ([`crate::refresh::ServingEngine`]) relies on this as its copy-on-write
 /// fallback when a mutation races a long-lived reader snapshot.
 impl Clone for Engine {
@@ -157,6 +169,7 @@ impl Clone for Engine {
             obj_muts_since_refresh: self.obj_muts_since_refresh,
             user_muts_since_refresh: self.user_muts_since_refresh,
             stale_weights: self.stale_weights,
+            metrics: Arc::clone(&self.metrics),
         }
     }
 }
@@ -243,6 +256,7 @@ impl Engine {
             obj_muts_since_refresh: 0,
             user_muts_since_refresh: 0,
             stale_weights: false,
+            metrics: EngineMetrics::new(),
         }
     }
 
@@ -271,6 +285,19 @@ impl Engine {
     #[inline]
     pub fn codec(&self) -> CodecId {
         self.mir.codec()
+    }
+
+    /// The engine's always-on metrics registry: per-method and per-phase
+    /// latency/I-O histograms, cache hit/miss counters and hit-ratio
+    /// gauges, recorded by every query since build. Snapshot it
+    /// ([`MetricsRegistry::snapshot`]) for JSON export or render the
+    /// Prometheus text format directly
+    /// ([`MetricsRegistry::render_prometheus`]). The registry is shared
+    /// (not forked) by [`Engine::clone`] and carried through corpus
+    /// refreshes, so a [`crate::ServingEngine`]'s history is continuous
+    /// across swaps.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(self.metrics.registry())
     }
 
     /// Byte footprint of every live index record as encoded on disk

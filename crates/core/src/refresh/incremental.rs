@@ -394,6 +394,9 @@ impl Engine {
             user_epoch: self.user_epoch + 1,
             obj_muts_since_refresh: 0,
             user_muts_since_refresh: 0,
+            // Telemetry is swap-stable: the spliced engine keeps recording
+            // into the same registry (see `Engine::metrics`).
+            metrics: std::sync::Arc::clone(&self.metrics),
             // A bounded refresh that tolerated any within-bound movement
             // leaves stale weights behind that this very refresh makes
             // invisible (the frozen scorer advances to `live`): remember

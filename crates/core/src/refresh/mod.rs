@@ -73,11 +73,13 @@ pub mod incremental;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use text::WeightModel;
 
 use crate::cache::ThresholdCache;
 use crate::dynamic::{BatchReport, EpochGuard, MaintenanceIo, Mutation};
+use crate::metrics::{EngineMetrics, ServingMetrics};
 use crate::{Engine, Method, ObjectData, QueryResult, QuerySpec, UserData};
 
 /// How far the frozen scorer has walked away from the live corpus.
@@ -207,6 +209,9 @@ struct RefreshSeed {
     page_cache: Option<(u64, usize)>,
     epoch: u64,
     user_epoch: u64,
+    /// The captured engine's telemetry, carried into the rebuilt engine
+    /// by `Arc` so metrics history is continuous across the swap.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl RefreshSeed {
@@ -226,6 +231,7 @@ impl RefreshSeed {
                 .map(|c| (c.capacity_blocks(), c.num_shards())),
             epoch: engine.epoch,
             user_epoch: engine.user_epoch,
+            metrics: Arc::clone(&engine.metrics),
         }
     }
 
@@ -258,6 +264,9 @@ impl RefreshSeed {
         // stale threshold-cache slot can validate against it.
         fresh.epoch = self.epoch + 1;
         fresh.user_epoch = self.user_epoch + 1;
+        // Telemetry survives the swap (the cold build made a fresh
+        // registry; replace it with the captured engine's).
+        fresh.metrics = self.metrics;
         fresh
     }
 }
@@ -379,6 +388,9 @@ pub struct ServingEngine {
     drift_scan_bucket: AtomicU64,
     signal: Mutex<Signal>,
     wake: Condvar,
+    /// Serving-layer telemetry handles, drawn from the wrapped engine's
+    /// (swap-stable) registry at construction.
+    metrics: ServingMetrics,
 }
 
 impl ServingEngine {
@@ -390,6 +402,7 @@ impl ServingEngine {
 
     /// [`ServingEngine::new`] with explicit refresh thresholds.
     pub fn with_config(engine: Engine, cfg: RefreshConfig) -> Arc<Self> {
+        let metrics = ServingMetrics::new(engine.metrics.registry());
         Arc::new(ServingEngine {
             snap: RwLock::new(Arc::new(engine)),
             journal: Mutex::new(Vec::new()),
@@ -401,6 +414,7 @@ impl ServingEngine {
             drift_scan_bucket: AtomicU64::new(0),
             signal: Mutex::new(Signal::default()),
             wake: Condvar::new(),
+            metrics,
         })
     }
 
@@ -447,7 +461,7 @@ impl ServingEngine {
     pub fn apply(&self, mutation: Mutation) -> Option<MaintenanceIo> {
         let io = {
             let mut published = self.snap.write().unwrap();
-            let engine = Self::exclusive(&mut published);
+            let engine = self.exclusive(&mut published);
             // Journal only while a rebuild is in flight. The flag is read
             // under the write lock: if a refresher set it before we got
             // here its capture will run after us and contain this
@@ -455,14 +469,20 @@ impl ServingEngine {
             // around the capture boundary is harmless; if we saw it clear,
             // the next capture contains us by definition.
             let journal = self.rebuilding.load(Ordering::Relaxed);
+            let mutate_start = Instant::now();
             let io = match mutation.clone() {
                 Mutation::InsertObject(o) => engine.insert_object(o),
                 Mutation::RemoveObject(id) => engine.remove_object(id),
                 Mutation::InsertUser(u) => engine.insert_user(u),
                 Mutation::RemoveUser(id) => engine.remove_user(id),
             };
+            self.metrics
+                .mutation_latency_us
+                .record_duration_us(mutate_start.elapsed());
             if io.is_some() && journal {
-                self.journal.lock().unwrap().push(mutation);
+                let mut j = self.journal.lock().unwrap();
+                j.push(mutation);
+                self.metrics.journal_depth.set(j.len() as f64);
             }
             io
         };
@@ -496,7 +516,10 @@ impl ServingEngine {
     /// count only shrinks), then falls back to a copy-on-write clone so a
     /// long-running reader can never stall mutations — it simply keeps
     /// its private pre-mutation engine alive until it drops the `Arc`.
-    fn exclusive(published: &mut Arc<Engine>) -> &mut Engine {
+    /// The drain wait lands in `serving_swap_wait_us`; a taken fallback
+    /// bumps `serving_cow_fallbacks_total`.
+    fn exclusive<'a>(&self, published: &'a mut Arc<Engine>) -> &'a mut Engine {
+        let wait_start = Instant::now();
         for _ in 0..64 {
             if Arc::get_mut(published).is_some() {
                 break;
@@ -504,9 +527,13 @@ impl ServingEngine {
             std::thread::yield_now();
         }
         if Arc::get_mut(published).is_none() {
+            self.metrics.cow_fallbacks.inc();
             let copy = Engine::clone(published);
             *published = Arc::new(copy);
         }
+        self.metrics
+            .swap_wait_us
+            .record_duration_us(wait_start.elapsed());
         Arc::get_mut(published).expect("writer holds the only new reference")
     }
 
@@ -555,6 +582,7 @@ impl ServingEngine {
     /// exactly as before.
     pub fn refresh_now(&self) -> RefreshReport {
         let _gate = self.refresh_gate.lock().unwrap();
+        let refresh_start = Instant::now();
 
         // Announce the rebuild before capturing, so from here on every
         // mutation journals itself.
@@ -612,7 +640,11 @@ impl ServingEngine {
         // Phase 3: swap. Replay what landed during the rebuild, then
         // publish. The epoch ends at `captured + 1 + replayed`, strictly
         // above the live engine's `captured + replayed`.
+        let swap_wait = Instant::now();
         let mut published = self.snap.write().unwrap();
+        self.metrics
+            .swap_wait_us
+            .record_duration_us(swap_wait.elapsed());
         let mut journal = self.journal.lock().unwrap();
         report.replayed = journal.len();
         let replay = fresh.apply_batch(journal.drain(..));
@@ -630,6 +662,8 @@ impl ServingEngine {
         if report.tier == RefreshTier::Incremental {
             self.incremental_refreshes.fetch_add(1, Ordering::Relaxed);
         }
+        self.metrics
+            .record_refresh(report.tier, refresh_start.elapsed(), report.replayed);
         report
     }
 

@@ -133,6 +133,21 @@ fn steady_state_queries_allocate_nothing() {
                 eng.query(&spec, m),
                 "{m:?}/{codec:?}: arena reuse changed the answer"
             );
+
+            // Telemetry was live the whole time: the always-on registry
+            // recorded all four queries above — including the warm repeat
+            // that just proved itself allocation-free. (The snapshot
+            // itself allocates, so it sits outside the counted region.)
+            let snap = eng.metrics().snapshot();
+            let key = format!("engine_query_latency_us{{method=\"{}\"}}", m.name());
+            let recorded = snap
+                .histogram(&key)
+                .unwrap_or_else(|| panic!("{m:?}/{codec:?}: no latency histogram"))
+                .count();
+            assert_eq!(
+                recorded, 4,
+                "{m:?}/{codec:?}: telemetry missed instrumented queries"
+            );
         }
     }
 }

@@ -1,0 +1,427 @@
+//! Lock-light metrics registry ([`MetricsRegistry`]) and its export
+//! surface ([`MetricsSnapshot`], JSON and Prometheus text).
+//!
+//! Registration (get-or-create) takes a short write lock and returns an
+//! `Arc` handle; callers cache the handle, so the *recording* path is pure
+//! relaxed atomics — no lock, no lookup, no allocation. Keys are full
+//! metric identities in Prometheus notation, e.g.
+//! `engine_query_latency_us{method="joint-greedy"}`; the label block is
+//! part of the key, so one family fans out across methods/phases while
+//! export groups the series back together.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`. Wait-free, allocation-free.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value. Non-finite values are dropped so the export
+    /// surface never emits NaN/inf.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if v.is_finite() {
+            self.0.store(v.to_bits(), Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+}
+
+/// Handle store for counters, gauges, and histograms.
+///
+/// Cheap to share (`Arc` it); `Default` gives an empty registry.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, key: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("metrics lock poisoned").get(key) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("metrics lock poisoned");
+    Arc::clone(w.entry(key.to_string()).or_default())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter named `key`. Cache the returned handle;
+    /// recording through it never touches the registry again.
+    pub fn counter(&self, key: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, key)
+    }
+
+    /// Get-or-create the gauge named `key`.
+    pub fn gauge(&self, key: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, key)
+    }
+
+    /// Get-or-create the histogram named `key`.
+    pub fn histogram(&self, key: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, key)
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("metrics lock poisoned")
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("metrics lock poisoned")
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("metrics lock poisoned")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Renders the current state in the Prometheus text exposition format
+    /// (histograms as summaries). See [`MetricsSnapshot::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// A point-in-time export of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Splits a key into `(family name, label block)`; the label block keeps
+/// its braces (empty string when the key has no labels).
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], &key[i..]),
+        None => (key, ""),
+    }
+}
+
+/// Re-renders a label block with one extra label appended.
+fn labels_with(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &labels[..labels.len() - 1])
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so the output is valid JSON / Prometheus (never NaN
+/// or inf; non-finite values render as 0).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Counter value by exact key.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters.get(key).copied()
+    }
+
+    /// Gauge value by exact key.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Histogram snapshot by exact key.
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(key)
+    }
+
+    /// Iterates all counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates all gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates all histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serializes the snapshot to a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {key:
+    /// {"count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+    /// "p999"}}}`. Histograms export their summary statistics, not raw
+    /// buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(k)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), fmt_f64(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                json_escape(k),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                fmt_f64(h.mean()),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.p999(),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the Prometheus text exposition format.
+    ///
+    /// Counters and gauges emit one sample each; histograms emit a
+    /// summary — `quantile="0.5|0.9|0.99|0.999"` samples plus `_sum` and
+    /// `_count`. Every non-comment line is `name{labels} value` with a
+    /// finite value (no NaN), so the output is scrapable as-is.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = "";
+        let type_line = |out: &mut String, family: &str, kind: &str, last: &mut &str| {
+            if family != *last {
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+            }
+        };
+        for (key, v) in &self.counters {
+            let (family, labels) = split_key(key);
+            type_line(&mut out, family, "counter", &mut last_family);
+            last_family = family;
+            out.push_str(&format!("{family}{labels} {v}\n"));
+        }
+        last_family = "";
+        for (key, v) in &self.gauges {
+            let (family, labels) = split_key(key);
+            type_line(&mut out, family, "gauge", &mut last_family);
+            last_family = family;
+            out.push_str(&format!("{family}{labels} {}\n", fmt_f64(*v)));
+        }
+        last_family = "";
+        for (key, h) in &self.histograms {
+            let (family, labels) = split_key(key);
+            type_line(&mut out, family, "summary", &mut last_family);
+            last_family = family;
+            for (q, v) in [
+                ("0.5", h.p50()),
+                ("0.9", h.p90()),
+                ("0.99", h.p99()),
+                ("0.999", h.p999()),
+            ] {
+                let ql = labels_with(labels, &format!("quantile=\"{q}\""));
+                out.push_str(&format!("{family}{ql} {v}\n"));
+            }
+            out.push_str(&format!("{family}_sum{labels} {}\n", h.sum()));
+            out.push_str(&format!("{family}_count{labels} {}\n", h.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("queries_total{method=\"baseline\"}").add(7);
+        reg.counter("queries_total{method=\"joint-exact\"}").add(2);
+        reg.counter("plain_total").inc();
+        reg.gauge("cache_hit_ratio{cache=\"page\"}").set(0.75);
+        reg.gauge("nan_guarded").set(f64::NAN); // dropped, stays 0
+        let h = reg.histogram("latency_us{method=\"baseline\"}");
+        for v in [10, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        reg.histogram("empty_hist"); // registered, never recorded
+        reg
+    }
+
+    #[test]
+    fn handles_are_shared_and_live() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counter("x"), Some(3));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_lookup_and_iteration() {
+        let snap = seeded().snapshot();
+        assert_eq!(snap.counter("queries_total{method=\"baseline\"}"), Some(7));
+        assert_eq!(snap.gauge("cache_hit_ratio{cache=\"page\"}"), Some(0.75));
+        assert_eq!(snap.gauge("nan_guarded"), Some(0.0));
+        let h = snap.histogram("latency_us{method=\"baseline\"}").unwrap();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1100);
+        assert_eq!(snap.counters().count(), 3);
+        assert_eq!(snap.histograms().count(), 2);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let json = seeded().snapshot().to_json();
+        // Structural sanity without a JSON parser: balanced braces and
+        // quotes, the three sections present, no NaN anywhere.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('"').count() % 2, 0, "unbalanced quotes");
+        for section in ["\"counters\":{", "\"gauges\":{", "\"histograms\":{"] {
+            assert!(json.contains(section), "missing {section}");
+        }
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        assert!(json.contains("\"p999\":"));
+    }
+
+    /// CI gate: the Prometheus rendering parses — every non-comment line
+    /// is `name{labels} value` with a finite numeric value, every comment
+    /// is a well-formed `# TYPE` line, and no NaN leaks through.
+    #[test]
+    fn prometheus_output_parses() {
+        let text = seeded().render_prometheus();
+        assert!(!text.is_empty());
+        let mut samples = 0;
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("type line has a name");
+                let kind = parts.next().expect("type line has a kind");
+                assert!(parts.next().is_none());
+                assert!(name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+                assert!(["counter", "gauge", "summary"].contains(&kind));
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has name and value");
+            let v: f64 = value.parse().expect("sample value parses as f64");
+            assert!(v.is_finite(), "non-finite sample: {line}");
+            let name_end = series.find('{').unwrap_or(series.len());
+            let name = &series[..name_end];
+            assert!(!name.is_empty());
+            assert!(name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+            let labels = &series[name_end..];
+            if !labels.is_empty() {
+                assert!(labels.starts_with('{') && labels.ends_with('}'));
+                for pair in labels[1..labels.len() - 1].split(',') {
+                    let (k, v) = pair.split_once('=').expect("label is key=value");
+                    assert!(!k.is_empty());
+                    assert!(v.starts_with('"') && v.ends_with('"') && v.len() >= 2);
+                }
+            }
+            samples += 1;
+        }
+        // 3 counters + 2 gauges + 2 histograms × (4 quantiles + sum + count).
+        assert_eq!(samples, 3 + 2 + 2 * 6);
+        // Quantile labels merged into existing label blocks correctly.
+        assert!(text.contains("latency_us{method=\"baseline\",quantile=\"0.999\"}"));
+        assert!(text.contains("empty_hist{quantile=\"0.5\"} 0\n"));
+        assert!(text.contains("latency_us_count{method=\"baseline\"} 5\n"));
+    }
+}

@@ -51,12 +51,14 @@
 //! | [`storage`] | simulated 4 KB-page disk and the paper's I/O accounting |
 //! | [`index`] | R-tree skeleton, IR-tree, MIR-tree, MIUR-tree |
 //! | [`core`](mbrstk_core) | Algorithms 1–4, baselines, §7 pipeline, [`Engine`](mbrstk_core::Engine) |
+//! | [`obs`](mbrstk_obs) | metrics registry, mergeable histograms, JSON / Prometheus export |
 //! | [`datagen`] | Flickr-like / Yelp-like generators, §8 user protocol |
 
 pub use datagen;
 pub use geo;
 pub use index;
 pub use mbrstk_core;
+pub use mbrstk_obs;
 pub use storage;
 pub use text;
 

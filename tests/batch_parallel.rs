@@ -82,9 +82,17 @@ fn per_query_io_deltas_sum_to_engine_total() {
 fn per_query_stats_are_populated() {
     let (engine, specs) = workload();
     let batch = engine.query_batch_threads(&specs, Method::JointExact, 4);
-    for QueryStats { elapsed, io } in batch.iter().map(|o| o.stats) {
+    for QueryStats {
+        elapsed,
+        io,
+        phases,
+    } in batch.iter().map(|o| o.stats)
+    {
         assert!(elapsed.as_nanos() > 0);
         assert!(io.total() > 0);
+        // The built-in strategies stamp both phases, and their phase I/O
+        // partitions the query total exactly.
+        assert_eq!(phases.total_io(), io);
     }
 }
 

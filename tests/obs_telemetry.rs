@@ -1,0 +1,146 @@
+//! Differential telemetry test: the metrics registry is an *exact*
+//! re-aggregation of the per-query `QueryStats` the engine hands back.
+//!
+//! A seeded batch of ≥1K queries (168 specs × all six methods) runs
+//! through the instrumented engine; every per-query stat is folded into
+//! an expectation by hand, then `Engine::metrics().snapshot()` must
+//! reconcile with it **exactly** — histogram counts and sums are exact
+//! (only the quantiles are log-bucketed), so any double-count, dropped
+//! record, or phase/total mismatch in the recording path fails here.
+
+use datagen::{generate_objects, generate_workload, CorpusConfig, UserGenConfig};
+use maxbrstknn::mbrstk_core::Phase;
+use maxbrstknn::prelude::*;
+
+const SPECS: usize = 168; // × 6 methods = 1008 queries
+
+/// A small seeded engine plus 168 derived query variants.
+fn workload() -> (Engine, Vec<QuerySpec>) {
+    let objects = generate_objects(&CorpusConfig::flickr_like(500));
+    let wl = generate_workload(
+        &objects,
+        &UserGenConfig {
+            num_users: 24,
+            area: 8.0,
+            uw: 10,
+            ul: 3,
+            num_locations: 8,
+            seed: 4242,
+        },
+    );
+    let engine =
+        Engine::build_with_fanout(objects, wl.users, WeightModel::lm(), 0.5, 8).with_user_index();
+    let specs: Vec<QuerySpec> = (0..SPECS)
+        .map(|i| {
+            let mut locations = wl.candidate_locations.clone();
+            let shift = i % locations.len();
+            locations.rotate_left(shift);
+            locations.truncate(3);
+            QuerySpec {
+                ox_doc: Document::new(),
+                locations,
+                keywords: wl.candidate_keywords.clone(),
+                ws: 2,
+                k: 2 + i % 4,
+            }
+        })
+        .collect();
+    (engine, specs)
+}
+
+/// Everything the registry should have accumulated for one method.
+#[derive(Default)]
+struct Expected {
+    queries: u64,
+    latency_us_sum: u64,
+    io_sum: u64,
+    phase_io_sum: [u64; 2],
+    phase_latency_us_sum: [u64; 2],
+}
+
+#[test]
+fn registry_reconciles_exactly_with_summed_query_stats() {
+    let (engine, specs) = workload();
+
+    let mut expected: Vec<(&'static str, Expected)> = Vec::new();
+    for method in Method::ALL {
+        let outcomes = engine.query_batch_threads(&specs, method, 4);
+        assert_eq!(outcomes.len(), SPECS);
+        let mut e = Expected::default();
+        for o in &outcomes {
+            e.queries += 1;
+            // The same truncations the recording path applies, so the
+            // comparison below is exact, not approximate.
+            e.latency_us_sum += o.stats.elapsed.as_micros().min(u64::MAX as u128) as u64;
+            e.io_sum += o.stats.io.total();
+            for (phase, ps) in o.stats.phases.iter() {
+                e.phase_io_sum[phase as usize] += ps.io.total();
+                e.phase_latency_us_sum[phase as usize] += ps.nanos / 1_000;
+            }
+            // Built-in strategies partition their I/O across the two
+            // phases with nothing left over.
+            assert_eq!(o.stats.phases.total_io(), o.stats.io, "{method:?}");
+        }
+        expected.push((method.name(), e));
+    }
+
+    let snap = engine.metrics().snapshot();
+    for (name, e) in &expected {
+        let hist = |family: &str| {
+            snap.histogram(&format!("{family}{{method=\"{name}\"}}"))
+                .unwrap_or_else(|| panic!("{name}: missing {family}"))
+        };
+        let phase_hist = |family: &str, phase: Phase| {
+            snap.histogram(&format!(
+                "{family}{{method=\"{name}\",phase=\"{}\"}}",
+                phase.name()
+            ))
+            .unwrap_or_else(|| panic!("{name}: missing {family}/{phase:?}"))
+        };
+
+        // Per-method latency: exact count and sum, ordered percentiles.
+        let lat = hist("engine_query_latency_us");
+        assert_eq!(lat.count(), e.queries, "{name}: latency count");
+        assert_eq!(lat.sum(), e.latency_us_sum, "{name}: latency sum");
+        let (p50, p99, p999) = (lat.p50(), lat.p99(), lat.p999());
+        assert!(lat.min() <= p50 && p50 <= p99 && p99 <= p999 && p999 <= lat.max());
+
+        // Per-method I/O: the histogram total is the summed QueryStats.
+        let io = hist("engine_query_io_ops");
+        assert_eq!(io.count(), e.queries, "{name}: io count");
+        assert_eq!(io.sum(), e.io_sum, "{name}: io sum");
+
+        // Per-phase I/O and latency reconcile, and the two phases
+        // partition the method's I/O total exactly.
+        let mut phase_io_total = 0;
+        for phase in Phase::ALL {
+            let pio = phase_hist("engine_query_phase_io_ops", phase);
+            assert_eq!(pio.count(), e.queries, "{name}/{phase:?}: io count");
+            assert_eq!(
+                pio.sum(),
+                e.phase_io_sum[phase as usize],
+                "{name}/{phase:?}: io sum"
+            );
+            phase_io_total += pio.sum();
+
+            let plat = phase_hist("engine_query_phase_latency_us", phase);
+            assert_eq!(
+                plat.sum(),
+                e.phase_latency_us_sum[phase as usize],
+                "{name}/{phase:?}: latency sum"
+            );
+        }
+        assert_eq!(phase_io_total, e.io_sum, "{name}: phases must partition io");
+    }
+
+    // The same numbers survive both export formats.
+    let json = snap.to_json();
+    let prom = snap.render_prometheus();
+    for (name, e) in &expected {
+        assert!(json.contains(&format!("engine_query_latency_us{{method=\\\"{name}\\\"}}")));
+        assert!(prom.contains(&format!(
+            "engine_query_latency_us_count{{method=\"{name}\"}} {}",
+            e.queries
+        )));
+    }
+}
