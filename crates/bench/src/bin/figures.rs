@@ -1,13 +1,13 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch cache churn refresh refresh-incremental codec obs | all]
+//! figures [--quick] [table4 table5 fig5 fig6 ... fig15 ablation batch cache churn refresh refresh-incremental codec obs serve | all]
 //! ```
 //!
 //! `--quick` shrinks the collection for smoke runs; default scales are the
 //! DESIGN.md §3 reductions of the paper's setup.
 
-use bench::{figs, Params};
+use bench::{figs, loadgen, Params};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +40,7 @@ fn main() {
             "refresh-incremental",
             "codec",
             "obs",
+            "serve",
         ];
     }
 
@@ -99,6 +100,7 @@ fn main() {
             "refresh-incremental" => figs::refresh_incremental(&p),
             "codec" => figs::codec(&p),
             "obs" => figs::obs(&p),
+            "serve" => loadgen::serve(&p),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);

@@ -15,6 +15,7 @@
 
 pub mod figs;
 pub mod harness;
+pub mod loadgen;
 mod measure;
 mod params;
 mod report;

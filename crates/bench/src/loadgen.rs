@@ -1,0 +1,374 @@
+//! Open-loop load generator driving the network front door.
+//!
+//! `figures -- serve` binds a real [`serve::Server`] on a loopback
+//! ephemeral port and fires one-shot TCP requests at it on a *precomputed
+//! Poisson schedule*: arrival times are drawn up front from exponential
+//! inter-arrivals and every request's latency is measured from its
+//! **scheduled** arrival, not from when a sender thread got around to
+//! writing it. A saturated server therefore shows up as growing tail
+//! latency and explicit [`Reply::Overloaded`] sheds — the
+//! coordinated-omission trap (closed-loop generators silently slowing
+//! down with the server) cannot hide it.
+//!
+//! Three panels:
+//!
+//! * **A — arrival-rate sweep** (pure reads): p50/p99/p999 end-to-end
+//!   latency per offered rate, next to the engine's *simulated* I/O per
+//!   query (delta of the `engine_query_phase_io_ops` histograms), so the
+//!   paper's cost model and the wall-clock serving cost sit in one table.
+//! * **B — read/write mix** at a fixed rate: mutation sheds
+//!   (journal backpressure) and maintenance I/O per applied mutation.
+//! * **C — hot-key skew**: uniform vs Zipf(1.2) draws over a pool of
+//!   query variants.
+//!
+//! End-to-end latencies land in `mbrstk_obs` histograms
+//! (`loadgen_e2e_latency_us{...}`) in a generator-local registry — the
+//! same mergeable-histogram machinery the engine uses server-side, keyed
+//! per sweep point so percentiles never mix across points.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datagen::rng::{Rng, SeedableRng, StdRng};
+use datagen::Zipf;
+use mbrstk_core::{Method, Mutation, ObjectData, QuerySpec, ServingEngine};
+use mbrstk_obs::{MetricsRegistry, MetricsSnapshot};
+use serve::{one_shot, Reply, Request, ServeConfig, Server};
+
+use crate::report::{fmt, Table};
+use crate::{Params, Scenario};
+
+/// Sender threads; arrivals are dealt round-robin so one slow request
+/// only delays every SENDERS-th arrival (and that delay is *charged* —
+/// latency runs from the scheduled instant).
+const SENDERS: usize = 16;
+
+/// Offered arrival rates for panel A (requests/second).
+const RATES: [f64; 3] = [100.0, 300.0, 1_000.0];
+
+/// Fixed offered rate for panels B and C.
+const MIX_RATE: f64 = 300.0;
+
+/// Write fractions for panel B.
+const WRITE_FRACS: [f64; 3] = [0.0, 0.1, 0.3];
+
+/// Seconds of offered load per sweep point.
+const POINT_SECS: f64 = 1.0;
+
+/// Hard cap on requests per point (keeps `--quick` CI smoke bounded).
+const POINT_CAP: usize = 1_500;
+
+/// The query method under load: the paper's fast approximate pipeline,
+/// i.e. what a serving deployment would actually run per request.
+const METHOD: Method = Method::JointGreedy;
+
+#[derive(Default, Clone, Copy)]
+struct Counts {
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    err: u64,
+}
+
+impl Counts {
+    fn add(&mut self, other: Counts) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.err += other.err;
+    }
+}
+
+/// Simulated-I/O mass of the serve method's query phases at one instant:
+/// `(sum of per-query I/O, number of queries)` — two snapshots subtract
+/// to a per-point mean even though the engine registry is cumulative.
+fn io_mass(snap: &MetricsSnapshot) -> (f64, u64) {
+    let name = METHOD.name();
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for phase in ["topk", "select"] {
+        if let Some(h) = snap.histogram(&format!(
+            "engine_query_phase_io_ops{{method=\"{name}\",phase=\"{phase}\"}}"
+        )) {
+            sum += h.mean() * h.count() as f64;
+            if phase == "topk" {
+                count = h.count();
+            }
+        }
+    }
+    (sum, count)
+}
+
+/// Fires `n` requests at `rate` req/s on a Poisson schedule and records
+/// end-to-end latency (from scheduled arrival) into `registry` under
+/// `loadgen_e2e_latency_us{point="<label>"}`.
+fn open_loop_point(
+    addr: SocketAddr,
+    registry: &MetricsRegistry,
+    label: &str,
+    rate: f64,
+    n: usize,
+    seed: u64,
+    make: &(dyn Fn(usize, &mut StdRng) -> Request + Sync),
+) -> Counts {
+    // Precomputed Poisson arrivals: exponential inter-arrival gaps with
+    // mean 1/rate, accumulated into absolute offsets.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut offsets = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    for _ in 0..n {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / rate;
+        offsets.push(Duration::from_secs_f64(t));
+    }
+
+    let hist = registry.histogram(&format!("loadgen_e2e_latency_us{{point=\"{label}\"}}"));
+    let base = Instant::now() + Duration::from_millis(5);
+    let mut total = Counts::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(SENDERS);
+        for sender in 0..SENDERS {
+            let hist = Arc::clone(&hist);
+            let offsets = &offsets;
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xD1B5_4A32 + sender as u64));
+                let mut counts = Counts::default();
+                let mut i = sender;
+                while i < offsets.len() {
+                    let scheduled = base + offsets[i];
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let req = make(i, &mut rng);
+                    counts.sent += 1;
+                    match one_shot(addr, &req) {
+                        Ok(Reply::Overloaded(_)) => counts.shed += 1,
+                        Ok(Reply::Error(_)) | Err(_) => counts.err += 1,
+                        Ok(_) => counts.ok += 1,
+                    }
+                    // Charged from the *scheduled* arrival: queueing
+                    // delay inside the generator and the server both
+                    // count, as they would for a real arriving client.
+                    hist.record_duration_us(scheduled.elapsed());
+                    i += SENDERS;
+                }
+                counts
+            }));
+        }
+        for h in handles {
+            total.add(h.join().expect("sender thread"));
+        }
+    });
+    total
+}
+
+fn latency_cells(registry: &MetricsRegistry, label: &str) -> Vec<String> {
+    let snap = registry.snapshot();
+    let h = snap
+        .histogram(&format!("loadgen_e2e_latency_us{{point=\"{label}\"}}"))
+        .expect("point histogram recorded");
+    vec![
+        fmt(h.p50() as f64),
+        fmt(h.p99() as f64),
+        fmt(h.p999() as f64),
+    ]
+}
+
+/// `figures -- serve`: open-loop load sweeps against a live TCP server.
+pub fn serve(p: &Params) {
+    let sc = Scenario::build(p, 0);
+    let specs = sc.batch_specs(16);
+    let objects = sc.engine.objects.clone();
+    let engine_metrics = sc.engine.metrics();
+    let serving = ServingEngine::new(sc.engine);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&serving), ServeConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("\nserving {METHOD:?} on {addr} ({SENDERS} senders, open loop)");
+
+    let registry = MetricsRegistry::new();
+    let query_of = |spec: &QuerySpec| Request::Query {
+        method: METHOD,
+        spec: spec.clone(),
+    };
+
+    // Panel A — Poisson arrival-rate sweep, pure reads.
+    let mut a = Table::new(
+        "Serve A — open-loop arrival-rate sweep (reads, e2e µs)",
+        &[
+            "rate/s", "sent", "ok", "shed", "err", "p50", "p99", "p999", "sim io/q",
+        ],
+    );
+    for rate in RATES {
+        let label = format!("rate={rate}");
+        let n = ((rate * POINT_SECS) as usize).clamp(1, POINT_CAP);
+        let before = engine_metrics.snapshot();
+        let specs_ref = &specs;
+        let counts = open_loop_point(
+            addr,
+            &registry,
+            &label,
+            rate,
+            n,
+            p.seed ^ 0xA11CE,
+            &move |_, rng| query_of(&specs_ref[rng.gen_range(0..specs_ref.len())]),
+        );
+        let after = engine_metrics.snapshot();
+        let (sum_b, q_b) = io_mass(&before);
+        let (sum_a, q_a) = io_mass(&after);
+        let io_cell = if q_a > q_b {
+            fmt((sum_a - sum_b) / (q_a - q_b) as f64)
+        } else {
+            "-".into()
+        };
+        let mut row = vec![
+            fmt(rate),
+            counts.sent.to_string(),
+            counts.ok.to_string(),
+            counts.shed.to_string(),
+            counts.err.to_string(),
+        ];
+        row.extend(latency_cells(&registry, &label));
+        row.push(io_cell);
+        a.row(row);
+    }
+    a.print();
+
+    // Panel B — mixed read/write ratios at a fixed rate. Fresh inserted
+    // ids; writes that hit the journal high-water mark shed explicitly.
+    let next_id = AtomicU32::new(5_000_000);
+    let mut b = Table::new(
+        &format!("Serve B — read/write mix at {MIX_RATE}/s (e2e µs)"),
+        &[
+            "write%", "sent", "ok", "shed", "err", "p50", "p99", "p999", "io/mut",
+        ],
+    );
+    for frac in WRITE_FRACS {
+        let label = format!("mix={frac}");
+        let n = ((MIX_RATE * POINT_SECS) as usize).clamp(1, POINT_CAP);
+        let (objects_ref, next_ref, specs_ref) = (&objects, &next_id, &specs);
+        let counts = open_loop_point(
+            addr,
+            &registry,
+            &label,
+            MIX_RATE,
+            n,
+            p.seed ^ 0xB0B,
+            &move |_, rng| {
+                if rng.gen_range(0.0..1.0) < frac {
+                    let donor = &objects_ref[rng.gen_range(0..objects_ref.len())];
+                    Request::Mutate(Mutation::InsertObject(ObjectData {
+                        id: next_ref.fetch_add(1, Ordering::Relaxed),
+                        point: donor.point,
+                        doc: donor.doc.clone(),
+                    }))
+                } else {
+                    query_of(&specs_ref[rng.gen_range(0..specs_ref.len())])
+                }
+            },
+        );
+        // Maintenance I/O comes back on the wire in each MutateOk; the
+        // journal depth tells how much replay debt this point left.
+        let mut row = vec![
+            fmt(frac * 100.0),
+            counts.sent.to_string(),
+            counts.ok.to_string(),
+            counts.shed.to_string(),
+            counts.err.to_string(),
+        ];
+        row.extend(latency_cells(&registry, &label));
+        row.push(mutate_io_cell(addr, &serving, &next_id));
+        b.row(row);
+    }
+    b.print();
+    println!(
+        "journal depth after mix points: {} (hwm {})",
+        serving.journal_depth(),
+        ServeConfig::default().journal_high_water
+    );
+
+    // Panel C — hot-key skew: uniform vs Zipf(1.2) over the spec pool.
+    let zipf = Zipf::new(specs.len(), 1.2);
+    let mut c = Table::new(
+        &format!("Serve C — hot-key skew at {MIX_RATE}/s (reads, e2e µs)"),
+        &["skew", "sent", "ok", "shed", "err", "p50", "p99", "p999"],
+    );
+    for (name, skewed) in [("uniform", false), ("zipf1.2", true)] {
+        let label = format!("skew={name}");
+        let n = ((MIX_RATE * POINT_SECS) as usize).clamp(1, POINT_CAP);
+        let (specs_ref, zipf_ref) = (&specs, &zipf);
+        let counts = open_loop_point(
+            addr,
+            &registry,
+            &label,
+            MIX_RATE,
+            n,
+            p.seed ^ 0xC0FFEE,
+            &move |_, rng| {
+                let idx = if skewed {
+                    zipf_ref.sample(rng)
+                } else {
+                    rng.gen_range(0..specs_ref.len())
+                };
+                query_of(&specs_ref[idx])
+            },
+        );
+        let mut row = vec![
+            name.to_string(),
+            counts.sent.to_string(),
+            counts.ok.to_string(),
+            counts.shed.to_string(),
+            counts.err.to_string(),
+        ];
+        row.extend(latency_cells(&registry, &label));
+        c.row(row);
+    }
+    c.print();
+
+    // Server-side view of the same run, from the shared engine registry
+    // over the wire — the serve_* families the README documents.
+    let mut probe = serve::Client::connect(addr).expect("probe connect");
+    let page = probe.metrics_prometheus().expect("metrics over the wire");
+    println!("\nserver-side serve_* metrics (over the wire):");
+    for line in page.lines() {
+        if line.starts_with("serve_") && !line.contains("latency") {
+            println!("  {line}");
+        }
+    }
+}
+
+/// Mean maintenance I/O per applied mutation, measured over the wire with
+/// a couple of probe inserts (the sweep's own MutateOk replies are spread
+/// across sender threads; this keeps the table cell deterministic). Draws
+/// fresh ids from the sweep's own allocator so probes never collide.
+fn mutate_io_cell(addr: SocketAddr, serving: &ServingEngine, next_id: &AtomicU32) -> String {
+    let mut client = match serve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => return "-".into(),
+    };
+    let donor = serving.snapshot().objects.first().cloned();
+    let Some(donor) = donor else {
+        return "-".into();
+    };
+    let mut total = 0u64;
+    let mut applied = 0u64;
+    for _ in 0..2 {
+        let reply = client.mutate(Mutation::InsertObject(ObjectData {
+            id: next_id.fetch_add(1, Ordering::Relaxed),
+            point: donor.point,
+            doc: donor.doc.clone(),
+        }));
+        if let Ok(Some(io)) = reply {
+            total += io.reads + io.node_writes + io.payload_blocks;
+            applied += 1;
+        }
+    }
+    if applied == 0 {
+        "-".into()
+    } else {
+        fmt(total as f64 / applied as f64)
+    }
+}

@@ -447,6 +447,15 @@ impl ServingEngine {
         self.incremental_refreshes.load(Ordering::Relaxed)
     }
 
+    /// Mutations currently journaled for replay onto an in-flight
+    /// rebuild. Zero outside a rebuild window (every swap drains the
+    /// journal); growth during a rebuild measures the write-path backlog
+    /// a swap will have to replay, which is what the network layer's
+    /// admission control watches to shed mutations under pressure.
+    pub fn journal_depth(&self) -> usize {
+        self.journal.lock().unwrap().len()
+    }
+
     /// Answers one query on the current snapshot, returning the result
     /// with the guard that certifies which generation computed it.
     pub fn query(&self, spec: &QuerySpec, method: Method) -> (QueryResult, EpochGuard) {
@@ -463,12 +472,21 @@ impl ServingEngine {
             let mut published = self.snap.write().unwrap();
             let engine = self.exclusive(&mut published);
             // Journal only while a rebuild is in flight. The flag is read
-            // under the write lock: if a refresher set it before we got
-            // here its capture will run after us and contain this
-            // mutation — and then clear the journal — so over-journaling
-            // around the capture boundary is harmless; if we saw it clear,
-            // the next capture contains us by definition.
-            let journal = self.rebuilding.load(Ordering::Relaxed);
+            // under the write lock and *set* by the refresher under the
+            // read lock of the same `RwLock` (see `refresh_now`), so the
+            // two critical sections are totally ordered: either this
+            // mutation completed before the capture acquired the read
+            // lock — the captured snapshot contains it, and any spurious
+            // journal entry is cleared under that same read lock — or this
+            // write-lock acquisition synchronizes-with the capture's
+            // read-lock release and the `SeqCst` load below is guaranteed
+            // to observe `true`, so the mutation journals itself and is
+            // replayed onto the rebuilt engine before the swap. A
+            // `Relaxed` load here (the pre-fix code) had no such
+            // guarantee: a mutation landing right after the capture could
+            // read a stale `false`, skip the journal, and be silently
+            // dropped by the swap.
+            let journal = self.rebuilding.load(Ordering::SeqCst);
             let mutate_start = Instant::now();
             let io = match mutation.clone() {
                 Mutation::InsertObject(o) => engine.insert_object(o),
@@ -584,19 +602,25 @@ impl ServingEngine {
         let _gate = self.refresh_gate.lock().unwrap();
         let refresh_start = Instant::now();
 
-        // Announce the rebuild before capturing, so from here on every
-        // mutation journals itself.
-        self.rebuilding.store(true, Ordering::Relaxed);
-
-        // Phase 1: capture, and clear the journal under the same read
-        // lock that pins the snapshot: every journaled entry present now
-        // was applied under the write lock before we acquired the read
-        // lock, so the captured snapshot already contains it. What
-        // remains in the journal afterwards is exactly what the capture
-        // missed.
+        // Phase 1: announce the rebuild and capture under one read-lock
+        // critical section. Ordering matters: mutations check the flag
+        // under the *write* lock of the same `RwLock`, so publishing the
+        // flag inside the read-locked section means every mutation either
+        // completed before the capture (and is contained in the snapshot;
+        // its journal entry, if any, is cleared here) or starts after the
+        // capture's read lock released (and is then guaranteed to observe
+        // the flag and journal itself). Setting the flag *before* taking
+        // the read lock — the pre-fix code, with `Relaxed` ordering on
+        // both sides — left a window where a mutation landing right after
+        // the capture could miss both the snapshot and the journal and be
+        // silently dropped by the swap.
         let (snapshot, reclaimed) = {
             let published = self.snap.read().unwrap();
+            self.rebuilding.store(true, Ordering::SeqCst);
             self.journal.lock().unwrap().clear();
+            // The journal is empty: anything it held was applied before
+            // this read lock and is in the captured snapshot.
+            self.metrics.journal_depth.set(0.0);
             (Arc::clone(&published), published.freed_record_slots())
         };
 
@@ -654,7 +678,10 @@ impl ServingEngine {
         );
         report.epoch = fresh.epoch();
         *published = Arc::new(fresh);
-        self.rebuilding.store(false, Ordering::Relaxed);
+        self.rebuilding.store(false, Ordering::SeqCst);
+        // Replay drained the journal: without this reset the gauge kept
+        // the last pushed depth forever, reporting a phantom backlog.
+        self.metrics.journal_depth.set(0.0);
         drop(journal);
         drop(published);
         self.drift_scan_bucket.store(0, Ordering::Relaxed);

@@ -1,0 +1,414 @@
+//! Thread-per-core TCP server over a [`ServingEngine`].
+//!
+//! One accept thread owns the listener and deals connections round-robin
+//! to a fixed pool of workers over bounded queues. Admission control is
+//! *shed, don't queue deep*: when every worker's queue is full the accept
+//! thread answers [`Reply::Overloaded`] itself and closes the connection
+//! — the client gets an explicit refusal, never a silently late (or
+//! wrong) answer. Mutations have a second gate: once the serving
+//! engine's journal passes [`ServeConfig::journal_high_water`] the write
+//! path sheds with [`ShedReason::JournalBacklog`] while reads keep
+//! flowing, which bounds how much replay debt a refresh can accumulate.
+//!
+//! Request handling is deliberately boring: decode a frame, call the same
+//! [`ServingEngine`] entry points an in-process caller would use, encode
+//! the reply. That is what makes the loopback differential test
+//! meaningful — the network path can only add framing, not semantics.
+//!
+//! All serving metrics live in the engine's own swap-stable registry
+//! (`serve_requests_total{kind=...}`, `serve_shed_total{reason=...}`,
+//! `serve_request_latency_us{kind=...}`, `serve_connections_total`), so
+//! one `metrics` request exposes index, refresh and network counters in a
+//! single Prometheus page.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mbrstk_core::ServingEngine;
+use mbrstk_obs::{Counter, Histogram, MetricsRegistry};
+
+use crate::protocol::{
+    decode_request, encode_reply, write_frame, Reply, Request, ShedReason, MAX_FRAME_LEN,
+};
+
+/// How long a worker blocks in `read` before re-checking the stop flag on
+/// an idle connection.
+const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// Knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `0` means one per available core.
+    pub workers: usize,
+    /// Pending connections each worker will queue before the accept
+    /// thread sheds with [`ShedReason::QueueFull`].
+    pub queue_depth: usize,
+    /// Mutations the serving journal may hold before the write path sheds
+    /// with [`ShedReason::JournalBacklog`]. `0` freezes writes entirely
+    /// (every mutate sheds — the deterministic path the tests use);
+    /// `usize::MAX` disables the gate.
+    pub journal_high_water: usize,
+    /// Largest frame body accepted from a client.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+            journal_high_water: 4096,
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Handles into the engine's metrics registry, resolved once at bind.
+struct ServeMetrics {
+    connections: Arc<Counter>,
+    req_query: Arc<Counter>,
+    req_mutate: Arc<Counter>,
+    req_stats: Arc<Counter>,
+    req_metrics: Arc<Counter>,
+    shed_queue: Arc<Counter>,
+    shed_journal: Arc<Counter>,
+    lat_query: Arc<Histogram>,
+    lat_mutate: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new(reg: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            connections: reg.counter("serve_connections_total"),
+            req_query: reg.counter("serve_requests_total{kind=\"query\"}"),
+            req_mutate: reg.counter("serve_requests_total{kind=\"mutate\"}"),
+            req_stats: reg.counter("serve_requests_total{kind=\"stats\"}"),
+            req_metrics: reg.counter("serve_requests_total{kind=\"metrics\"}"),
+            shed_queue: reg.counter("serve_shed_total{reason=\"queue\"}"),
+            shed_journal: reg.counter("serve_shed_total{reason=\"journal\"}"),
+            lat_query: reg.histogram("serve_request_latency_us{kind=\"query\"}"),
+            lat_mutate: reg.histogram("serve_request_latency_us{kind=\"mutate\"}"),
+        }
+    }
+}
+
+/// A running server; shuts down on [`Server::shutdown`] or drop.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks an ephemeral port — read it back with
+    /// [`Server::local_addr`]) and starts the accept thread and worker
+    /// pool serving `engine`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<ServingEngine>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServeMetrics::new(&engine.snapshot().metrics()));
+        let nworkers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            cfg.workers
+        };
+        let queue_depth = cfg.queue_depth.max(1);
+
+        let mut senders: Vec<SyncSender<TcpStream>> = Vec::with_capacity(nworkers);
+        let mut workers = Vec::with_capacity(nworkers);
+        for i in 0..nworkers {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue_depth);
+            senders.push(tx);
+            let worker = Worker {
+                engine: Arc::clone(&engine),
+                metrics: Arc::clone(&metrics),
+                stop: Arc::clone(&stop),
+                journal_high_water: cfg.journal_high_water,
+                max_frame_len: cfg.max_frame_len,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker.run(rx))?,
+            );
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_metrics = Arc::clone(&metrics);
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || {
+                accept_loop(listener, senders, accept_stop, accept_metrics);
+            })?;
+
+        Ok(Server {
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `accept()`; a throwaway connection
+        // wakes it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // The accept thread owned the senders; its exit hangs up every
+        // worker queue, so recv errors out once the backlog drains.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    senders: Vec<SyncSender<TcpStream>>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+) {
+    let mut rr = 0usize;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        metrics.connections.inc();
+        let _ = stream.set_nodelay(true);
+        // Round-robin over the workers, skipping full queues; every queue
+        // full means the pool is saturated past its configured backlog —
+        // shed rather than buffer unbounded work.
+        let mut conn = Some(stream);
+        for i in 0..senders.len() {
+            let w = (rr + i) % senders.len();
+            match senders[w].try_send(conn.take().expect("connection not yet placed")) {
+                Ok(()) => {
+                    rr = w + 1;
+                    break;
+                }
+                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                    conn = Some(back);
+                }
+            }
+        }
+        if let Some(conn) = conn {
+            metrics.shed_queue.inc();
+            shed(conn, ShedReason::QueueFull);
+        }
+    }
+}
+
+/// Refuses a connection with an explicit `Overloaded` reply. The client
+/// has usually already written its request; drain briefly before
+/// replying, then half-close, so the refusal is not lost to a TCP reset
+/// (closing a socket with unread inbound data discards the send buffer).
+fn shed(mut stream: TcpStream, reason: ShedReason) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+    let mut sink = [0u8; 512];
+    let _ = stream.read(&mut sink);
+    let _ = write_frame(&mut stream, &encode_reply(&Reply::Overloaded(reason)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.read(&mut sink);
+}
+
+struct Worker {
+    engine: Arc<ServingEngine>,
+    metrics: Arc<ServeMetrics>,
+    stop: Arc<AtomicBool>,
+    journal_high_water: usize,
+    max_frame_len: u32,
+}
+
+impl Worker {
+    fn run(&self, rx: Receiver<TcpStream>) {
+        // Drain queued connections until the accept thread hangs up.
+        while let Ok(stream) = rx.recv() {
+            let _ = self.serve_connection(stream);
+            if self.stop.load(Ordering::SeqCst) {
+                // Finish nothing further; remaining queued peers get a
+                // connection reset, which shutdown tests tolerate.
+                while rx.try_recv().is_ok() {}
+            }
+        }
+    }
+
+    /// Serves frames until clean EOF, a protocol error, or shutdown.
+    fn serve_connection(&self, mut stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(IDLE_POLL))?;
+        loop {
+            let body = match self.read_frame_interruptible(&mut stream) {
+                Ok(Some(body)) => body,
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            let reply = match decode_request(&body) {
+                Ok(req) => self.handle(req),
+                Err(e) => {
+                    // The stream may be desynchronized — answer, then
+                    // drop the connection.
+                    let reply = Reply::Error(e.to_string());
+                    write_frame(&mut stream, &encode_reply(&reply))?;
+                    return Ok(());
+                }
+            };
+            write_frame(&mut stream, &encode_reply(&reply))?;
+        }
+    }
+
+    /// [`read_frame`] that tolerates read timeouts while *between* frames
+    /// (checking the stop flag), but treats them as fatal mid-frame.
+    fn read_frame_interruptible(&self, stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+        let mut header = [0u8; 4];
+        let mut got = 0usize;
+        while got < 4 {
+            match stream.read(&mut header[got..]) {
+                Ok(0) => {
+                    if got == 0 {
+                        return Ok(None);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ));
+                }
+                Ok(n) => got += n,
+                Err(e)
+                    if got == 0
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let len = u32::from_le_bytes(header);
+        if len == 0 || len > self.max_frame_len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} outside (0, {}]", self.max_frame_len),
+            ));
+        }
+        // The header arrived, so the body is in flight; a bounded number
+        // of idle polls is enough for any live client.
+        let mut body = vec![0u8; len as usize];
+        let mut got = 0usize;
+        let mut idle_polls = 0u32;
+        while got < body.len() {
+            match stream.read(&mut body[got..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ))
+                }
+                Ok(n) => {
+                    got += n;
+                    idle_polls = 0;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    idle_polls += 1;
+                    if idle_polls >= 40 || self.stop.load(Ordering::SeqCst) {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "stalled mid-frame"));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Some(body))
+    }
+
+    fn handle(&self, req: Request) -> Reply {
+        match req {
+            Request::Query { method, spec } => {
+                self.metrics.req_query.inc();
+                let start = Instant::now();
+                if method.requires_user_index() && self.engine.snapshot().miur.is_none() {
+                    return Reply::Error(format!(
+                        "method {} requires the user index, but the served engine \
+                         was built without one",
+                        method.name()
+                    ));
+                }
+                let (result, _guard) = self.engine.query(&spec, method);
+                self.metrics.lat_query.record_duration_us(start.elapsed());
+                Reply::Answer(result)
+            }
+            Request::Mutate(m) => {
+                self.metrics.req_mutate.inc();
+                if self.engine.journal_depth() >= self.journal_high_water {
+                    self.metrics.shed_journal.inc();
+                    return Reply::Overloaded(ShedReason::JournalBacklog);
+                }
+                let start = Instant::now();
+                let reply = match self.engine.apply(m) {
+                    Some(io) => Reply::MutateOk(io),
+                    None => Reply::MutateRejected,
+                };
+                self.metrics.lat_mutate.record_duration_us(start.elapsed());
+                reply
+            }
+            Request::Stats => {
+                self.metrics.req_stats.inc();
+                let snap = self.engine.snapshot();
+                Reply::Stats(format!(
+                    "{{\"epoch\":{},\"objects\":{},\"users\":{},\"refreshes\":{},\
+                     \"incremental_refreshes\":{},\"journal_depth\":{},\"metrics\":{}}}",
+                    snap.epoch(),
+                    snap.objects.len(),
+                    snap.users.len(),
+                    self.engine.refreshes(),
+                    self.engine.incremental_refreshes(),
+                    self.engine.journal_depth(),
+                    snap.metrics().snapshot().to_json(),
+                ))
+            }
+            Request::Metrics => {
+                self.metrics.req_metrics.inc();
+                Reply::Metrics(self.engine.snapshot().metrics().render_prometheus())
+            }
+        }
+    }
+}

@@ -787,3 +787,137 @@ fn drift_is_zero_fresh_monotone_under_churn_and_zero_after_refresh() {
     assert_eq!(d.mean_rel_error, 0.0);
     assert_eq!(d.total_mutations(), 0);
 }
+
+/// Regression for the rebuild-capture race: `apply` used to read the
+/// `rebuilding` flag with `Ordering::Relaxed`, and the refresher set it
+/// *outside* the capture's read-lock critical section. A mutation landing
+/// in the gap could observe a stale `false`, apply itself only to the
+/// doomed published engine, skip the journal, and silently vanish at the
+/// swap. With the fix (flag published inside the capture's read lock,
+/// `SeqCst` on both sides) every mutation is in the captured snapshot or
+/// in the journal — so after quiescing, every applied insert must be
+/// live, under back-to-back rebuilds racing two mutator threads.
+#[test]
+fn mutations_racing_the_rebuild_are_never_lost() {
+    let per_worker = env_usize("MBRSTK_RACE_ITERS", 40).max(24);
+    for seed in [5u64, 23, 77] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (objects, users) = seed_data(&mut rng);
+        let serving = ServingEngine::new(build(objects, users));
+        let stop = AtomicBool::new(false);
+
+        let inserted: Vec<u32> = std::thread::scope(|s| {
+            // Back-to-back full rebuilds for the whole race: every apply
+            // below has a high chance of landing mid-capture or
+            // mid-rebuild.
+            let refresher = {
+                let (serving, stop) = (&serving, &stop);
+                s.spawn(move || {
+                    let mut rebuilds = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        serving.refresh_now();
+                        rebuilds += 1;
+                    }
+                    rebuilds
+                })
+            };
+
+            let mut handles = Vec::new();
+            for worker in 0..2u32 {
+                let serving = &serving;
+                handles.push(s.spawn(move || {
+                    let base = 100_000 + worker * 10_000;
+                    let ids: Vec<u32> = (base..base + per_worker as u32).collect();
+                    for &id in &ids {
+                        let io = serving.apply(Mutation::InsertObject(ObjectData {
+                            id,
+                            point: Point::new((id % 11) as f64 + 0.3, (id % 7) as f64 + 0.4),
+                            doc: Document::from_pairs([(t(0), 2), (t(id % 5), 1)]),
+                        }));
+                        assert!(io.is_some(), "fresh id {id} must apply");
+                        std::thread::yield_now();
+                    }
+                    ids
+                }));
+            }
+
+            let mut ids = Vec::new();
+            for h in handles {
+                ids.extend(h.join().expect("mutator"));
+            }
+            stop.store(true, Ordering::Relaxed);
+            let rebuilds = refresher.join().expect("refresher");
+            assert!(rebuilds > 0, "seed {seed}: the race never rebuilt");
+            ids
+        });
+
+        // Quiesce: one more refresh replays any still-journaled tail,
+        // then every raced insert must have survived.
+        serving.refresh_now();
+        let snap = serving.snapshot();
+        let live: std::collections::HashSet<u32> = snap.objects.iter().map(|o| o.id).collect();
+        for id in inserted {
+            assert!(
+                live.contains(&id),
+                "seed {seed}: insert {id} was dropped by the rebuild race"
+            );
+        }
+        assert_eq!(serving.journal_depth(), 0, "quiesced journal is empty");
+    }
+}
+
+/// Regression for the `serving_journal_depth` gauge: it was set on every
+/// journal push but never reset when the journal drained, so after the
+/// last rebuild it kept reporting the final pushed depth forever — a
+/// phantom backlog. Both drain sites (the capture-time clear and the
+/// replay at the swap) now reset it, so a quiesced engine always reports
+/// zero no matter how much journalling the preceding churn did.
+#[test]
+fn journal_depth_gauge_drains_to_zero() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (objects, users) = seed_data(&mut rng);
+    let serving = ServingEngine::new(build(objects, users));
+
+    let gauge = || {
+        serving
+            .snapshot()
+            .metrics()
+            .snapshot()
+            .gauge("serving_journal_depth")
+            .unwrap_or(0.0)
+    };
+
+    // Fresh engine: no journal, gauge zero (or absent).
+    assert_eq!(gauge(), 0.0);
+
+    // Churn racing rebuilds journals mutations (sets the gauge on every
+    // push), then each swap drains the journal.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let refresher = {
+            let (serving, stop) = (&serving, &stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    serving.refresh_now();
+                }
+            })
+        };
+        for (i, m) in object_script(&mut rng, 48, (0..140).collect(), 70_000)
+            .into_iter()
+            .enumerate()
+        {
+            assert!(serving.apply(m).is_some());
+            if i % 5 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        refresher.join().expect("refresher");
+    });
+
+    // Quiesced: the journal is empty and the gauge must agree — the
+    // pre-fix gauge stuck at the last pushed depth here.
+    serving.refresh_now();
+    assert_eq!(serving.journal_depth(), 0);
+    assert_eq!(gauge(), 0.0, "gauge must drain with the journal");
+}
