@@ -309,8 +309,10 @@ impl Engine {
 
     /// Post-mutation bookkeeping for user changes: bump both generation
     /// counters and drop every threshold-cache entry including the
-    /// memoized super-user.
-    fn finish_user_mutation(&mut self) {
+    /// memoized super-user. Crate-visible so [`crate::cluster`] can drain
+    /// a user shard to empty (a path [`Engine::remove_user`] forbids for
+    /// standalone engines) while keeping the epochs honest.
+    pub(crate) fn finish_user_mutation(&mut self) {
         self.epoch += 1;
         self.user_epoch += 1;
         self.user_muts_since_refresh += 1;

@@ -2,10 +2,14 @@
 //!
 //! One accept thread owns the listener and deals connections round-robin
 //! to a fixed pool of workers over bounded queues. Admission control is
-//! *shed, don't queue deep*: when every worker's queue is full the accept
-//! thread answers [`Reply::Overloaded`] itself and closes the connection
-//! — the client gets an explicit refusal, never a silently late (or
-//! wrong) answer. Mutations have a second gate: once the serving
+//! *shed, don't queue deep*: when every worker's queue is full the
+//! connection is refused with [`Reply::Overloaded`] — an explicit
+//! refusal, never a silently late (or wrong) answer — from a short-lived
+//! shed thread, so a slow refused peer never throttles `accept` itself.
+//! Every write to a peer (replies and shed refusals) carries
+//! [`ServeConfig::write_timeout`]: a client that stops reading gets its
+//! connection dropped at the deadline instead of pinning a worker
+//! forever. Mutations have a second gate: once the serving
 //! engine's journal passes [`ServeConfig::journal_high_water`] the write
 //! path sheds with [`ShedReason::JournalBacklog`] while reads keep
 //! flowing, which bounds how much replay debt a refresh can accumulate.
@@ -17,6 +21,7 @@
 //!
 //! All serving metrics live in the engine's own swap-stable registry
 //! (`serve_requests_total{kind=...}`, `serve_shed_total{reason=...}`,
+//! `serve_request_errors_total{kind=...}`, `serve_worker_lost_total`,
 //! `serve_request_latency_us{kind=...}`, `serve_connections_total`), so
 //! one `metrics` request exposes index, refresh and network counters in a
 //! single Prometheus page.
@@ -55,6 +60,13 @@ pub struct ServeConfig {
     pub journal_high_water: usize,
     /// Largest frame body accepted from a client.
     pub max_frame_len: u32,
+    /// Deadline for any single blocking write to a peer (replies and shed
+    /// refusals). A client that stops reading — a stalled or malicious
+    /// zero-window peer — would otherwise pin whichever thread is writing
+    /// to it forever; past the deadline the write errors and the
+    /// connection is dropped. Zero disables the deadline (unbounded
+    /// writes).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -64,8 +76,15 @@ impl Default for ServeConfig {
             queue_depth: 64,
             journal_high_water: 4096,
             max_frame_len: MAX_FRAME_LEN,
+            write_timeout: Duration::from_secs(2),
         }
     }
+}
+
+/// `set_write_timeout` rejects a zero duration; map "zero = disabled"
+/// onto the `Option` the socket API wants.
+fn write_deadline(timeout: Duration) -> Option<Duration> {
+    (!timeout.is_zero()).then_some(timeout)
 }
 
 /// Handles into the engine's metrics registry, resolved once at bind.
@@ -77,6 +96,14 @@ struct ServeMetrics {
     req_metrics: Arc<Counter>,
     shed_queue: Arc<Counter>,
     shed_journal: Arc<Counter>,
+    /// Queries answered with `Reply::Error` (no latency sample is
+    /// recorded for them, so `req_query == lat_query.count + query_errors`
+    /// always reconciles).
+    query_errors: Arc<Counter>,
+    /// Times the accept round-robin found a worker's queue hung up — the
+    /// worker thread died. Distinct from `shed_queue` (full queues are
+    /// overload; a dead worker is a server bug worth its own alarm).
+    worker_lost: Arc<Counter>,
     lat_query: Arc<Histogram>,
     lat_mutate: Arc<Histogram>,
 }
@@ -91,6 +118,8 @@ impl ServeMetrics {
             req_metrics: reg.counter("serve_requests_total{kind=\"metrics\"}"),
             shed_queue: reg.counter("serve_shed_total{reason=\"queue\"}"),
             shed_journal: reg.counter("serve_shed_total{reason=\"journal\"}"),
+            query_errors: reg.counter("serve_request_errors_total{kind=\"query\"}"),
+            worker_lost: reg.counter("serve_worker_lost_total"),
             lat_query: reg.histogram("serve_request_latency_us{kind=\"query\"}"),
             lat_mutate: reg.histogram("serve_request_latency_us{kind=\"mutate\"}"),
         }
@@ -136,6 +165,7 @@ impl Server {
                 stop: Arc::clone(&stop),
                 journal_high_water: cfg.journal_high_water,
                 max_frame_len: cfg.max_frame_len,
+                write_timeout: cfg.write_timeout,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -146,10 +176,17 @@ impl Server {
 
         let accept_stop = Arc::clone(&stop);
         let accept_metrics = Arc::clone(&metrics);
+        let write_timeout = cfg.write_timeout;
         let accept = std::thread::Builder::new()
             .name("serve-accept".into())
             .spawn(move || {
-                accept_loop(listener, senders, accept_stop, accept_metrics);
+                accept_loop(
+                    listener,
+                    senders,
+                    accept_stop,
+                    accept_metrics,
+                    write_timeout,
+                );
             })?;
 
         Ok(Server {
@@ -196,6 +233,7 @@ fn accept_loop(
     senders: Vec<SyncSender<TcpStream>>,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
+    write_timeout: Duration,
 ) {
     let mut rr = 0usize;
     for stream in listener.incoming() {
@@ -205,34 +243,63 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         metrics.connections.inc();
         let _ = stream.set_nodelay(true);
-        // Round-robin over the workers, skipping full queues; every queue
-        // full means the pool is saturated past its configured backlog —
-        // shed rather than buffer unbounded work.
-        let mut conn = Some(stream);
-        for i in 0..senders.len() {
-            let w = (rr + i) % senders.len();
-            match senders[w].try_send(conn.take().expect("connection not yet placed")) {
-                Ok(()) => {
-                    rr = w + 1;
-                    break;
-                }
-                Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
-                    conn = Some(back);
-                }
-            }
-        }
-        if let Some(conn) = conn {
+        if let Some(conn) = place_connection(stream, &senders, &mut rr, &metrics) {
             metrics.shed_queue.inc();
-            shed(conn, ShedReason::QueueFull);
+            // Off-thread: a shed reply talks to an arbitrarily slow peer
+            // (its drain reads wait up to 60ms even when healthy). Doing
+            // that inline would throttle `accept` precisely when the
+            // server is saturated — the moment sheds must be prompt.
+            let spawned = std::thread::Builder::new()
+                .name("serve-shed".into())
+                .spawn(move || shed(conn, ShedReason::QueueFull, write_timeout));
+            // Spawn failure (fd/thread exhaustion) drops the connection:
+            // the peer sees a reset instead of an explicit refusal, which
+            // beats stalling the accept loop.
+            drop(spawned);
         }
     }
+}
+
+/// Deals `conn` to a worker queue round-robin, skipping full queues —
+/// every queue full means the pool is saturated past its configured
+/// backlog, so the connection comes back to the caller to shed rather
+/// than buffer unbounded work. A hung-up queue means that worker thread
+/// died; it is counted on `serve_worker_lost_total` (not as overload) and
+/// skipped like a full one.
+fn place_connection(
+    conn: TcpStream,
+    senders: &[SyncSender<TcpStream>],
+    rr: &mut usize,
+    metrics: &ServeMetrics,
+) -> Option<TcpStream> {
+    let mut conn = Some(conn);
+    for i in 0..senders.len() {
+        let w = (*rr + i) % senders.len();
+        match senders[w].try_send(conn.take().expect("connection not yet placed")) {
+            Ok(()) => {
+                *rr = w + 1;
+                return None;
+            }
+            Err(TrySendError::Full(back)) => {
+                conn = Some(back);
+            }
+            Err(TrySendError::Disconnected(back)) => {
+                metrics.worker_lost.inc();
+                conn = Some(back);
+            }
+        }
+    }
+    conn
 }
 
 /// Refuses a connection with an explicit `Overloaded` reply. The client
 /// has usually already written its request; drain briefly before
 /// replying, then half-close, so the refusal is not lost to a TCP reset
 /// (closing a socket with unread inbound data discards the send buffer).
-fn shed(mut stream: TcpStream, reason: ShedReason) {
+/// The reply write carries the configured deadline — a zero-window peer
+/// must not pin the shed thread.
+fn shed(mut stream: TcpStream, reason: ShedReason, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(write_deadline(write_timeout));
     let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
     let mut sink = [0u8; 512];
     let _ = stream.read(&mut sink);
@@ -248,6 +315,7 @@ struct Worker {
     stop: Arc<AtomicBool>,
     journal_high_water: usize,
     max_frame_len: u32,
+    write_timeout: Duration,
 }
 
 impl Worker {
@@ -263,9 +331,14 @@ impl Worker {
         }
     }
 
-    /// Serves frames until clean EOF, a protocol error, or shutdown.
+    /// Serves frames until clean EOF, a protocol error, a blown write
+    /// deadline, or shutdown.
     fn serve_connection(&self, mut stream: TcpStream) -> io::Result<()> {
         stream.set_read_timeout(Some(IDLE_POLL))?;
+        // Reply writes must complete within the deadline: a peer that
+        // stops reading (zero receive window) otherwise parks this worker
+        // in `write_frame` forever, silently shrinking the pool.
+        stream.set_write_timeout(write_deadline(self.write_timeout))?;
         loop {
             let body = match self.read_frame_interruptible(&mut stream) {
                 Ok(Some(body)) => body,
@@ -366,6 +439,10 @@ impl Worker {
                 self.metrics.req_query.inc();
                 let start = Instant::now();
                 if method.requires_user_index() && self.engine.snapshot().miur.is_none() {
+                    // Counted, not latency-sampled: `req_query` always
+                    // equals `lat_query.count + query_errors`, so the
+                    // counter and histogram reconcile.
+                    self.metrics.query_errors.inc();
                     return Reply::Error(format!(
                         "method {} requires the user index, but the served engine \
                          was built without one",
@@ -410,5 +487,69 @@ impl Worker {
                 Reply::Metrics(self.engine.snapshot().metrics().render_prometheus())
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A connected loopback stream pair's server half — `place_connection`
+    /// wants real `TcpStream`s, not mocks.
+    fn loopback_conn(listener: &TcpListener) -> (TcpStream, TcpStream) {
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        (server_side, client)
+    }
+
+    /// A dead worker (hung-up receiver) is skipped and counted on
+    /// `serve_worker_lost_total` — not folded into the overload shed
+    /// counter — and live workers keep receiving connections.
+    #[test]
+    fn dead_worker_is_counted_and_skipped() {
+        let reg = MetricsRegistry::new();
+        let metrics = ServeMetrics::new(&reg);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+
+        let (dead_tx, dead_rx) = std::sync::mpsc::sync_channel::<TcpStream>(1);
+        let (live_tx, live_rx) = std::sync::mpsc::sync_channel::<TcpStream>(2);
+        drop(dead_rx); // worker 0 "died"
+        let senders = vec![dead_tx, live_tx];
+
+        // rr = 0 points the round-robin at the dead worker first.
+        let mut rr = 0usize;
+        let (conn, _client) = loopback_conn(&listener);
+        assert!(
+            place_connection(conn, &senders, &mut rr, &metrics).is_none(),
+            "the live worker takes the connection"
+        );
+        assert_eq!(metrics.worker_lost.get(), 1);
+        assert!(live_rx.try_recv().is_ok(), "placed on the live queue");
+
+        // Dead worker plus a full live queue: the connection comes back
+        // for shedding, the dead worker is counted again, and the full
+        // queue is not misattributed to worker loss.
+        let (fill_a, _ka) = loopback_conn(&listener);
+        let (fill_b, _kb) = loopback_conn(&listener);
+        assert!(place_connection(fill_a, &senders, &mut rr, &metrics).is_none());
+        assert!(place_connection(fill_b, &senders, &mut rr, &metrics).is_none());
+        let lost_before = metrics.worker_lost.get();
+        let (conn, _client) = loopback_conn(&listener);
+        assert!(
+            place_connection(conn, &senders, &mut rr, &metrics).is_some(),
+            "saturated pool returns the connection for shedding"
+        );
+        assert_eq!(metrics.worker_lost.get(), lost_before + 1);
+    }
+
+    /// Zero means "no deadline"; anything else maps through unchanged.
+    #[test]
+    fn write_deadline_maps_zero_to_none() {
+        assert_eq!(write_deadline(Duration::ZERO), None);
+        assert_eq!(
+            write_deadline(Duration::from_millis(250)),
+            Some(Duration::from_millis(250))
+        );
     }
 }

@@ -26,6 +26,7 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use datagen::rng::{Rng, SeedableRng, StdRng};
 use geo::Point;
@@ -263,6 +264,97 @@ fn saturated_worker_queue_sheds_with_queue_full() {
         stats.contains("\"epoch\""),
         "queued connection served: {stats}"
     );
+}
+
+/// A peer that pipelines requests and never reads a byte of the replies
+/// eventually zeroes its receive window; the worker's reply write must
+/// hit [`ServeConfig::write_timeout`] and drop the connection instead of
+/// pinning the worker forever. With a single worker, a fresh client being
+/// served at all proves the deadline fired.
+#[test]
+fn stalled_reader_cannot_pin_a_worker_past_the_write_deadline() {
+    let serving = serving_engine(29);
+    let server = bind(
+        &serving,
+        ServeConfig {
+            workers: 1,
+            write_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // The stalled peer: pipeline metrics requests (multi-KiB replies)
+    // without ever reading. Replies fill both socket buffers, then the
+    // worker blocks in `write_frame`. The peer's own sends are bounded by
+    // a client-side timeout — once they start failing the worker is
+    // already wedged, which is all the flood needs to achieve.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled
+        .set_write_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    let body = encode_request(&Request::Metrics);
+    for _ in 0..20_000 {
+        if write_frame(&mut stalled, &body).is_err() {
+            break;
+        }
+    }
+
+    // The single worker is stuck behind the stalled peer until the
+    // deadline cuts it loose; this round trip hangs forever without it.
+    let start = Instant::now();
+    let mut probe = Client::connect(addr).unwrap();
+    probe
+        .stats_json()
+        .expect("worker freed by the write deadline");
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "worker pinned by a stalled reader for {:?}",
+        start.elapsed()
+    );
+    drop(stalled);
+}
+
+/// Shed replies run off the accept thread: forty refused peers that never
+/// read their refusal (each shed waits out ~60ms of drain reads) must not
+/// serialize in front of `accept` — a fresh arrival still gets its
+/// explicit `Overloaded` refusal promptly.
+#[test]
+fn sheds_do_not_block_the_accept_thread() {
+    let serving = serving_engine(31);
+    let server = bind(
+        &serving,
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    // Saturate the pool: c0 pins the worker (a completed round trip), c1
+    // parks in the depth-1 queue.
+    let mut c0 = Client::connect(addr).unwrap();
+    c0.stats_json().unwrap();
+    let _c1 = Client::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Forty connections that must all be shed, whose peers never write a
+    // request nor read the refusal. Inline sheds would stall the accept
+    // thread for their summed drain timeouts (seconds); off-thread they
+    // overlap.
+    let stalled: Vec<TcpStream> = (0..40).map(|_| TcpStream::connect(addr).unwrap()).collect();
+
+    let start = Instant::now();
+    let reply = serve::one_shot(addr, &Request::Stats).unwrap();
+    assert_eq!(reply, Reply::Overloaded(ShedReason::QueueFull));
+    assert!(
+        start.elapsed() < Duration::from_millis(1500),
+        "accept thread throttled by stalled shed peers: {:?}",
+        start.elapsed()
+    );
+    drop(stalled);
+    drop(c0);
 }
 
 /// A syntactically broken frame earns a `Reply::Error` and a closed

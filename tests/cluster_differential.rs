@@ -1,0 +1,229 @@
+//! Cluster differential harness: an [`EngineCluster`] over 1/2/4/8 user
+//! shards must answer **bit-identically** to the single fused engine it
+//! was built from — for every built-in method, under both record codecs,
+//! on cold and warm threshold caches, and throughout a seeded churn
+//! stream whose mutations route to the owning shards. The serving layer's
+//! cluster-backed constructor is held to the same bar.
+//!
+//! Set `MBRSTK_SHARDS=N` to add an extra shard count to the sweep (the CI
+//! sharded leg runs the workspace with `MBRSTK_SHARDS=4`).
+
+use datagen::{
+    generate_churn, generate_objects, generate_workload, ChurnConfig, ChurnOp, CorpusConfig,
+    UserGenConfig,
+};
+use maxbrstknn::mbrstk_core::{EngineCluster, Mutation, ServingEngine};
+use maxbrstknn::prelude::*;
+
+/// Shard counts under test; `MBRSTK_SHARDS` appends one more.
+fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, 8];
+    if let Some(n) = std::env::var("MBRSTK_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if n >= 1 && !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+struct Fixture {
+    engine: Engine,
+    specs: Vec<QuerySpec>,
+    keyword_pool: Vec<TermId>,
+}
+
+/// Seeded corpus + engine (user index on, so all six methods serve) +
+/// a grid of query variants cycling location shortlists and `k`.
+fn fixture(codec: CodecId, seed: u64) -> Fixture {
+    let objects = generate_objects(&CorpusConfig::flickr_like(900));
+    let wl = generate_workload(
+        &objects,
+        &UserGenConfig {
+            num_users: 37, // odd, so every shard count gets uneven slices
+            area: 8.0,
+            uw: 12,
+            ul: 3,
+            num_locations: 9,
+            seed,
+        },
+    );
+    let engine =
+        Engine::build_with_fanout_codec(objects, wl.users, WeightModel::lm(), 0.5, 8, codec)
+            .with_user_index();
+    let specs: Vec<QuerySpec> = (0..8)
+        .map(|i| {
+            let mut locations = wl.candidate_locations.clone();
+            let shift = i % locations.len();
+            locations.rotate_left(shift);
+            locations.truncate(3);
+            QuerySpec {
+                ox_doc: Document::new(),
+                locations,
+                keywords: wl.candidate_keywords.clone(),
+                ws: 2,
+                k: 2 + i % 4,
+            }
+        })
+        .collect();
+    Fixture {
+        engine,
+        specs,
+        keyword_pool: wl.candidate_keywords,
+    }
+}
+
+/// Every method × spec must agree between the fused reference and the
+/// cluster — twice in a row, so both the cold (scatter) and warm
+/// (threshold-cache hit) paths are exercised.
+fn assert_identical(reference: &Engine, cluster: &EngineCluster, specs: &[QuerySpec], ctx: &str) {
+    for pass in ["cold", "warm"] {
+        for spec in specs {
+            for method in Method::ALL {
+                assert_eq!(
+                    cluster.query(spec, method),
+                    reference.query(spec, method),
+                    "{ctx}: {pass} {} k={} diverged at {} shards",
+                    method.name(),
+                    spec.k,
+                    cluster.shard_count()
+                );
+            }
+        }
+    }
+}
+
+/// Cold + warm bit-identity for every shard count and both codecs.
+#[test]
+fn cluster_is_bit_identical_to_fused_for_both_codecs() {
+    for codec in [CodecId::Verbatim, CodecId::Columnar] {
+        let fx = fixture(codec, 2024);
+        for nshards in shard_counts() {
+            let cluster = EngineCluster::from_engine(fx.engine.clone(), nshards);
+            assert_identical(&fx.engine, &cluster, &fx.specs, &format!("{codec:?}"));
+        }
+    }
+}
+
+/// A seeded churn stream (queries interleaved with object and user
+/// mutations) applied in lockstep: the head accepts or rejects exactly
+/// like the fused twin, accepted mutations route to owning shards, and
+/// every query op along the way answers bit-identically. A synchronized
+/// refresh mid-stream must preserve the identity on the re-weighed
+/// state.
+#[test]
+fn churn_stream_preserves_bit_identity_with_routed_mutations() {
+    for codec in [CodecId::Verbatim, CodecId::Columnar] {
+        let fx = fixture(codec, 7070);
+        let ops = generate_churn(
+            &fx.engine.objects,
+            &fx.engine.users,
+            &fx.keyword_pool,
+            &ChurnConfig::new(90, 0.6).with_seed(31337),
+        );
+        for nshards in shard_counts() {
+            let mut reference = fx.engine.clone();
+            let mut cluster = EngineCluster::from_engine(fx.engine.clone(), nshards);
+            let ctx = format!("{codec:?} churn");
+            let mut qi = 0usize;
+            for (op_no, op) in ops.iter().enumerate() {
+                match op {
+                    ChurnOp::Query => {
+                        // Rotate through the spec/method grid rather than
+                        // running the full product at every step.
+                        let spec = &fx.specs[qi % fx.specs.len()];
+                        let method = Method::ALL[qi % Method::ALL.len()];
+                        qi += 1;
+                        assert_eq!(
+                            cluster.query(spec, method),
+                            reference.query(spec, method),
+                            "{ctx}: op {op_no} {} diverged at {nshards} shards",
+                            method.name()
+                        );
+                    }
+                    ChurnOp::Mutate(m) => {
+                        let fused_applied = reference.apply_batch([m.clone()]).applied == 1;
+                        let cluster_applied = cluster.apply(m.clone()).is_some();
+                        assert_eq!(
+                            fused_applied, cluster_applied,
+                            "{ctx}: op {op_no} acceptance diverged"
+                        );
+                    }
+                }
+                if op_no == ops.len() / 2 {
+                    reference.refresh();
+                    cluster.refresh_synchronized();
+                    assert_identical(
+                        &reference,
+                        &cluster,
+                        &fx.specs,
+                        &(ctx.clone() + " post-refresh"),
+                    );
+                }
+            }
+            assert_identical(&reference, &cluster, &fx.specs, &(ctx + " post-churn"));
+        }
+    }
+}
+
+/// The serving wrapper's cluster constructor serves the same answers as
+/// a fused serving engine — through churn applied via the serving `apply`
+/// path (journal + routing) and a serving-level refresh.
+#[test]
+fn serving_engine_cluster_backend_matches_fused_serving() {
+    let fx = fixture(CodecId::Verbatim, 909);
+    let fused = ServingEngine::new(fx.engine.clone());
+    let clustered = ServingEngine::new_cluster(EngineCluster::from_engine(fx.engine.clone(), 4));
+    assert_eq!(clustered.shard_count(), 4);
+    assert_eq!(clustered.shard_epochs(), vec![0, 0, 0, 0]);
+
+    let check = |ctx: &str| {
+        for spec in &fx.specs {
+            for method in Method::ALL {
+                let (a, _) = clustered.query(spec, method);
+                let (b, _) = fused.query(spec, method);
+                assert_eq!(a, b, "{ctx}: {} k={}", method.name(), spec.k);
+            }
+        }
+    };
+    check("fresh");
+
+    let ops = generate_churn(
+        &fx.engine.objects,
+        &fx.engine.users,
+        &fx.keyword_pool,
+        &ChurnConfig::new(40, 1.0).with_seed(4242),
+    );
+    for op in &ops {
+        if let ChurnOp::Mutate(m) = op {
+            let a = fused.apply(m.clone()).is_some();
+            let b = clustered.apply(m.clone()).is_some();
+            assert_eq!(a, b, "serving acceptance diverged");
+        }
+    }
+    check("post-churn");
+
+    fused.refresh_now();
+    let report = clustered.refresh_now();
+    assert_eq!(report.replayed, 0, "shard lock quiesces mutators");
+    assert!(clustered.shard_epochs().iter().all(|&e| e > 0));
+    check("post-refresh");
+
+    // Routed user mutations land on the owning shard only.
+    let probe = UserData {
+        id: 9_001, // owner = 9001 % 4 = 1
+        point: fused.snapshot().users[0].point,
+        doc: fused.snapshot().users[0].doc.clone(),
+    };
+    let before = clustered.shard_epochs();
+    assert!(fused.apply(Mutation::InsertUser(probe.clone())).is_some());
+    assert!(clustered.apply(Mutation::InsertUser(probe)).is_some());
+    let after = clustered.shard_epochs();
+    assert!(after[1] > before[1], "owning shard must move");
+    assert_eq!(after[0], before[0]);
+    assert_eq!(after[2], before[2]);
+    assert_eq!(after[3], before[3]);
+    check("post-routed-insert");
+}

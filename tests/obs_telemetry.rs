@@ -8,9 +8,12 @@
 //! (only the quantiles are log-bucketed), so any double-count, dropped
 //! record, or phase/total mismatch in the recording path fails here.
 
+use std::sync::Arc;
+
 use datagen::{generate_objects, generate_workload, CorpusConfig, UserGenConfig};
-use maxbrstknn::mbrstk_core::Phase;
+use maxbrstknn::mbrstk_core::{Phase, ServingEngine};
 use maxbrstknn::prelude::*;
+use serve::{Client, Reply, Request, ServeConfig, Server};
 
 const SPECS: usize = 168; // × 6 methods = 1008 queries
 
@@ -143,4 +146,94 @@ fn registry_reconciles_exactly_with_summed_query_stats() {
             e.queries
         )));
     }
+}
+
+/// The serve layer's query counter reconciles exactly against its
+/// latency histogram *plus* the error counter: a query that fails before
+/// reaching the engine (user-index method on an index-less engine) is
+/// counted on `serve_request_errors_total{kind="query"}` and records no
+/// latency sample, so `requests == latency.count + errors` always holds
+/// — the books never disagree by a silent error path.
+#[test]
+fn serve_query_counter_reconciles_with_histogram_plus_errors() {
+    let objects = generate_objects(&CorpusConfig::flickr_like(400));
+    let wl = generate_workload(
+        &objects,
+        &UserGenConfig {
+            num_users: 12,
+            area: 8.0,
+            uw: 10,
+            ul: 3,
+            num_locations: 6,
+            seed: 555,
+        },
+    );
+    // No user index: the §7 methods must take the serve error path.
+    let engine = Engine::build_with_fanout(objects, wl.users, WeightModel::lm(), 0.5, 8);
+    let serving = ServingEngine::new(engine);
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&serving), ServeConfig::default())
+        .expect("bind ephemeral");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let spec = QuerySpec {
+        ox_doc: Document::new(),
+        locations: wl.candidate_locations.clone(),
+        keywords: wl.candidate_keywords.clone(),
+        ws: 2,
+        k: 3,
+    };
+
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    for round in 0..6u64 {
+        for method in Method::ALL {
+            let reply = client
+                .request(&Request::Query {
+                    method,
+                    spec: QuerySpec {
+                        k: 2 + (round as usize % 3),
+                        ..spec.clone()
+                    },
+                })
+                .expect("transport ok");
+            match reply {
+                Reply::Answer(_) => ok += 1,
+                Reply::Error(msg) => {
+                    assert!(
+                        method.requires_user_index(),
+                        "unexpected error for {}: {msg}",
+                        method.name()
+                    );
+                    errors += 1;
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+    }
+    assert_eq!(errors, 12, "two §7 methods × six rounds");
+
+    let snap = serving.snapshot().metrics().snapshot();
+    let requests = snap
+        .counter("serve_requests_total{kind=\"query\"}")
+        .expect("query counter registered");
+    let recorded_errors = snap
+        .counter("serve_request_errors_total{kind=\"query\"}")
+        .expect("error counter registered");
+    let lat = snap
+        .histogram("serve_request_latency_us{kind=\"query\"}")
+        .expect("latency histogram registered");
+    assert_eq!(requests, ok + errors);
+    assert_eq!(recorded_errors, errors);
+    assert_eq!(lat.count(), ok, "only answered queries are latency-sampled");
+    assert_eq!(
+        requests,
+        lat.count() + recorded_errors,
+        "counter and histogram must reconcile"
+    );
+
+    // The reconciliation survives the Prometheus export.
+    let page = snap.render_prometheus();
+    assert!(page.contains(&format!(
+        "serve_request_errors_total{{kind=\"query\"}} {recorded_errors}"
+    )));
 }
